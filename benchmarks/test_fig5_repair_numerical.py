@@ -1,0 +1,180 @@
+"""Figure 5: repair results on the numerical attributes (RMSE + runtime).
+
+Smart Factory (5a-5b), Breast Cancer (5c), Bikes (5d), Water (5e-5f).
+The red dashed line of the paper -- the dirty version's RMSE -- is printed
+as a reference row; strategies above it made the data worse.
+"""
+
+import math
+from typing import Dict, List, Set
+
+from conftest import bench_dataset, emit
+
+from repro.benchmark import run_detection_suite, run_repair_suite
+from repro.dataset.table import Cell
+from repro.detectors import (
+    DBoostDetector,
+    ED2Detector,
+    FahesDetector,
+    HoloCleanDetector,
+    IQRDetector,
+    KataraDetector,
+    MaxEntropyDetector,
+    MetadataDrivenDetector,
+    MinKDetector,
+    MVDetector,
+    NadeefDetector,
+    RahaDetector,
+    SDDetector,
+)
+from repro.metrics import repair_rmse
+from repro.repair import (
+    BayesMissRepair,
+    DataWigMixRepair,
+    GroundTruthRepair,
+    KNNMissRepair,
+    MeanModeImputeRepair,
+    MedianModeImputeRepair,
+    MissForestMixRepair,
+)
+from repro.reporting import render_table
+
+
+def detection_pool():
+    return [
+        MVDetector(),
+        SDDetector(),
+        IQRDetector(),
+        DBoostDetector(n_search=6),
+        FahesDetector(),
+        MinKDetector(),
+        MaxEntropyDetector(),
+        MetadataDrivenDetector(label_budget=150),
+        RahaDetector(labels_per_column=10),
+        ED2Detector(labels_per_column=15),
+    ]
+
+
+def repair_pool():
+    return [
+        GroundTruthRepair(),
+        MeanModeImputeRepair(),
+        MedianModeImputeRepair(),
+        MissForestMixRepair(),
+        DataWigMixRepair(),
+        BayesMissRepair(),
+        KNNMissRepair(),
+    ]
+
+
+def run_numeric_grid(dataset_name: str, seed: int = 0):
+    dataset = bench_dataset(dataset_name, seed=seed)
+    detection_runs = run_detection_suite(dataset, detection_pool(), seed=seed)
+    detections: Dict[str, Set[Cell]] = {
+        run.detector: set(run.result.cells)
+        for run in detection_runs
+        if not run.failed and run.result.n_detected > 0
+    }
+    repair_runs = run_repair_suite(dataset, detections, repair_pool(), seed=seed)
+    dirty_rmse = repair_rmse(dataset.dirty, dataset.clean)
+    return dataset, repair_runs, dirty_rmse
+
+
+def render_numeric(name: str, repair_runs, dirty_rmse: float) -> None:
+    rows: List[List[object]] = [["(dirty version)", dirty_rmse, ""]]
+    runtime_rows: List[List[object]] = []
+    for run in repair_runs:
+        if run.failed:
+            rows.append([run.strategy, None, "FAILED"])
+            continue
+        rows.append([run.strategy, run.numerical_rmse, ""])
+        runtime_rows.append([run.strategy, run.result.runtime_seconds])
+    rows[1:] = sorted(
+        rows[1:], key=lambda r: math.inf if r[1] is None else r[1]
+    )
+    emit(
+        f"fig5_{name.lower()}_rmse",
+        render_table(
+            ["strategy", "rmse", "note"],
+            rows,
+            title=(
+                f"Figure 5 ({name}): numerical repair RMSE "
+                "(lower is better; first row = dirty baseline)"
+            ),
+        ),
+    )
+    runtime_rows.sort(key=lambda r: -r[1])
+    emit(
+        f"fig5_{name.lower()}_runtime",
+        render_table(
+            ["strategy", "runtime_s"],
+            runtime_rows,
+            title=f"Figure 5 ({name}): repair runtime",
+            precision=4,
+        ),
+    )
+
+
+def _strategy_rmse(repair_runs) -> Dict[str, float]:
+    return {
+        run.strategy: run.numerical_rmse
+        for run in repair_runs
+        if not run.failed and not math.isnan(run.numerical_rmse)
+    }
+
+
+def test_fig5ab_smart_factory(benchmark):
+    dataset, repair_runs, dirty_rmse = benchmark.pedantic(
+        lambda: run_numeric_grid("SmartFactory"), rounds=1, iterations=1
+    )
+    render_numeric("SmartFactory", repair_runs, dirty_rmse)
+    rmse = _strategy_rmse(repair_runs)
+    # High-recall detections repaired well beat the dirty baseline.
+    best = min(rmse.values())
+    assert best < dirty_rmse
+    # RAHA's detections support strong repairs across methods (Fig 5a).
+    raha = [v for k, v in rmse.items() if k.startswith("RAHA+")]
+    assert min(raha, default=math.inf) < dirty_rmse
+
+
+def test_fig5c_breast_cancer(benchmark):
+    dataset, repair_runs, dirty_rmse = benchmark.pedantic(
+        lambda: run_numeric_grid("BreastCancer"), rounds=1, iterations=1
+    )
+    render_numeric("BreastCancer", repair_runs, dirty_rmse)
+    rmse = _strategy_rmse(repair_runs)
+    learned = [
+        v for k, v in rmse.items()
+        if k.split("+")[0] in ("RAHA", "ED2") and not k.endswith("+GT")
+    ]
+    assert min(learned, default=math.inf) < dirty_rmse
+
+
+def test_fig5d_bikes(benchmark):
+    dataset, repair_runs, dirty_rmse = benchmark.pedantic(
+        lambda: run_numeric_grid("Bikes"), rounds=1, iterations=1
+    )
+    render_numeric("Bikes", repair_runs, dirty_rmse)
+    rmse = _strategy_rmse(repair_runs)
+    # Most strategies improve on dirty...
+    better = sum(1 for v in rmse.values() if v < dirty_rmse)
+    assert better >= len(rmse) / 2
+    # ...but low-precision detections (e.g. FAHES on outlier-free columns)
+    # can make the data *worse* than dirty -- the paper's Fig 5d bars above
+    # the dashed line.  We assert only that the phenomenon is possible to
+    # observe, not that it must occur at this scale.
+
+
+def test_fig5ef_water(benchmark):
+    dataset, repair_runs, dirty_rmse = benchmark.pedantic(
+        lambda: run_numeric_grid("Water"), rounds=1, iterations=1
+    )
+    render_numeric("Water", repair_runs, dirty_rmse)
+    rmse = _strategy_rmse(repair_runs)
+    # All repaired versions are at least as good as dirty for the leading
+    # detectors (RAHA / MaxEntropy in the paper).
+    leaders = [
+        v for k, v in rmse.items()
+        if k.split("+")[0] in ("RAHA", "MaxEntropy")
+    ]
+    assert leaders and min(leaders) < dirty_rmse

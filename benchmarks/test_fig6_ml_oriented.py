@@ -1,0 +1,95 @@
+"""Figure 6: ML-oriented repair methods (ActiveClean, CPClean, BoostClean).
+
+Model F1 in scenarios S1 (train+test on dirty), S4 (train+test on ground
+truth), and S5 (the method's own model, tested on dirty data) for the Adult
+and Breast Cancer analogues -- both binary tasks, as the methods require.
+"""
+
+import math
+from typing import Dict, List
+
+import numpy as np
+from conftest import bench_dataset, emit
+
+from repro.benchmark import run_scenario
+from repro.dataset.encoding import encode_supervised
+from repro.dataset.splits import train_test_split
+from repro.metrics import f1_score
+from repro.repair import ActiveCleanRepair, BoostCleanRepair, CPCleanRepair
+from repro.reporting import render_table
+
+
+def methods():
+    return [
+        ActiveCleanRepair(n_iterations=4, batch_size=15),
+        BoostCleanRepair(n_rounds=3),
+        CPCleanRepair(max_cleaned=40),
+    ]
+
+
+def evaluate_ml_oriented(dataset_name: str, seed: int = 0):
+    from repro.detectors import MinKDetector
+
+    dataset = bench_dataset(dataset_name, seed=seed)
+    context = dataset.context(seed=seed)
+    # The ML-oriented methods consume a *detector's* output, as in the real
+    # pipeline (the oracle mask would flag nearly every row of the very
+    # dirty Adult analogue, leaving ActiveClean no clean warm-start
+    # partition).
+    detections = MinKDetector().detect(context).cells
+    rows: List[List[object]] = []
+    scores: Dict[str, Dict[str, float]] = {}
+    for method in methods():
+        entry: Dict[str, float] = {}
+        try:
+            fitted = method.fit(context, detections)
+        except (RuntimeError, ValueError) as exc:
+            rows.append([method.name, None, None, None, f"FAILED: {exc}"])
+            scores[method.name] = entry
+            continue
+        # S5: the method's own model served dirty data.
+        entry["S5"] = fitted.model.f1(dataset.dirty)
+        # S1 / S4 reference models: logistic regression, the same convex
+        # family ActiveClean optimises.
+        entry["S1"] = run_scenario("S1", dataset.dirty, dataset, "Logit", seed=seed)
+        entry["S4"] = run_scenario("S4", dataset.dirty, dataset, "Logit", seed=seed)
+        rows.append(
+            [method.name, entry["S1"], entry["S4"], entry["S5"], ""]
+        )
+        scores[method.name] = entry
+    return dataset, rows, scores
+
+
+def _render(name: str, rows) -> None:
+    emit(
+        f"fig6_{name.lower()}",
+        render_table(
+            ["method", "S1 (dirty)", "S4 (ground truth)", "S5 (method model)", "note"],
+            rows,
+            title=f"Figure 6 ({name}): ML-oriented repair accuracy",
+        ),
+    )
+
+
+def test_fig6a_adult(benchmark):
+    dataset, rows, scores = benchmark.pedantic(
+        lambda: evaluate_ml_oriented("Adult"), rounds=1, iterations=1
+    )
+    _render("Adult", rows)
+    for method_name, entry in scores.items():
+        if not entry:
+            continue
+        # The cleaned models land near (slightly below) the S4 upper bound.
+        assert entry["S5"] <= entry["S4"] + 0.15, method_name
+        assert entry["S5"] > 0.3, method_name
+
+
+def test_fig6b_breast_cancer(benchmark):
+    dataset, rows, scores = benchmark.pedantic(
+        lambda: evaluate_ml_oriented("BreastCancer"), rounds=1, iterations=1
+    )
+    _render("BreastCancer", rows)
+    ran = [m for m, entry in scores.items() if entry]
+    assert ran, "no ML-oriented method ran on BreastCancer"
+    for method_name in ran:
+        assert scores[method_name]["S5"] > 0.3, method_name

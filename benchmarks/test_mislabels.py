@@ -1,0 +1,99 @@
+"""Section 6.4's mislabel experiment + the suggestion-3 extension.
+
+The paper flips binary labels on Adult and Breast Cancer and reports that
+models trained on the dirty labels perform slightly worse than on the
+ground truth (RF: 0.90 dirty vs 0.93 clean).  We reproduce that shape, and
+additionally evaluate the noise-aware defences (label smoothing, prune-and-
+retrain) the paper's actionable suggestions call for.
+"""
+
+from typing import List
+
+import numpy as np
+from conftest import bench_dataset, emit
+
+from repro.dataset.encoding import encode_supervised
+from repro.dataset.splits import train_test_split
+from repro.errors import MislabelInjector
+from repro.metrics import f1_score
+from repro.ml import LogisticRegression, RandomForestClassifier
+from repro.ml.noise_aware import LabelSmoothingClassifier, PruneAndRetrainClassifier
+from repro.reporting import render_table
+
+
+def mislabel_experiment(dataset_name: str, flip_rate: float = 0.15, seed: int = 0):
+    dataset = bench_dataset(dataset_name, seed=seed)
+    clean = dataset.clean
+    flipped = MislabelInjector(dataset.target).inject(
+        clean, flip_rate, np.random.default_rng(seed + 1)
+    ).dirty
+    rng = np.random.default_rng(seed)
+    labels = [str(v) for v in clean.column(dataset.target)]
+    train_idx, test_idx = train_test_split(
+        clean.n_rows, 0.25, rng=rng, stratify=labels
+    )
+    test_table = clean.select_rows(test_idx)  # always scored on clean labels
+    rows: List[List[object]] = []
+    scores = {}
+    for version_name, table in (("clean labels", clean), ("flipped labels", flipped)):
+        train_table = table.select_rows(train_idx)
+        x_train, y_train, x_test, y_test, _ = encode_supervised(
+            train_table, test_table, dataset.target, "classification"
+        )
+        for model_name, model in (
+            ("RF", RandomForestClassifier(n_estimators=20, max_depth=10, seed=0)),
+            ("Logit", LogisticRegression()),
+            ("Logit+smoothing", LabelSmoothingClassifier(epsilon=0.2)),
+            ("Logit+prune", PruneAndRetrainClassifier(seed=0)),
+        ):
+            model.fit(x_train, y_train)
+            f1 = f1_score(y_test, model.predict(x_test))
+            rows.append([model_name, version_name, f1])
+            scores[(model_name, version_name)] = f1
+    return rows, scores
+
+
+def test_mislabels_breast_cancer(benchmark):
+    rows, scores = benchmark.pedantic(
+        lambda: mislabel_experiment("BreastCancer"), rounds=1, iterations=1
+    )
+    emit(
+        "mislabels_breast_cancer",
+        render_table(
+            ["model", "training labels", "test_f1_on_clean"],
+            rows,
+            title="Mislabel experiment (Breast Cancer, 15% flipped)",
+        ),
+    )
+    # Paper's shape: dirty labels cost a little accuracy, not a collapse.
+    for model in ("RF", "Logit"):
+        clean_f1 = scores[(model, "clean labels")]
+        dirty_f1 = scores[(model, "flipped labels")]
+        assert dirty_f1 <= clean_f1 + 0.03
+        assert dirty_f1 > clean_f1 - 0.3
+    # Extension: the noise-aware variants close (part of) the gap.
+    plain = scores[("Logit", "flipped labels")]
+    defended = max(
+        scores[("Logit+smoothing", "flipped labels")],
+        scores[("Logit+prune", "flipped labels")],
+    )
+    assert defended >= plain - 0.02
+
+
+def test_mislabels_adult(benchmark):
+    rows, scores = benchmark.pedantic(
+        lambda: mislabel_experiment("Adult"), rounds=1, iterations=1
+    )
+    emit(
+        "mislabels_adult",
+        render_table(
+            ["model", "training labels", "test_f1_on_clean"],
+            rows,
+            title="Mislabel experiment (Adult, 15% flipped)",
+        ),
+    )
+    for model in ("RF", "Logit"):
+        assert (
+            scores[(model, "flipped labels")]
+            <= scores[(model, "clean labels")] + 0.03
+        )

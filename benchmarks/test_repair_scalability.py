@@ -1,0 +1,82 @@
+"""Repair-method scalability (contribution 5 covers all cleaning methods).
+
+Repair runtime and quality across small / medium / large instances of the
+Smart Factory analogue, with a fixed 15% error rate and oracle detections,
+so the sweep isolates the repair methods' own scaling behaviour.
+"""
+
+from typing import Dict, List, Tuple
+
+from conftest import emit
+
+from repro.datagen import generate
+from repro.metrics import repair_rmse
+from repro.repair import (
+    BayesMissRepair,
+    GroundTruthRepair,
+    KNNMissRepair,
+    MeanModeImputeRepair,
+    MissForestMixRepair,
+)
+from repro.reporting import render_series
+
+SIZES = (150, 400, 900)
+
+
+def repair_pool():
+    return [
+        GroundTruthRepair(),
+        MeanModeImputeRepair(),
+        MissForestMixRepair(),
+        BayesMissRepair(),
+        KNNMissRepair(),
+    ]
+
+
+def sweep_sizes(seed: int = 0):
+    runtime: Dict[str, List[Tuple[float, float]]] = {}
+    quality: Dict[str, List[Tuple[float, float]]] = {}
+    for size in SIZES:
+        dataset = generate("SmartFactory", n_rows=size, seed=seed)
+        context = dataset.context(seed=seed)
+        for method in repair_pool():
+            result = method.repair(context, dataset.error_cells)
+            runtime.setdefault(method.name, []).append(
+                (float(size), result.runtime_seconds)
+            )
+            quality.setdefault(method.name, []).append(
+                (float(size), repair_rmse(result.repaired, dataset.clean))
+            )
+    return runtime, quality
+
+
+def test_repair_scalability(benchmark):
+    runtime, quality = benchmark.pedantic(sweep_sizes, rounds=1, iterations=1)
+    emit(
+        "repair_scalability_runtime",
+        render_series(
+            runtime, "n_rows", "runtime_s",
+            title="Repair runtime vs dataset size (Smart Factory, 15% errors)",
+        ),
+    )
+    emit(
+        "repair_scalability_rmse",
+        render_series(
+            quality, "n_rows", "rmse",
+            title="Repair RMSE vs dataset size",
+        ),
+    )
+    # Shapes: ML-driven imputers cost more than statistics at every size...
+    for size_index in range(len(SIZES)):
+        assert (
+            runtime["MISS-Mix"][size_index][1]
+            > runtime["Impute-Mean"][size_index][1]
+        )
+    # ...their runtime grows with data size...
+    assert runtime["MISS-Mix"][-1][1] > runtime["MISS-Mix"][0][1]
+    # ...and their quality advantage persists across sizes.
+    for size_index in range(len(SIZES)):
+        assert (
+            quality["MISS-Mix"][size_index][1]
+            <= quality["Impute-Mean"][size_index][1] + 0.05
+        )

@@ -1,0 +1,104 @@
+"""Tables 1-3: method inventory, model pool, and scenario definitions.
+
+These tables are structural rather than experimental; the benchmarks
+regenerate them from the live registries so the printed inventory always
+matches what the code actually ships.
+"""
+
+from conftest import emit
+
+from repro.benchmark import ALL_SCENARIOS
+from repro.detectors import ML_SUPPORTED, NON_LEARNING, all_detectors
+from repro.ml.model_zoo import CLASSIFICATION, CLUSTERING, REGRESSION, specs_for_task
+from repro.repair import GENERIC, ML_ORIENTED, all_repair_methods
+from repro.reporting import render_table
+
+
+def build_table1():
+    detector_rows = [
+        [d.name, "II" if d.category == ML_SUPPORTED else "I",
+         ", ".join(sorted(d.tackles))]
+        for d in all_detectors()
+    ]
+    repair_rows = [
+        [m.name, "II" if m.category == ML_ORIENTED else "I"]
+        for m in all_repair_methods()
+    ]
+    return detector_rows, repair_rows
+
+
+def test_table1_method_inventory(benchmark):
+    detector_rows, repair_rows = benchmark.pedantic(
+        build_table1, rounds=1, iterations=1
+    )
+    assert len(detector_rows) == 19
+    assert len(repair_rows) == 19
+    # Category split of Table 1: 15 non-learning + 4 ML-supported detectors;
+    # 16 generic + 3 ML-oriented repairs.
+    assert sum(1 for r in detector_rows if r[1] == "II") == 4
+    assert sum(1 for r in repair_rows if r[1] == "II") == 3
+    emit(
+        "table1_detectors",
+        render_table(
+            ["detector", "category", "tackled errors"],
+            detector_rows,
+            title="Table 1 (left): error detection methods",
+        ),
+    )
+    emit(
+        "table1_repairs",
+        render_table(
+            ["repair method", "category"],
+            repair_rows,
+            title="Table 1 (right): data repair methods",
+        ),
+    )
+
+
+def build_table2():
+    rows = []
+    for task, mark in (
+        (CLASSIFICATION, "C"),
+        (REGRESSION, "R"),
+        (CLUSTERING, "UC"),
+    ):
+        for spec in specs_for_task(task):
+            rows.append([spec.name, mark, len(spec.space.dimensions)])
+    return rows
+
+
+def test_table2_model_pool(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    classifiers = [r for r in rows if r[1] == "C"]
+    regressors = [r for r in rows if r[1] == "R"]
+    clusterers = [r for r in rows if r[1] == "UC"]
+    # Table 2's counts: 12 classifiers, 11 regressors, 6 clusterers
+    # (+2 AutoML systems, exercised in test_automl.py).
+    assert len(classifiers) == 12
+    assert len(regressors) == 11
+    assert len(clusterers) == 6
+    emit(
+        "table2_models",
+        render_table(
+            ["model", "task", "tunable dimensions"],
+            rows,
+            title="Table 2: examined ML models (plus AutoLearn & TPotLite)",
+        ),
+    )
+
+
+def test_table3_scenarios(benchmark):
+    def build():
+        return [[s.name, s.train, s.test] for s in ALL_SCENARIOS]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 5
+    assert rows[3] == ["S4", "ground_truth", "ground_truth"]
+    emit(
+        "table3_scenarios",
+        render_table(
+            ["scenario", "train on", "test on"],
+            rows,
+            title="Table 3: evaluation scenarios",
+        ),
+    )

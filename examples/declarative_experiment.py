@@ -1,0 +1,43 @@
+"""Declarative experiments: run the benchmark from a JSON config.
+
+The original REIN repository drives experiments via declarations; this
+example defines one in code, shows its JSON form (store it, version it,
+share it), executes it, and prints the three-stage report.
+
+Run:  python examples/declarative_experiment.py
+"""
+
+from repro.benchmark import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="Beers",
+        n_rows=300,
+        seed=4,
+        detectors=["MVD", "NADEEF", "MaxEntropy"],
+        repairs=["GT", "Impute-Mean", "MISS-Mix"],
+        models=["DT", "Logit"],
+        scenarios=["S1", "S4"],
+        n_seeds=3,
+    )
+    print("experiment declaration:\n")
+    print(config.to_json())
+    print("\nrunning...\n")
+    report = run_experiment(config)
+    print(report.render())
+
+    # The report is structured, not just text: pick out a headline number.
+    best = max(
+        (e for e in report.evaluations if e.variant != "dirty"),
+        key=lambda e: e.mean("S1"),
+    )
+    print(
+        f"\nbest cleaned variant for S1: {best.model} on {best.variant} "
+        f"(F1 {best.mean('S1'):.3f} vs ground-truth bound "
+        f"{best.mean('S4'):.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""REIN reproduction: benchmarking data cleaning methods in ML pipelines.
+
+The package mirrors the architecture of the REIN benchmark (EDBT 2023):
+
+- :mod:`repro.dataset`     tabular substrate (typed tables, encoding, splits)
+- :mod:`repro.constraints` denial constraints, FDs, patterns, FD discovery
+- :mod:`repro.errors`      controlled error injection (BART analogue et al.)
+- :mod:`repro.detectors`   19 error detection methods
+- :mod:`repro.repair`      19 data repair methods
+- :mod:`repro.ml`          classification / regression / clustering / AutoML
+- :mod:`repro.tuning`      hyperparameter search (Optuna analogue)
+- :mod:`repro.metrics`     detection / repair / model metrics + Wilcoxon test
+- :mod:`repro.repository`  SQLite data-version and results stores
+- :mod:`repro.benchmark`   controller, scenarios S1-S5, experiment runner
+- :mod:`repro.datagen`     synthetic analogues of the 14 benchmark datasets
+- :mod:`repro.reporting`   text renderers for the paper's tables and figures
+"""
+
+from repro.dataset.schema import Column, Schema
+from repro.dataset.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = ["Table", "Column", "Schema", "__version__"]

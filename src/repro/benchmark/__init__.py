@@ -1,0 +1,49 @@
+"""Benchmark layer: controller, scenarios S1-S5, and the experiment runner.
+
+This is the paper's primary contribution -- the framework that wires dirty
+data, cleaning tools, and ML models together while pruning meaningless
+combinations (Section 2) and validating conclusions statistically
+(Section 4).
+"""
+
+from repro.benchmark.config import ExperimentConfig, ExperimentReport, run_experiment
+from repro.benchmark.controller import BenchmarkController
+from repro.benchmark.signals import AutoSignals, auto_signals
+from repro.benchmark.runner import (
+    DetectionRun,
+    RepairRun,
+    ScenarioEvaluation,
+    detection_iou,
+    estimate_n_clusters,
+    evaluate_scenarios,
+    run_detection_suite,
+    run_repair_suite,
+    run_scenario,
+)
+from repro.benchmark.scenarios import ALL_SCENARIOS, S1, S2, S3, S4, S5, Scenario, scenario
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "AutoSignals",
+    "BenchmarkController",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "auto_signals",
+    "run_experiment",
+    "DetectionRun",
+    "RepairRun",
+    "S1",
+    "S2",
+    "S3",
+    "S4",
+    "S5",
+    "Scenario",
+    "ScenarioEvaluation",
+    "detection_iou",
+    "estimate_n_clusters",
+    "evaluate_scenarios",
+    "run_detection_suite",
+    "run_repair_suite",
+    "run_scenario",
+    "scenario",
+]

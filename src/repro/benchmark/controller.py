@@ -1,0 +1,165 @@
+"""The benchmark controller (Section 2).
+
+The controller wires the other components together and -- its second job --
+*prunes* unnecessary experiments using design-time knowledge: a dataset
+known to contain only duplicates is never fed to outlier detectors, a
+detector whose signals (KB, rules, keys, labels) are absent is skipped,
+and capability boundaries from Section 6.5 (RAHA/ED2/Meta break on
+duplicate-bearing data, Picket on large data, BoostClean/CPClean on
+multi-class tasks) are enforced up front.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.datagen.benchmark_dataset import BenchmarkDataset
+from repro.detectors import all_detectors
+from repro.detectors.base import Detector
+from repro.errors import profile
+from repro.repair import MLOrientedRepair, RepairMethod, all_repair_methods
+
+#: Which error types each *specialised* detector can possibly find.  The
+#: controller skips a specialised detector when the dataset's profile has
+#: no overlap.  Holistic detectors (tackles contains 'holistic') always run.
+_OUTLIER_LIKE = {
+    profile.OUTLIER,
+    profile.IMPLICIT_MISSING,
+    profile.GAUSSIAN_NOISE,
+}
+
+
+class BenchmarkController:
+    """Selects the applicable detector / repair / model pools per dataset."""
+
+    def __init__(
+        self,
+        detectors: Optional[Sequence[Detector]] = None,
+        repairs: Optional[Sequence[Union[RepairMethod, MLOrientedRepair]]] = None,
+        picket_max_rows: int = 5000,
+    ) -> None:
+        self.detectors = (
+            list(detectors) if detectors is not None else all_detectors()
+        )
+        self.repairs = (
+            list(repairs) if repairs is not None else all_repair_methods()
+        )
+        self.picket_max_rows = picket_max_rows
+
+    # ------------------------------------------------------------------
+    # Detector pruning
+    # ------------------------------------------------------------------
+    def applicable_detectors(
+        self, dataset: BenchmarkDataset, with_ground_truth: bool = True
+    ) -> List[Detector]:
+        """Detectors worth running on this dataset (with reasons applied).
+
+        ``with_ground_truth=False`` models the production setting (no
+        oracle): the ML-supported detectors that require annotator labels
+        (RAHA, ED2, Meta) are pruned; self-supervised Picket survives.
+        """
+        return [
+            detector
+            for detector in self.detectors
+            if self._detector_applies(detector, dataset, with_ground_truth)
+        ]
+
+    def _detector_applies(
+        self,
+        detector: Detector,
+        dataset: BenchmarkDataset,
+        has_oracle: bool = True,
+    ) -> bool:
+        name = detector.name
+        error_types = dataset.error_types
+        # Signal requirements.
+        if name == "KATARA" and dataset.knowledge_base is None:
+            return False
+        if name == "NADEEF" and not (
+            dataset.fds or dataset.constraints or dataset.patterns
+        ):
+            return False
+        if name == "KeyCollision" and not dataset.key_columns:
+            return False
+        if name == "CleanLab" and (
+            dataset.task != "classification" or dataset.target is None
+        ):
+            return False
+        # Error-type pruning for specialised detectors.
+        if "holistic" not in detector.tackles:
+            if name in ("SD", "IQR", "IF", "dBoost") and not (
+                error_types & _OUTLIER_LIKE
+            ):
+                return False
+            if name == "MVD" and profile.MISSING not in error_types:
+                return False
+            if name == "FAHES" and profile.IMPLICIT_MISSING not in error_types:
+                return False
+            if name in ("KeyCollision", "ZeroER") and (
+                profile.DUPLICATE not in error_types
+            ):
+                return False
+            if name == "CleanLab" and profile.MISLABEL not in error_types:
+                return False
+        # Capability boundaries (Section 6.5).
+        if name in ("RAHA", "ED2", "Meta"):
+            if profile.DUPLICATE in error_types:
+                return False  # ground-truth alignment breaks with duplicates
+            if not has_oracle:
+                return False
+        if name == "Picket" and dataset.dirty.n_rows > self.picket_max_rows:
+            return False  # memory faults on large data
+        return True
+
+    # ------------------------------------------------------------------
+    # Repair pruning
+    # ------------------------------------------------------------------
+    def applicable_repairs(
+        self, dataset: BenchmarkDataset
+    ) -> List[Union[RepairMethod, MLOrientedRepair]]:
+        return [
+            method
+            for method in self.repairs
+            if self._repair_applies(method, dataset)
+        ]
+
+    def _repair_applies(
+        self,
+        method: Union[RepairMethod, MLOrientedRepair],
+        dataset: BenchmarkDataset,
+    ) -> bool:
+        name = method.name
+        if name == "CleanLab":
+            return (
+                dataset.task == "classification"
+                and profile.MISLABEL in dataset.error_types
+            )
+        if name in ("ActiveClean", "BoostClean", "CPClean"):
+            if dataset.task != "classification" or dataset.target is None:
+                return False
+            if name in ("BoostClean", "CPClean"):
+                labels = {
+                    str(v).strip()
+                    for v in dataset.clean.column(dataset.target)
+                }
+                if len(labels) != 2:
+                    return False  # multi-class limitation
+        if name == "OpenRefine":
+            return bool(dataset.clean.schema.categorical_names)
+        if name == "HoloClean":
+            # HoloClean needs constraints or categorical context.
+            return bool(
+                dataset.fds
+                or dataset.constraints
+                or dataset.clean.schema.categorical_names
+                or dataset.clean.schema.numerical_names
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    def experiment_plan(self, dataset: BenchmarkDataset) -> Dict[str, List[str]]:
+        """Names of the detectors and repairs the controller would run."""
+        return {
+            "detectors": [d.name for d in self.applicable_detectors(dataset)],
+            "repairs": [r.name for r in self.applicable_repairs(dataset)],
+        }

@@ -1,0 +1,357 @@
+"""Experiment runner: the evaluation module of Figure 1.
+
+Provides the three experiment stages as composable functions --
+
+- :func:`run_detection_suite`: every applicable detector on a dataset,
+  scored with P/R/F1 + IoU + runtime (Figure 2);
+- :func:`run_repair_suite`: detector x repair grid producing repaired
+  versions scored with categorical P/R/F1 and numerical RMSE (Figures 4-5);
+- :func:`evaluate_scenarios`: ML models trained/tested on the version
+  pairs of Table 3's scenarios, repeated over seeds, with the Wilcoxon
+  A/B decision between any two scenarios (Figure 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.datagen.benchmark_dataset import BenchmarkDataset
+from repro.dataset.encoding import TableEncoder, encode_supervised
+from repro.dataset.splits import train_test_split
+from repro.dataset.table import Cell, Table
+from repro.detectors.base import DetectionResult, Detector
+from repro.metrics.detection import DetectionScores, detection_scores, iou_matrix
+from repro.metrics.model import f1_score, rmse, silhouette_score
+from repro.metrics.repair import repair_rmse, repair_scores_categorical
+from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
+from repro.benchmark.scenarios import Scenario, scenario as get_scenario
+from repro.ml.model_zoo import build_model, get_spec
+from repro.repair.base import MLOrientedRepair, RepairMethod, RepairResult
+
+
+# ----------------------------------------------------------------------
+# Detection stage
+# ----------------------------------------------------------------------
+@dataclass
+class DetectionRun:
+    """One detector's output and its scores on one dataset."""
+
+    detector: str
+    result: DetectionResult
+    scores: DetectionScores
+    failed: bool = False
+    failure: str = ""
+
+
+def run_detection_suite(
+    dataset: BenchmarkDataset,
+    detectors: Sequence[Detector],
+    seed: int = 0,
+) -> List[DetectionRun]:
+    """Run each detector on the dataset; failures are recorded, not fatal.
+
+    Detectors that crash (e.g. Picket's memory boundary) appear in the
+    output flagged ``failed`` -- the paper likewise reports tools that
+    "stopped working" at certain sizes rather than hiding them.
+    """
+    context = dataset.context(seed=seed)
+    runs: List[DetectionRun] = []
+    for detector in detectors:
+        try:
+            result = detector.detect(context)
+        except (MemoryError, ValueError, RuntimeError, np.linalg.LinAlgError) as exc:
+            empty = DetectionResult(detector.name, frozenset(), 0.0)
+            runs.append(
+                DetectionRun(
+                    detector.name,
+                    empty,
+                    detection_scores(set(), dataset.error_cells),
+                    failed=True,
+                    failure=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        scores = detection_scores(result.cells, dataset.error_cells)
+        runs.append(DetectionRun(detector.name, result, scores))
+    return runs
+
+
+def detection_iou(
+    runs: Sequence[DetectionRun], dataset: BenchmarkDataset
+) -> Tuple[List[str], List[List[float]]]:
+    """Pairwise IoU over true positives (Figures 2b/2e/...)."""
+    detections = {
+        run.detector: set(run.result.cells) for run in runs if not run.failed
+    }
+    return iou_matrix(detections, dataset.error_cells)
+
+
+# ----------------------------------------------------------------------
+# Repair stage
+# ----------------------------------------------------------------------
+@dataclass
+class RepairRun:
+    """One (detector, repair) combination's scores."""
+
+    detector: str
+    repair: str
+    result: Optional[RepairResult]
+    categorical_f1: float = math.nan
+    categorical_precision: float = math.nan
+    categorical_recall: float = math.nan
+    numerical_rmse: float = math.nan
+    failed: bool = False
+    failure: str = ""
+
+    @property
+    def strategy(self) -> str:
+        return f"{self.detector}+{self.repair}"
+
+
+def run_repair_suite(
+    dataset: BenchmarkDataset,
+    detections_by_detector: Dict[str, Set[Cell]],
+    repairs: Sequence[RepairMethod],
+    seed: int = 0,
+) -> List[RepairRun]:
+    """Score every (detector, repair) combination on the dataset."""
+    context = dataset.context(seed=seed)
+    runs: List[RepairRun] = []
+    for detector_name, cells in sorted(detections_by_detector.items()):
+        for method in repairs:
+            try:
+                result = method.repair(context, cells)
+            except (MemoryError, ValueError, RuntimeError,
+                    np.linalg.LinAlgError) as exc:
+                runs.append(
+                    RepairRun(
+                        detector_name, method.name, None,
+                        failed=True, failure=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            run = RepairRun(detector_name, method.name, result)
+            repaired = result.repaired
+            if repaired.n_rows == dataset.clean.n_rows:
+                categorical = dataset.clean.schema.categorical_names
+                if categorical:
+                    scores = repair_scores_categorical(
+                        dataset.dirty, repaired, dataset.clean,
+                        dataset.error_cells,
+                    )
+                    run.categorical_f1 = scores.f1
+                    run.categorical_precision = scores.precision
+                    run.categorical_recall = scores.recall
+                if dataset.clean.schema.numerical_names:
+                    run.numerical_rmse = repair_rmse(repaired, dataset.clean)
+            runs.append(run)
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Modeling stage (scenarios)
+# ----------------------------------------------------------------------
+def estimate_n_clusters(
+    features: np.ndarray, k_max: int = 8, seed: int = 0
+) -> int:
+    """Pick k by the Silhouette index (Section 6.1's clustering setup)."""
+    from repro.ml.cluster import KMeans
+
+    best_k, best_score = 2, -np.inf
+    for k in range(2, min(k_max, len(features) - 1) + 1):
+        model = KMeans(n_clusters=k, n_init=1, seed=seed)
+        labels = model.fit_predict(features)
+        score = silhouette_score(features, labels)
+        if score > best_score:
+            best_k, best_score = k, score
+    return best_k
+
+
+def _aligned_rows(
+    variant: Table, clean: Table, kept_rows: Optional[Sequence[int]]
+) -> Optional[Dict[int, int]]:
+    """Map original row index -> variant row index, or None if unaligned."""
+    if variant.n_rows == clean.n_rows:
+        return {i: i for i in range(clean.n_rows)}
+    if kept_rows is not None and len(kept_rows) == variant.n_rows:
+        return {int(original): k for k, original in enumerate(kept_rows)}
+    return None
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    variant_table: Table,
+    dataset: BenchmarkDataset,
+    model_name: str,
+    seed: int = 0,
+    test_fraction: float = 0.25,
+    kept_rows: Optional[Sequence[int]] = None,
+    model_params: Optional[Dict[str, object]] = None,
+    sample_rows: Optional[int] = None,
+    tune_trials: Optional[int] = None,
+) -> float:
+    """Train/test one model under one scenario; return its metric.
+
+    Returns macro-F1 (classification), RMSE (regression), or the Silhouette
+    index (clustering).  ``kept_rows`` maps a shorter variant (Delete
+    repair) back to the aligned ground-truth indices so train/test splits
+    stay leakage-free.  ``sample_rows`` optionally subsamples for speed.
+    ``tune_trials`` enables the paper's per-model hyperparameter search
+    (the Optuna analogue) over an inner holdout of the training data
+    before the final fit; None uses the zoo defaults.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    task = dataset.task
+    if task is None:
+        raise ValueError(f"dataset {dataset.name} has no associated ML task")
+    clean = dataset.clean
+    rng = np.random.default_rng(seed)
+    if task == "clustering":
+        train_table, _ = scenario.versions(variant_table, clean)
+        encoder = TableEncoder()
+        features = encoder.fit_transform(train_table)
+        if sample_rows is not None and len(features) > sample_rows:
+            picks = rng.choice(len(features), size=sample_rows, replace=False)
+            features = features[picks]
+        spec = get_spec("clustering", model_name)
+        params = dict(model_params or {})
+        if "n_clusters" in spec.space.dimensions and "n_clusters" not in params:
+            params["n_clusters"] = estimate_n_clusters(features, seed=seed)
+        if "n_components" in spec.space.dimensions and "n_components" not in params:
+            params["n_components"] = estimate_n_clusters(features, seed=seed)
+        model = spec.build(**params)
+        labels = model.fit_predict(features)
+        return silhouette_score(features, labels)
+
+    target = dataset.target
+    assert target is not None
+    mapping = _aligned_rows(variant_table, clean, kept_rows)
+    stratify = None
+    if task == "classification":
+        stratify = [str(v) for v in clean.column(target)]
+    train_idx, test_idx = train_test_split(
+        clean.n_rows, test_fraction, rng=rng, stratify=stratify
+    )
+    if sample_rows is not None and len(train_idx) > sample_rows:
+        train_idx = rng.choice(train_idx, size=sample_rows, replace=False)
+
+    def resolve(table: Table, indices: np.ndarray) -> Table:
+        if table is clean:
+            return clean.select_rows(indices)
+        if mapping is None:
+            # Unaligned variant without kept_rows: fall back to its own rows.
+            own = [i for i in indices if i < table.n_rows]
+            return table.select_rows(own)
+        rows = [mapping[int(i)] for i in indices if int(i) in mapping]
+        return table.select_rows(rows)
+
+    train_version, test_version = scenario.versions(variant_table, clean)
+    train_table = resolve(train_version, train_idx)
+    test_table = resolve(test_version, test_idx)
+    if train_table.n_rows < 5 or test_table.n_rows < 2:
+        return math.nan
+    supervised_task = task
+    x_train, y_train, x_test, y_test, _ = encode_supervised(
+        train_table, test_table, target, supervised_task
+    )
+    if tune_trials is not None and tune_trials > 0:
+        model = _tuned_model(
+            task, model_name, x_train, y_train, tune_trials, seed
+        )
+    else:
+        model = build_model(task, model_name, **(model_params or {}))
+        model.fit(x_train, y_train)
+    predictions = model.predict(x_test)
+    if task == "classification":
+        return f1_score(y_test, predictions)
+    return rmse(y_test, predictions)
+
+
+def _tuned_model(
+    task: str,
+    model_name: str,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    n_trials: int,
+    seed: int,
+):
+    """Hyperparameter-tune a zoo model on an inner holdout, then refit.
+
+    This is where REIN plugs Optuna in (Section 4); we use the TPE-style
+    study of :mod:`repro.tuning` with the model's declared search space.
+    """
+    from repro.tuning.search import tune_estimator
+
+    spec = get_spec(task, model_name)
+    inner_train, inner_valid = train_test_split(
+        len(x_train), 0.25, seed=seed
+    )
+    model, _ = tune_estimator(
+        spec.build,
+        spec.space,
+        x_train[inner_train],
+        y_train[inner_train],
+        x_train[inner_valid],
+        y_train[inner_valid],
+        n_trials=n_trials,
+        seed=seed,
+    )
+    # Refit the winning configuration on the full training split
+    # (spec.build drops placeholder "_"-prefixed dimensions).
+    winner = spec.build(**model.get_params())
+    winner.fit(x_train, y_train)
+    return winner
+
+
+@dataclass
+class ScenarioEvaluation:
+    """Per-scenario score lists for one (variant, model) pair."""
+
+    dataset: str
+    variant: str
+    model: str
+    scores: Dict[str, List[float]] = field(default_factory=dict)
+
+    def mean(self, scenario_name: str) -> float:
+        values = [v for v in self.scores.get(scenario_name, []) if not math.isnan(v)]
+        return float(np.mean(values)) if values else math.nan
+
+    def std(self, scenario_name: str) -> float:
+        values = [v for v in self.scores.get(scenario_name, []) if not math.isnan(v)]
+        return float(np.std(values)) if values else math.nan
+
+    def ab_test(self, first: str = "S1", second: str = "S4") -> WilcoxonResult:
+        """Wilcoxon signed-rank A/B test between two scenarios."""
+        return wilcoxon_signed_rank(self.scores[first], self.scores[second])
+
+
+def evaluate_scenarios(
+    dataset: BenchmarkDataset,
+    variant_table: Table,
+    variant_name: str,
+    model_name: str,
+    scenario_names: Sequence[str] = ("S1", "S4"),
+    n_seeds: int = 5,
+    kept_rows: Optional[Sequence[int]] = None,
+    sample_rows: Optional[int] = None,
+) -> ScenarioEvaluation:
+    """Repeat scenario runs over seeds (the paper repeats 10x)."""
+    evaluation = ScenarioEvaluation(dataset.name, variant_name, model_name)
+    for name in scenario_names:
+        scores = []
+        for seed in range(n_seeds):
+            try:
+                value = run_scenario(
+                    name, variant_table, dataset, model_name,
+                    seed=seed, kept_rows=kept_rows, sample_rows=sample_rows,
+                )
+            except (ValueError, RuntimeError, np.linalg.LinAlgError):
+                value = math.nan
+            scores.append(value)
+        evaluation.scores[name] = scores
+    return evaluation

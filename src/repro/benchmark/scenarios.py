@@ -1,0 +1,59 @@
+"""Evaluation scenarios S1-S5 (Table 3).
+
+A scenario names which data version feeds training and which feeds testing:
+
+========  ==================  ==================
+scenario  train version       test version
+========  ==================  ==================
+S1        dirty / repaired    the same version
+S2        dirty / repaired    ground truth
+S3        ground truth        dirty / repaired
+S4        ground truth        ground truth
+S5        (ML-oriented fit)   dirty
+========  ==================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+DIRTY_OR_REPAIRED = "dirty_or_repaired"
+GROUND_TRUTH = "ground_truth"
+MODEL_OUTPUT = "model_output"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One Table 3 row: the (train, test) version pairing."""
+
+    name: str
+    train: str
+    test: str
+
+    def versions(self, variant_table, ground_truth_table):
+        """Resolve (train_table, test_table) for a dirty/repaired variant."""
+        train = (
+            ground_truth_table if self.train == GROUND_TRUTH else variant_table
+        )
+        test = (
+            ground_truth_table if self.test == GROUND_TRUTH else variant_table
+        )
+        return train, test
+
+
+S1 = Scenario("S1", DIRTY_OR_REPAIRED, DIRTY_OR_REPAIRED)
+S2 = Scenario("S2", DIRTY_OR_REPAIRED, GROUND_TRUTH)
+S3 = Scenario("S3", GROUND_TRUTH, DIRTY_OR_REPAIRED)
+S4 = Scenario("S4", GROUND_TRUTH, GROUND_TRUTH)
+S5 = Scenario("S5", MODEL_OUTPUT, DIRTY_OR_REPAIRED)
+
+ALL_SCENARIOS: Tuple[Scenario, ...] = (S1, S2, S3, S4, S5)
+
+
+def scenario(name: str) -> Scenario:
+    """Look a scenario up by name ('S1'..'S5')."""
+    for candidate in ALL_SCENARIOS:
+        if candidate.name == name:
+            return candidate
+    raise KeyError(f"unknown scenario {name!r}")

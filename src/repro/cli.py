@@ -1,0 +1,162 @@
+"""Command-line entry point: run the benchmark stages on one dataset.
+
+Usage::
+
+    python -m repro detect  <dataset> [--rows N] [--seed S]
+    python -m repro repair  <dataset> [--rows N] [--seed S]
+    python -m repro model   <dataset> [--rows N] [--seed S] [--model NAME]
+    python -m repro list
+
+``detect`` prints the Figure 2-style accuracy/IoU/runtime panels, ``repair``
+the Figure 4/5-style detector x repair grid, and ``model`` the Figure
+7-style S1-vs-S4 comparison with the Wilcoxon decision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional, Sequence
+
+from repro.benchmark import (
+    BenchmarkController,
+    detection_iou,
+    evaluate_scenarios,
+    run_detection_suite,
+    run_repair_suite,
+)
+from repro.datagen import DATASET_NAMES, dataset_spec, generate
+from repro.reporting import render_matrix, render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REIN reproduction: data cleaning benchmark stages",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for command in ("detect", "repair", "model"):
+        stage = sub.add_parser(command)
+        stage.add_argument("dataset", choices=sorted(DATASET_NAMES))
+        stage.add_argument("--rows", type=int, default=400)
+        stage.add_argument("--seed", type=int, default=0)
+        if command == "model":
+            stage.add_argument("--model", default="DT")
+            stage.add_argument("--seeds", type=int, default=4)
+    sub.add_parser("list")
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        spec = dataset_spec(name)
+        rows.append(
+            [name, spec.table4_rows, spec.error_rate, spec.errors,
+             spec.domain, spec.task or "-"]
+        )
+    print(render_table(
+        ["dataset", "paper_rows", "error_rate", "errors", "domain", "task"],
+        rows, title="Available dataset analogues (Table 4)"))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
+    controller = BenchmarkController()
+    applicable = controller.applicable_detectors(dataset)
+    runs = run_detection_suite(dataset, applicable, seed=args.seed)
+    active = [r for r in runs if not r.failed and r.result.n_detected > 0]
+    rows = [
+        [r.detector, r.result.n_detected, r.scores.precision,
+         r.scores.recall, r.scores.f1, r.result.runtime_seconds]
+        for r in sorted(active, key=lambda r: -r.scores.f1)
+    ]
+    print(render_table(
+        ["detector", "detected", "precision", "recall", "f1", "runtime_s"],
+        rows,
+        title=f"{dataset.name}: detection "
+              f"({len(dataset.error_cells)} erroneous cells)"))
+    names, matrix = detection_iou(active, dataset)
+    print()
+    print(render_matrix(names, matrix, title="IoU over true positives"))
+    failed = [r for r in runs if r.failed]
+    if failed:
+        print("\nfailed: " + ", ".join(f"{r.detector} ({r.failure})" for r in failed))
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.detectors import MaxEntropyDetector, MVDetector
+    from repro.repair import (
+        GroundTruthRepair,
+        MeanModeImputeRepair,
+        MissForestMixRepair,
+    )
+
+    dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
+    detection_runs = run_detection_suite(
+        dataset, [MVDetector(), MaxEntropyDetector()], seed=args.seed
+    )
+    detections = {
+        r.detector: set(r.result.cells)
+        for r in detection_runs
+        if not r.failed and r.result.n_detected
+    }
+    repair_runs = run_repair_suite(
+        dataset,
+        detections,
+        [GroundTruthRepair(), MeanModeImputeRepair(), MissForestMixRepair()],
+        seed=args.seed,
+    )
+    rows = []
+    for run in repair_runs:
+        if run.failed:
+            rows.append([run.strategy, None, None, "FAILED"])
+        else:
+            rows.append(
+                [run.strategy, run.categorical_f1, run.numerical_rmse, ""]
+            )
+    print(render_table(
+        ["strategy", "categorical_f1", "numerical_rmse", "note"], rows,
+        title=f"{dataset.name}: repair grid"))
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
+    if dataset.task is None:
+        print(f"{dataset.name} has no associated ML task", file=sys.stderr)
+        return 2
+    evaluation = evaluate_scenarios(
+        dataset, dataset.dirty, "dirty", args.model,
+        scenario_names=("S1", "S4"), n_seeds=args.seeds,
+    )
+    ab = evaluation.ab_test("S1", "S4")
+    print(render_table(
+        ["scenario", "mean", "std"],
+        [
+            ["S1 (dirty)", evaluation.mean("S1"), evaluation.std("S1")],
+            ["S4 (ground truth)", evaluation.mean("S4"), evaluation.std("S4")],
+        ],
+        title=f"{dataset.name}: {args.model} under S1 vs S4 "
+              f"({dataset.task})"))
+    verdict = "DIFFERENT" if ab.reject_null() else "equivalent"
+    print(f"\nWilcoxon signed-rank p={ab.p_value:.4f} -> scenarios {verdict}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "repair":
+        return _cmd_repair(args)
+    return _cmd_model(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Integrity constraints: predicates, denial constraints, functional
+dependencies, syntactic patterns, and automatic FD discovery.
+
+These are the "cleaning signals" of Figure 1: NADEEF and HoloClean consume
+denial constraints, BART injects rule violations against them, and the FDX
+analogue in :mod:`repro.constraints.discovery` generates FDs automatically
+(Section 5).
+"""
+
+from repro.constraints.dc import DenialConstraint, Predicate
+from repro.constraints.discovery import discover_fds
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.patterns import ColumnPattern, common_patterns
+
+__all__ = [
+    "ColumnPattern",
+    "DenialConstraint",
+    "FunctionalDependency",
+    "Predicate",
+    "common_patterns",
+    "discover_fds",
+]

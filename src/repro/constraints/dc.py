@@ -1,0 +1,220 @@
+"""Denial constraints over one or two tuples.
+
+A denial constraint (DC) forbids any (pair of) tuple(s) for which *all*
+predicates hold simultaneously: ``not (p1 and p2 and ...)``.  Unary DCs
+constrain single rows (e.g. ``not (age < 0)``); binary DCs constrain row
+pairs (e.g. the FD ``zip -> city`` becomes
+``not (t1.zip == t2.zip and t1.city != t2.city)``).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dataset.table import Cell, Table, coerce_float, is_missing
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NUMERIC_OPS = {"<", "<=", ">", ">="}
+
+
+def _comparable(op: str, left: Any, right: Any) -> Optional[Tuple[Any, Any]]:
+    """Coerce operands for comparison; None when incomparable/missing."""
+    if is_missing(left) or is_missing(right):
+        return None
+    left_f, right_f = coerce_float(left), coerce_float(right)
+    left_numeric = left_f == left_f  # not NaN
+    right_numeric = right_f == right_f
+    if op in _NUMERIC_OPS:
+        if not (left_numeric and right_numeric):
+            return None
+        return left_f, right_f
+    if left_numeric and right_numeric:
+        return left_f, right_f
+    return str(left).strip(), str(right).strip()
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One atomic comparison inside a denial constraint.
+
+    Attributes:
+        left_attr: attribute of the first tuple (``t1``).
+        op: one of ``== != < <= > >=``.
+        right_attr: attribute of the second tuple (``t2``) -- or of ``t1``
+            when the constraint is unary.
+        constant: literal to compare against instead of ``right_attr``.
+        right_tuple: ``"t1"`` or ``"t2"``; which tuple ``right_attr``
+            refers to (ignored when a constant is given).
+    """
+
+    left_attr: str
+    op: str
+    right_attr: Optional[str] = None
+    constant: Any = None
+    right_tuple: str = "t2"
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+        if (self.right_attr is None) == (self.constant is None):
+            raise ValueError("exactly one of right_attr/constant is required")
+        if self.right_tuple not in ("t1", "t2"):
+            raise ValueError("right_tuple must be 't1' or 't2'")
+
+    def holds(self, row_a: Dict[str, Any], row_b: Optional[Dict[str, Any]] = None) -> bool:
+        """Evaluate the predicate on one or two rows (dicts by attribute)."""
+        left = row_a.get(self.left_attr)
+        if self.constant is not None:
+            right = self.constant
+        else:
+            source = row_a if self.right_tuple == "t1" or row_b is None else row_b
+            right = source.get(self.right_attr)
+        pair = _comparable(self.op, left, right)
+        if pair is None:
+            return False
+        return _OPERATORS[self.op](*pair)
+
+    @property
+    def attributes(self) -> Set[str]:
+        attrs = {self.left_attr}
+        if self.right_attr is not None:
+            attrs.add(self.right_attr)
+        return attrs
+
+    def __str__(self) -> str:
+        if self.constant is not None:
+            return f"t1.{self.left_attr} {self.op} {self.constant!r}"
+        other = self.right_tuple
+        return f"t1.{self.left_attr} {self.op} {other}.{self.right_attr}"
+
+
+class DenialConstraint:
+    """A conjunction of predicates that must never all hold.
+
+    Args:
+        predicates: the conjuncts.
+        binary: True when the constraint quantifies over tuple *pairs*.
+            Unary constraints are evaluated per row.
+        name: optional label used in reports.
+    """
+
+    def __init__(
+        self,
+        predicates: List[Predicate],
+        binary: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if not predicates:
+            raise ValueError("a denial constraint needs at least one predicate")
+        self.predicates = list(predicates)
+        self.binary = binary
+        self.name = name or self._default_name()
+
+    def _default_name(self) -> str:
+        kind = "binary" if self.binary else "unary"
+        return f"dc_{kind}(" + " & ".join(str(p) for p in self.predicates) + ")"
+
+    @property
+    def attributes(self) -> Set[str]:
+        attrs: Set[str] = set()
+        for predicate in self.predicates:
+            attrs |= predicate.attributes
+        return attrs
+
+    def _row_dict(self, table: Table, index: int) -> Dict[str, Any]:
+        return {attr: table.get_cell(index, attr) for attr in self.attributes}
+
+    def violations(self, table: Table, max_pairs: int = 2_000_000) -> Set[Cell]:
+        """Cells participating in at least one violation.
+
+        Unary constraints flag the involved attributes of each violating
+        row.  Binary constraints group rows by their equality-join keys
+        (the ``t1.A == t2.A`` predicates) to avoid the full quadratic scan,
+        then flag the attributes of both rows in each violating pair.
+        ``max_pairs`` caps the pairwise work for pathological blocks.
+        """
+        if not self.binary:
+            return self._unary_violations(table)
+        return self._binary_violations(table, max_pairs)
+
+    def _unary_violations(self, table: Table) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        rows = [self._row_dict(table, i) for i in range(table.n_rows)]
+        for i, row in enumerate(rows):
+            if all(p.holds(row) for p in self.predicates):
+                for attr in self.attributes:
+                    cells.add((i, attr))
+        return cells
+
+    def _binary_violations(self, table: Table, max_pairs: int) -> Set[Cell]:
+        equality_attrs = [
+            p.left_attr
+            for p in self.predicates
+            if p.op == "==" and p.right_attr == p.left_attr and p.constant is None
+        ]
+        rows = [self._row_dict(table, i) for i in range(table.n_rows)]
+        if equality_attrs:
+            blocks: Dict[Tuple, List[int]] = {}
+            for i, row in enumerate(rows):
+                key = tuple(
+                    str(row.get(a)).strip() if not is_missing(row.get(a)) else None
+                    for a in equality_attrs
+                )
+                if None in key:
+                    continue  # missing join keys cannot witness a violation
+                blocks.setdefault(key, []).append(i)
+            candidate_blocks = [b for b in blocks.values() if len(b) > 1]
+        else:
+            candidate_blocks = [list(range(table.n_rows))]
+        cells: Set[Cell] = set()
+        checked = 0
+        for block in candidate_blocks:
+            for ia in range(len(block)):
+                for ib in range(len(block)):
+                    if ia == ib:
+                        continue
+                    checked += 1
+                    if checked > max_pairs:
+                        return cells
+                    row_a, row_b = rows[block[ia]], rows[block[ib]]
+                    if all(p.holds(row_a, row_b) for p in self.predicates):
+                        for attr in self.attributes:
+                            cells.add((block[ia], attr))
+                            cells.add((block[ib], attr))
+        return cells
+
+    def violating_row_pairs(
+        self, table: Table, max_pairs: int = 200_000
+    ) -> List[Tuple[int, int]]:
+        """Row-index pairs (i < j) that jointly violate a binary constraint."""
+        if not self.binary:
+            raise ValueError("row pairs only defined for binary constraints")
+        rows = [self._row_dict(table, i) for i in range(table.n_rows)]
+        pairs: List[Tuple[int, int]] = []
+        checked = 0
+        for i in range(table.n_rows):
+            for j in range(i + 1, table.n_rows):
+                checked += 1
+                if checked > max_pairs:
+                    return pairs
+                if all(p.holds(rows[i], rows[j]) for p in self.predicates) or all(
+                    p.holds(rows[j], rows[i]) for p in self.predicates
+                ):
+                    pairs.append((i, j))
+        return pairs
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"DenialConstraint({self.name})"

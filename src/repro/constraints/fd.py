@@ -1,0 +1,119 @@
+"""Functional dependencies and their conversion to denial constraints.
+
+REIN auto-generates FDs with the FDX analogue and then "manually converts
+them into denial constraints" (Section 5); :meth:`FunctionalDependency.
+to_denial_constraint` performs that conversion programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.constraints.dc import DenialConstraint, Predicate
+from repro.dataset.table import Cell, Table, is_missing
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """An FD ``lhs -> rhs``: rows agreeing on lhs must agree on rhs."""
+
+    lhs: Tuple[str, ...]
+    rhs: str
+
+    def __init__(self, lhs, rhs: str) -> None:
+        lhs_tuple = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        if not lhs_tuple:
+            raise ValueError("FD needs at least one determinant attribute")
+        if rhs in lhs_tuple:
+            raise ValueError("rhs must not appear in lhs")
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs)
+
+    def __str__(self) -> str:
+        return f"{','.join(self.lhs)} -> {self.rhs}"
+
+    def _groups(self, table: Table) -> Dict[Tuple, List[int]]:
+        """Rows grouped by their (non-missing) lhs values."""
+        groups: Dict[Tuple, List[int]] = {}
+        for i in range(table.n_rows):
+            key_parts = []
+            valid = True
+            for attr in self.lhs:
+                value = table.get_cell(i, attr)
+                if is_missing(value):
+                    valid = False
+                    break
+                key_parts.append(str(value).strip())
+            if valid:
+                groups.setdefault(tuple(key_parts), []).append(i)
+        return groups
+
+    def violations(self, table: Table) -> Set[Cell]:
+        """Cells involved in FD violations.
+
+        Within each lhs group holding more than one distinct rhs value, the
+        *minority* rhs cells are flagged (majority voting identifies the
+        likely-correct value, standard practice in rule-based cleaning).
+        When there is no majority, every rhs cell in the group is flagged.
+        """
+        cells: Set[Cell] = set()
+        for rows in self._groups(table).values():
+            if len(rows) < 2:
+                continue
+            value_rows: Dict[str, List[int]] = {}
+            for i in rows:
+                value = table.get_cell(i, self.rhs)
+                key = "␀" if is_missing(value) else str(value).strip()
+                value_rows.setdefault(key, []).append(i)
+            if len(value_rows) < 2:
+                continue
+            counts = {v: len(r) for v, r in value_rows.items()}
+            top = max(counts.values())
+            majority = [v for v, c in counts.items() if c == top]
+            if len(majority) == 1:
+                for value, members in value_rows.items():
+                    if value != majority[0]:
+                        cells.update((i, self.rhs) for i in members)
+            else:
+                for members in value_rows.values():
+                    cells.update((i, self.rhs) for i in members)
+        return cells
+
+    def majority_repairs(self, table: Table) -> Dict[Cell, object]:
+        """Proposed repairs: violating rhs cells -> group-majority value."""
+        repairs: Dict[Cell, object] = {}
+        for rows in self._groups(table).values():
+            if len(rows) < 2:
+                continue
+            value_rows: Dict[str, List[int]] = {}
+            originals: Dict[str, object] = {}
+            for i in rows:
+                value = table.get_cell(i, self.rhs)
+                key = "␀" if is_missing(value) else str(value).strip()
+                value_rows.setdefault(key, []).append(i)
+                originals.setdefault(key, value)
+            if len(value_rows) < 2:
+                continue
+            counts = {v: len(r) for v, r in value_rows.items()}
+            top = max(counts.values())
+            majority = [v for v, c in counts.items() if c == top]
+            if len(majority) != 1 or majority[0] == "␀":
+                continue
+            majority_value = originals[majority[0]]
+            for value, members in value_rows.items():
+                if value != majority[0]:
+                    for i in members:
+                        repairs[(i, self.rhs)] = majority_value
+        return repairs
+
+    def holds_on(self, table: Table) -> bool:
+        """True when the table has no FD violations."""
+        return not self.violations(table)
+
+    def to_denial_constraint(self) -> DenialConstraint:
+        """The standard DC encoding: not (t1.lhs==t2.lhs & t1.rhs!=t2.rhs)."""
+        predicates = [
+            Predicate(attr, "==", attr) for attr in self.lhs
+        ] + [Predicate(self.rhs, "!=", self.rhs)]
+        return DenialConstraint(predicates, binary=True, name=f"fd({self})")

@@ -1,0 +1,60 @@
+"""Syntactic column patterns (regular expressions).
+
+Pattern signals feed NADEEF-style pattern-violation detection and the error
+injection pipeline (e.g. what a "valid" value looks like before a typo).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.dataset.table import Cell, Table, is_missing
+
+
+@dataclass(frozen=True)
+class ColumnPattern:
+    """A regex a column's non-missing values must fully match."""
+
+    column: str
+    regex: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        re.compile(self.regex)  # fail fast on bad patterns
+
+    def violations(self, table: Table) -> Set[Cell]:
+        """Cells whose value does not fully match the pattern."""
+        compiled = re.compile(self.regex)
+        cells: Set[Cell] = set()
+        for i, value in enumerate(table.column(self.column)):
+            if is_missing(value):
+                continue
+            if not compiled.fullmatch(str(value).strip()):
+                cells.add((i, self.column))
+        return cells
+
+    def matches(self, value: object) -> bool:
+        if is_missing(value):
+            return True
+        return re.fullmatch(self.regex, str(value).strip()) is not None
+
+
+#: Reusable building blocks for dataset generators and signal files.
+_COMMON: Dict[str, str] = {
+    "integer": r"[+-]?\d+",
+    "decimal": r"[+-]?\d+(\.\d+)?([eE][+-]?\d+)?",
+    "word": r"[A-Za-z][A-Za-z \-'&\.]*",
+    "alphanumeric": r"[A-Za-z0-9][A-Za-z0-9 \-_\.]*",
+    "zip_code": r"\d{5}",
+    "percentage": r"\d{1,3}(\.\d+)?%?",
+    "year": r"(19|20)\d{2}",
+    "state_code": r"[A-Z]{2}",
+    "ounce": r"\d+(\.\d+)?\s*(oz\.?|ounce)",
+}
+
+
+def common_patterns() -> Dict[str, str]:
+    """Named regex building blocks for generator/signal definitions."""
+    return dict(_COMMON)

@@ -1,0 +1,84 @@
+"""The cleaning context: everything a detector or repair method may consume.
+
+REIN's benchmark controller hands each tool the dirty dataset plus the
+"cleaning signals" it requires (Table 1): denial constraints, FD rules,
+patterns, knowledge bases, key columns, and -- for ML-supported methods --
+an oracle that simulates a human annotator using the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.patterns import ColumnPattern
+from repro.dataset.table import Cell, Table, values_equal
+
+
+@dataclass
+class CleaningContext:
+    """Inputs shared by detectors and repair methods.
+
+    Attributes:
+        dirty: the dataset version to clean.
+        clean: optional ground truth.  ML-supported methods use it only
+            through :meth:`oracle_is_dirty` / :meth:`oracle_value`, which
+            simulate the human annotator of the original papers.
+        constraints: denial constraints (HoloClean/NADEEF signals).
+        fds: functional dependency rules (NADEEF signal).
+        patterns: per-column syntactic patterns (NADEEF signal).
+        knowledge_base: KATARA's crowdsourced KB analogue.
+        key_columns: unique-key attributes for key-collision dedup.
+        label_column: the class attribute for mislabel detection.
+        task: associated ML task (classification/regression/clustering).
+        seed: RNG seed for stochastic tools.
+    """
+
+    dirty: Table
+    clean: Optional[Table] = None
+    constraints: List[DenialConstraint] = field(default_factory=list)
+    fds: List[FunctionalDependency] = field(default_factory=list)
+    patterns: List[ColumnPattern] = field(default_factory=list)
+    knowledge_base: Optional[Any] = None
+    key_columns: List[str] = field(default_factory=list)
+    label_column: Optional[str] = None
+    task: Optional[str] = None
+    seed: int = 0
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        return np.random.default_rng(self.seed + salt)
+
+    @property
+    def has_ground_truth(self) -> bool:
+        return self.clean is not None
+
+    def oracle_is_dirty(self, cell: Cell) -> bool:
+        """Annotator simulation: is this cell erroneous?
+
+        Raises RuntimeError when no ground truth is available, matching the
+        paper's observation that RAHA/ED2/Meta need the ground truth (or a
+        human) to label their training samples.
+        """
+        if self.clean is None:
+            raise RuntimeError("no ground truth available for oracle labels")
+        row, column = cell
+        return not values_equal(
+            self.dirty.get_cell(row, column), self.clean.get_cell(row, column)
+        )
+
+    def oracle_value(self, cell: Cell) -> Any:
+        """Annotator simulation: the correct value of a cell."""
+        if self.clean is None:
+            raise RuntimeError("no ground truth available for oracle values")
+        row, column = cell
+        return self.clean.get_cell(row, column)
+
+    def all_constraints(self) -> List[DenialConstraint]:
+        """Denial constraints plus DC-encodings of the FD rules."""
+        return list(self.constraints) + [
+            fd.to_denial_constraint() for fd in self.fds
+        ]

@@ -1,0 +1,28 @@
+"""Synthetic analogues of the 14 benchmark datasets (Table 4).
+
+The public datasets REIN uses are unavailable offline, so each generator
+reproduces its dataset's *shape*: row/column counts, numeric/categorical
+mix, domain structure (FDs, key columns, semantic relations), associated ML
+task, and the error profile and rate of Table 4.  Ground truth is available
+by construction, which is exactly the property REIN engineered via error
+injection.
+"""
+
+from repro.datagen.benchmark_dataset import BenchmarkDataset
+from repro.datagen.generators import (
+    DATASET_NAMES,
+    dataset_spec,
+    generate,
+    table4_rows,
+)
+from repro.datagen.io import load_dataset, save_dataset
+
+__all__ = [
+    "BenchmarkDataset",
+    "DATASET_NAMES",
+    "dataset_spec",
+    "generate",
+    "load_dataset",
+    "save_dataset",
+    "table4_rows",
+]

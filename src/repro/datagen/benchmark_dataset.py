@@ -1,0 +1,79 @@
+"""Container tying a dataset's versions and cleaning signals together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.patterns import ColumnPattern
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, Table
+
+
+@dataclass
+class BenchmarkDataset:
+    """A generated benchmark dataset: clean + dirty versions + signals.
+
+    Attributes mirror Table 4 (task, error profile) and the cleaning
+    signals of Table 1 that the dataset supports (FDs, patterns, KB, keys).
+    """
+
+    name: str
+    clean: Table
+    dirty: Table
+    cells_by_type: Dict[str, Set[Cell]]
+    task: Optional[str]
+    target: Optional[str]
+    domain: str = ""
+    key_columns: List[str] = field(default_factory=list)
+    fds: List[FunctionalDependency] = field(default_factory=list)
+    constraints: List[DenialConstraint] = field(default_factory=list)
+    patterns: List[ColumnPattern] = field(default_factory=list)
+    knowledge_base: Optional[object] = None
+
+    @property
+    def error_cells(self) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        for group in self.cells_by_type.values():
+            cells |= group
+        return cells
+
+    @property
+    def error_types(self) -> Set[str]:
+        return {t for t, cells in self.cells_by_type.items() if cells}
+
+    def error_rate(self) -> float:
+        total = self.dirty.n_rows * self.dirty.n_columns
+        return len(self.error_cells) / total if total else 0.0
+
+    def context(self, seed: int = 0, with_ground_truth: bool = True) -> CleaningContext:
+        """Build the cleaning context detectors/repairs consume."""
+        return CleaningContext(
+            dirty=self.dirty,
+            clean=self.clean if with_ground_truth else None,
+            constraints=list(self.constraints),
+            fds=list(self.fds),
+            patterns=list(self.patterns),
+            knowledge_base=self.knowledge_base,
+            key_columns=list(self.key_columns),
+            label_column=self.target if self.task == "classification" else None,
+            task=self.task,
+            seed=seed,
+        )
+
+    def summary_row(self) -> Dict[str, object]:
+        """One Table 4 row for this dataset."""
+        schema = self.clean.schema
+        return {
+            "dataset": self.name,
+            "rows": self.clean.n_rows,
+            "columns": len(schema),
+            "numerical": len(schema.numerical_names),
+            "categorical": len(schema.categorical_names),
+            "error_rate": round(self.error_rate(), 3),
+            "errors": ", ".join(sorted(self.error_types)),
+            "domain": self.domain,
+            "task": self.task or "-",
+        }

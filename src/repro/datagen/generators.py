@@ -1,0 +1,823 @@
+"""Generators for the 14 dataset analogues of Table 4.
+
+Each generator builds a *clean* table with learnable latent structure
+(cluster/class/regression signal, functional dependencies, key columns,
+semantic relations for the knowledge base), then injects the dataset's
+error profile at its Table 4 error rate, returning a
+:class:`~repro.datagen.benchmark_dataset.BenchmarkDataset`.
+
+Row counts default to Table 4's but can be overridden (the scalability and
+unit-test workloads need smaller/larger instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint, Predicate
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.patterns import ColumnPattern
+from repro.dataset.schema import CATEGORICAL, NUMERICAL, Schema
+from repro.dataset.table import Table
+from repro.datagen.benchmark_dataset import BenchmarkDataset
+from repro.detectors.katara import KnowledgeBase
+from repro.errors.injectors import (
+    CompositeInjector,
+    DuplicateInjector,
+    ErrorInjector,
+    ImplicitMissingInjector,
+    InconsistencyInjector,
+    MislabelInjector,
+    MissingValueInjector,
+    OutlierInjector,
+    SwapInjector,
+    TypoInjector,
+)
+from repro.errors.bart import BartEngine
+
+CLASSIFICATION = "classification"
+REGRESSION = "regression"
+CLUSTERING = "clustering"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: Table 4 row metadata plus the generator callable."""
+
+    name: str
+    table4_rows: int
+    error_rate: float
+    errors: str
+    domain: str
+    task: Optional[str]
+    build: Callable[[int, int], BenchmarkDataset]
+
+
+def _latent_clusters(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_clusters: int,
+    n_features: int,
+    spread: float = 1.0,
+    separation: float = 6.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster assignments and numeric features with real cluster structure."""
+    centers = rng.normal(0.0, separation, size=(n_clusters, n_features))
+    assignment = rng.integers(0, n_clusters, size=n_rows)
+    features = centers[assignment] + rng.normal(
+        0.0, spread, size=(n_rows, n_features)
+    )
+    return assignment, features
+
+
+def _numeric_columns(prefix: str, count: int) -> List[Tuple[str, str]]:
+    return [(f"{prefix}{i}", NUMERICAL) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Classification datasets
+# ----------------------------------------------------------------------
+def _build_beers(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Beers (business, C): breweries, styles, cities; MVs+rules+typos."""
+    rng = np.random.default_rng(seed)
+    styles = ["ipa", "lager", "stout", "pilsner", "porter", "wheat ale"]
+    cities = ["portland", "denver", "chicago", "austin", "boston", "seattle"]
+    state_of = {
+        "portland": "OR", "denver": "CO", "chicago": "IL",
+        "austin": "TX", "boston": "MA", "seattle": "WA",
+    }
+    n_breweries = max(6, n_rows // 12)
+    brewery_city = {
+        f"brewery_{b:03d}": cities[int(rng.integers(len(cities)))]
+        for b in range(n_breweries)
+    }
+    style_abv = {s: 4.0 + i * 0.8 for i, s in enumerate(styles)}
+    style_ibu = {s: 20.0 + i * 12.0 for i, s in enumerate(styles)}
+    breweries = [
+        f"brewery_{int(rng.integers(n_breweries)):03d}" for _ in range(n_rows)
+    ]
+    chosen_styles = [styles[int(rng.integers(len(styles)))] for _ in range(n_rows)]
+    city_values = [brewery_city[b] for b in breweries]
+    schema = Schema.from_pairs(
+        [
+            ("id", NUMERICAL),
+            ("abv", NUMERICAL),
+            ("ibu", NUMERICAL),
+            ("ounces", NUMERICAL),
+            ("srm", NUMERICAL),
+            ("rating", NUMERICAL),
+            ("name", CATEGORICAL),
+            ("style", CATEGORICAL),
+            ("brewery", CATEGORICAL),
+            ("city", CATEGORICAL),
+            ("state", CATEGORICAL),
+        ]
+    )
+    clean = Table(
+        schema,
+        {
+            "id": [float(i) for i in range(n_rows)],
+            "abv": [
+                style_abv[s] + rng.normal(0, 0.3) for s in chosen_styles
+            ],
+            "ibu": [
+                style_ibu[s] + rng.normal(0, 4.0) for s in chosen_styles
+            ],
+            "ounces": [
+                float(rng.choice([12.0, 16.0, 24.0])) for _ in range(n_rows)
+            ],
+            "srm": [
+                10.0 + style_ibu[s] / 10.0 + rng.normal(0, 1.0)
+                for s in chosen_styles
+            ],
+            "rating": [
+                3.0 + rng.normal(0, 0.5) for _ in range(n_rows)
+            ],
+            "name": [f"beer {i:04d}" for i in range(n_rows)],
+            "style": chosen_styles,
+            "brewery": breweries,
+            "city": city_values,
+            "state": [state_of[c] for c in city_values],
+        },
+    )
+    fds = [
+        FunctionalDependency(("brewery",), "city"),
+        FunctionalDependency(("city",), "state"),
+    ]
+    kb = KnowledgeBase()
+    kb.add_domain("city", cities)
+    kb.add_domain("state", sorted(set(state_of.values())))
+    kb.add_domain("style", styles)
+    kb.add_relation("city", "state", list(state_of.items()))
+    patterns = [
+        ColumnPattern("state", r"[A-Z]{2}", "state_code"),
+        ColumnPattern("city", r"[a-z ]+", "city_word"),
+    ]
+    feature_cols = ["abv", "ibu", "srm", "rating", "city", "state", "brewery"]
+    injector = CompositeInjector(
+        [
+            MissingValueInjector(columns=["abv", "ibu", "rating", "name"]),
+            TypoInjector(columns=["city", "state", "ibu"]),
+            # FD-style rule violations via BART come separately below.
+        ]
+    )
+    result = injector.inject(clean, 0.16 * 0.7, np.random.default_rng(seed + 1))
+    bart = BartEngine([fd.to_denial_constraint() for fd in fds])
+    result = result.merge(
+        bart.inject(result.dirty, 0.16 * 0.3, np.random.default_rng(seed + 2))
+    )
+    return BenchmarkDataset(
+        name="Beers",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLASSIFICATION,
+        target="style",
+        domain="Business",
+        fds=fds,
+        patterns=patterns,
+        knowledge_base=kb,
+        key_columns=["id"],
+    )
+
+
+def _build_citation(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Citation (research, C): titles + binary label; duplicates+mislabels."""
+    rng = np.random.default_rng(seed)
+    topics = ["database", "network", "vision", "systems", "theory"]
+    titles = []
+    labels = []
+    years = []
+    for i in range(n_rows):
+        topic = topics[int(rng.integers(len(topics)))]
+        titles.append(f"{topic} paper {i:05d} on {topic} methods")
+        relevant = topic in ("database", "systems")
+        labels.append("relevant" if relevant else "other")
+        # Publication year carries the class signal (relevant papers skew
+        # recent), so the classification task is learnable from the
+        # non-title feature -- unique titles one-hot encode to nothing.
+        center = 2012.0 if relevant else 1998.0
+        years.append(float(np.clip(rng.normal(center, 4.0), 1980, 2023)))
+    schema = Schema.from_pairs(
+        [("year", NUMERICAL), ("title", CATEGORICAL), ("label", CATEGORICAL)]
+    )
+    clean = Table(schema, {"year": years, "title": titles, "label": labels})
+    injector = CompositeInjector(
+        [
+            DuplicateInjector(fuzziness=0.2, fuzz_columns=["title", "year"]),
+            MislabelInjector("label"),
+        ]
+    )
+    result = injector.inject(clean, 0.2, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name="Citation",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLASSIFICATION,
+        target="label",
+        domain="Research",
+        key_columns=["title"],
+    )
+
+
+def _build_adult(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Adult (social, C): census-style; rule violations + outliers, high rate."""
+    rng = np.random.default_rng(seed)
+    educations = [
+        "hs-grad", "some-college", "bachelors", "masters", "doctorate",
+        "11th", "assoc",
+    ]
+    edu_num = {e: float(i + 1) for i, e in enumerate(educations)}
+    occupations = ["tech", "sales", "clerical", "craft", "exec", "service"]
+    marital = ["married", "never-married", "divorced"]
+    relationship_of = {
+        "married": "husband", "never-married": "own-child",
+        "divorced": "not-in-family",
+    }
+    sexes = ["male", "female"]
+    countries = ["united-states", "mexico", "germany", "india"]
+    workclasses = ["private", "self-emp", "gov"]
+    rows = []
+    for i in range(n_rows):
+        education = educations[int(rng.integers(len(educations)))]
+        status = marital[int(rng.integers(len(marital)))]
+        age = float(np.clip(rng.normal(40, 12), 17, 90))
+        hours = float(np.clip(rng.normal(40, 10), 1, 99))
+        gain_propensity = edu_num[education] + hours / 20.0 + (age - 40) / 20.0
+        capital_gain = max(0.0, rng.normal(gain_propensity * 300, 500))
+        income = (
+            ">50k"
+            if gain_propensity + rng.normal(0, 1.0) > 6.0
+            else "<=50k"
+        )
+        rows.append(
+            (
+                age,
+                float(rng.integers(10_000, 999_999)),  # fnlwgt
+                edu_num[education],
+                capital_gain,
+                max(0.0, rng.normal(100, 150)),        # capital_loss
+                hours,
+                float(rng.integers(0, 2)),              # over_44 flag-ish
+                workclasses[int(rng.integers(3))],
+                education,
+                status,
+                occupations[int(rng.integers(len(occupations)))],
+                relationship_of[status],
+                "white" if rng.uniform() < 0.8 else "other",
+                sexes[int(rng.integers(2))],
+                income,
+            )
+        )
+    schema = Schema.from_pairs(
+        [
+            ("age", NUMERICAL),
+            ("fnlwgt", NUMERICAL),
+            ("education_num", NUMERICAL),
+            ("capital_gain", NUMERICAL),
+            ("capital_loss", NUMERICAL),
+            ("hours_per_week", NUMERICAL),
+            ("senior", NUMERICAL),
+            ("workclass", CATEGORICAL),
+            ("education", CATEGORICAL),
+            ("marital_status", CATEGORICAL),
+            ("occupation", CATEGORICAL),
+            ("relationship", CATEGORICAL),
+            ("race", CATEGORICAL),
+            ("sex", CATEGORICAL),
+            ("income", CATEGORICAL),
+        ]
+    )
+    clean = Table.from_rows(schema, rows)
+    fds = [
+        FunctionalDependency(("education",), "education_num"),
+        FunctionalDependency(("marital_status",), "relationship"),
+    ]
+    constraints = [
+        DenialConstraint([Predicate("age", ">", constant=90.0)], name="age_max"),
+        DenialConstraint([Predicate("hours_per_week", ">", constant=99.0)],
+                         name="hours_max"),
+    ]
+    numeric_features = [
+        "age", "capital_gain", "capital_loss", "hours_per_week", "fnlwgt",
+    ]
+    bart = BartEngine(
+        [fd.to_denial_constraint() for fd in fds] + constraints, hardness=0.8
+    )
+    result = bart.inject(clean, 0.58 * 0.5, np.random.default_rng(seed + 1))
+    outliers = OutlierInjector(columns=numeric_features, degree=4.0)
+    result = result.merge(
+        outliers.inject(result.dirty, 0.58 * 0.5, np.random.default_rng(seed + 2))
+    )
+    return BenchmarkDataset(
+        name="Adult",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLASSIFICATION,
+        target="income",
+        domain="Social",
+        fds=fds,
+        constraints=constraints,
+    )
+
+
+def _build_breast_cancer(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Breast Cancer (healthcare, C): 12 numeric features; MVs+typos+outliers."""
+    rng = np.random.default_rng(seed)
+    labels, features = _latent_clusters(rng, n_rows, 2, 11, spread=1.2,
+                                        separation=3.0)
+    features = np.abs(features + 8.0)
+    columns = {
+        f"feat{i}": features[:, i].tolist() for i in range(11)
+    }
+    columns["diagnosis"] = [float(v) for v in labels]
+    schema = Schema.from_pairs(
+        _numeric_columns("feat", 11) + [("diagnosis", NUMERICAL)]
+    )
+    clean = Table(schema, columns)
+    feature_cols = [f"feat{i}" for i in range(11)]
+    injector = CompositeInjector(
+        [
+            MissingValueInjector(columns=feature_cols),
+            TypoInjector(columns=feature_cols[:4]),
+            OutlierInjector(columns=feature_cols, degree=4.0),
+        ]
+    )
+    result = injector.inject(clean, 0.08, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name="BreastCancer",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLASSIFICATION,
+        target="diagnosis",
+        domain="Healthcare",
+    )
+
+
+def _build_smart_factory(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Smart Factory (manufacturing, C): 19 sensors; MVs + outliers."""
+    rng = np.random.default_rng(seed)
+    labels, features = _latent_clusters(rng, n_rows, 3, 18, spread=1.0,
+                                        separation=4.0)
+    columns = {f"sensor{i}": features[:, i].tolist() for i in range(18)}
+    columns["state"] = [float(v) for v in labels]
+    schema = Schema.from_pairs(
+        _numeric_columns("sensor", 18) + [("state", NUMERICAL)]
+    )
+    clean = Table(schema, columns)
+    sensor_cols = [f"sensor{i}" for i in range(18)]
+    injector = CompositeInjector(
+        [
+            MissingValueInjector(columns=sensor_cols),
+            OutlierInjector(columns=sensor_cols, degree=4.0),
+        ]
+    )
+    result = injector.inject(clean, 0.153, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name="SmartFactory",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLASSIFICATION,
+        target="state",
+        domain="Manufacturing",
+    )
+
+
+# ----------------------------------------------------------------------
+# Regression datasets
+# ----------------------------------------------------------------------
+def _regression_dataset(
+    name: str,
+    domain: str,
+    n_rows: int,
+    n_features: int,
+    error_rate: float,
+    injectors: Callable[[List[str]], List[ErrorInjector]],
+    seed: int,
+    noise: float = 0.5,
+) -> BenchmarkDataset:
+    """Shared scaffold: linear-plus-interaction signal over n_features."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(0.0, 1.0, size=(n_rows, n_features))
+    coefficients = rng.normal(0.0, 2.0, size=n_features)
+    target = features @ coefficients
+    if n_features >= 2:
+        target = target + 0.5 * features[:, 0] * features[:, 1]
+    target = target + rng.normal(0.0, noise, size=n_rows)
+    columns = {f"x{i}": features[:, i].tolist() for i in range(n_features)}
+    columns["y"] = target.tolist()
+    schema = Schema.from_pairs(
+        _numeric_columns("x", n_features) + [("y", NUMERICAL)]
+    )
+    clean = Table(schema, columns)
+    feature_cols = [f"x{i}" for i in range(n_features)]
+    injector = CompositeInjector(injectors(feature_cols))
+    result = injector.inject(clean, error_rate, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name=name,
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=REGRESSION,
+        target="y",
+        domain=domain,
+    )
+
+
+def _build_nasa(n_rows: int, seed: int) -> BenchmarkDataset:
+    return _regression_dataset(
+        "Nasa", "Manufacturing", n_rows, 5, 0.08,
+        lambda cols: [
+            MissingValueInjector(columns=cols),
+            OutlierInjector(columns=cols, degree=4.0),
+        ],
+        seed,
+    )
+
+
+def _build_bikes(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Bikes (business, R): bounded features + rule violations + outliers."""
+    rng = np.random.default_rng(seed)
+    n_features = 15
+    features = rng.uniform(0.0, 1.0, size=(n_rows, n_features))
+    coefficients = rng.normal(0.0, 3.0, size=n_features)
+    target = features @ coefficients + rng.normal(0, 0.3, size=n_rows)
+    columns = {f"x{i}": features[:, i].tolist() for i in range(n_features)}
+    columns["count"] = (np.abs(target) * 100).tolist()
+    schema = Schema.from_pairs(
+        _numeric_columns("x", n_features) + [("count", NUMERICAL)]
+    )
+    clean = Table(schema, columns)
+    constraints = [
+        DenialConstraint([Predicate("x0", ">", constant=1.0)], name="x0_range"),
+        DenialConstraint([Predicate("x1", "<", constant=0.0)], name="x1_range"),
+    ]
+    feature_cols = [f"x{i}" for i in range(n_features)]
+    bart = BartEngine(constraints, hardness=0.7)
+    result = bart.inject(clean, 0.05, np.random.default_rng(seed + 1))
+    outliers = OutlierInjector(columns=feature_cols, degree=4.0)
+    result = result.merge(
+        outliers.inject(result.dirty, 0.05, np.random.default_rng(seed + 2))
+    )
+    return BenchmarkDataset(
+        name="Bikes",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=REGRESSION,
+        target="count",
+        domain="Business",
+        constraints=constraints,
+    )
+
+
+def _build_soil_moisture(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Soil Moisture (agriculture, R): wide hyperspectral table, tiny rate."""
+    return _regression_dataset(
+        "SoilMoisture", "Agriculture", n_rows, 128, 0.01,
+        lambda cols: [
+            MissingValueInjector(columns=cols),
+            OutlierInjector(columns=cols, degree=4.0),
+        ],
+        seed,
+        noise=0.2,
+    )
+
+
+def _build_printer(n_rows: int, seed: int) -> BenchmarkDataset:
+    """3D Printer (manufacturing, R): tiny mixed table; dups + MVs."""
+    rng = np.random.default_rng(seed)
+    materials = ["abs", "pla"]
+    infills = ["grid", "honeycomb"]
+    rows = []
+    for i in range(n_rows):
+        material = materials[int(rng.integers(2))]
+        infill = infills[int(rng.integers(2))]
+        layer = float(rng.choice([0.02, 0.06, 0.1, 0.15, 0.2]))
+        temperature = 200.0 + (40.0 if material == "abs" else 0.0) + rng.normal(0, 3)
+        speed = float(rng.choice([40.0, 60.0, 120.0]))
+        rows.append(
+            (
+                float(i),
+                layer,
+                temperature,
+                speed,
+                float(rng.integers(10, 91)),     # infill density
+                60.0 + rng.normal(0, 5),          # bed temp
+                rng.uniform(0.0, 0.4),            # elongation
+                20.0 + 100 * layer + rng.normal(0, 2.0),  # roughness
+                8.0 + (2.0 if material == "abs" else 0.0) + rng.normal(0, 0.5),
+                temperature / 10.0 + rng.normal(0, 1.0),  # strength
+                material,
+                infill,
+            )
+        )
+    schema = Schema.from_pairs(
+        [
+            ("id", NUMERICAL),
+            ("layer_height", NUMERICAL),
+            ("nozzle_temp", NUMERICAL),
+            ("print_speed", NUMERICAL),
+            ("infill_density", NUMERICAL),
+            ("bed_temp", NUMERICAL),
+            ("elongation", NUMERICAL),
+            ("roughness", NUMERICAL),
+            ("adhesion", NUMERICAL),
+            ("strength", NUMERICAL),
+            ("material", CATEGORICAL),
+            ("infill_pattern", CATEGORICAL),
+        ]
+    )
+    clean = Table.from_rows(schema, rows)
+    injector = CompositeInjector(
+        [
+            DuplicateInjector(fuzziness=0.1),
+            MissingValueInjector(columns=["nozzle_temp", "roughness"]),
+            ImplicitMissingInjector(columns=["bed_temp", "print_speed"]),
+        ]
+    )
+    result = injector.inject(clean, 0.05, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name="Printer3D",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=REGRESSION,
+        target="strength",
+        domain="Manufacturing",
+        key_columns=["id"],
+    )
+
+
+def _build_mercedes(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Mercedes (manufacturing, R): very wide mixed table."""
+    rng = np.random.default_rng(seed)
+    n_numeric = 80  # scaled from 370 binary test-stand columns
+    features = (rng.uniform(size=(n_rows, n_numeric)) < 0.3).astype(float)
+    coefficients = rng.normal(0.0, 1.0, size=n_numeric)
+    target = 100.0 + features @ coefficients * 5.0 + rng.normal(0, 2, n_rows)
+    columns = {f"x{i}": features[:, i].tolist() for i in range(n_numeric)}
+    codes = ["az", "bc", "fd", "j", "w", "t", "ak", "v"]
+    for c in range(8):
+        columns[f"cat{c}"] = [
+            codes[int(rng.integers(len(codes)))] for _ in range(n_rows)
+        ]
+    columns["duration"] = target.tolist()
+    schema = Schema.from_pairs(
+        _numeric_columns("x", n_numeric)
+        + [(f"cat{c}", CATEGORICAL) for c in range(8)]
+        + [("duration", NUMERICAL)]
+    )
+    clean = Table(schema, columns)
+    numeric_cols = [f"x{i}" for i in range(n_numeric)]
+    injector = CompositeInjector(
+        [
+            OutlierInjector(columns=["duration"], degree=4.0),
+            MissingValueInjector(columns=numeric_cols[:20]),
+            ImplicitMissingInjector(columns=numeric_cols[20:40]),
+        ]
+    )
+    result = injector.inject(clean, 0.05, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name="Mercedes",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=REGRESSION,
+        target="duration",
+        domain="Manufacturing",
+    )
+
+
+# ----------------------------------------------------------------------
+# Clustering datasets
+# ----------------------------------------------------------------------
+def _clustering_dataset(
+    name: str,
+    domain: str,
+    n_rows: int,
+    n_features: int,
+    n_clusters: int,
+    error_rate: float,
+    injectors: Callable[[List[str]], List[ErrorInjector]],
+    seed: int,
+) -> BenchmarkDataset:
+    rng = np.random.default_rng(seed)
+    _, features = _latent_clusters(
+        rng, n_rows, n_clusters, n_features, spread=0.8, separation=5.0
+    )
+    columns = {f"x{i}": features[:, i].tolist() for i in range(n_features)}
+    schema = Schema.from_pairs(_numeric_columns("x", n_features))
+    clean = Table(schema, columns)
+    feature_cols = [f"x{i}" for i in range(n_features)]
+    injector = CompositeInjector(injectors(feature_cols))
+    result = injector.inject(clean, error_rate, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name=name,
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLUSTERING,
+        target=None,
+        domain=domain,
+    )
+
+
+def _build_water(n_rows: int, seed: int) -> BenchmarkDataset:
+    return _clustering_dataset(
+        "Water", "Manufacturing", n_rows, 38, 4, 0.14,
+        lambda cols: [
+            OutlierInjector(columns=cols, degree=4.0),
+            ImplicitMissingInjector(columns=cols),
+        ],
+        seed,
+    )
+
+
+def _build_har(n_rows: int, seed: int) -> BenchmarkDataset:
+    """HAR (wearables, UC): 3 numeric sensors + activity tag."""
+    rng = np.random.default_rng(seed)
+    assignment, features = _latent_clusters(rng, n_rows, 4, 3, spread=0.7,
+                                            separation=5.0)
+    activities = ["walking", "sitting", "standing", "laying"]
+    schema = Schema.from_pairs(
+        _numeric_columns("acc", 3) + [("activity", CATEGORICAL)]
+    )
+    clean = Table(
+        schema,
+        {
+            "acc0": features[:, 0].tolist(),
+            "acc1": features[:, 1].tolist(),
+            "acc2": features[:, 2].tolist(),
+            "activity": [activities[int(a)] for a in assignment],
+        },
+    )
+    injector = CompositeInjector(
+        [
+            OutlierInjector(columns=["acc0", "acc1", "acc2"], degree=4.0),
+            MissingValueInjector(columns=["acc0", "acc1", "acc2"]),
+        ]
+    )
+    result = injector.inject(clean, 0.13, np.random.default_rng(seed + 1))
+    return BenchmarkDataset(
+        name="HAR",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=CLUSTERING,
+        target=None,
+        domain="Wearables",
+    )
+
+
+def _build_power(n_rows: int, seed: int) -> BenchmarkDataset:
+    return _clustering_dataset(
+        "Power", "Energy", n_rows, 24, 3, 0.037,
+        lambda cols: [
+            TypoInjector(columns=cols[:8]),
+            MissingValueInjector(columns=cols[8:16]),
+            ImplicitMissingInjector(columns=cols[16:]),
+        ],
+        seed,
+    )
+
+
+def _build_soccer(n_rows: int, seed: int) -> BenchmarkDataset:
+    """Soccer (business, scalability): wide mixed table, all error types."""
+    rng = np.random.default_rng(seed)
+    n_numeric = 40
+    features = rng.normal(50.0, 15.0, size=(n_rows, n_numeric))
+    columns = {f"stat{i}": features[:, i].tolist() for i in range(n_numeric)}
+    positions = ["gk", "def", "mid", "fwd"]
+    leagues = ["premier", "bundesliga", "laliga", "seriea"]
+    league_country = {
+        "premier": "england", "bundesliga": "germany",
+        "laliga": "spain", "seriea": "italy",
+    }
+    chosen = [leagues[int(rng.integers(4))] for _ in range(n_rows)]
+    columns["position"] = [positions[int(rng.integers(4))] for _ in range(n_rows)]
+    columns["league"] = chosen
+    columns["country"] = [league_country[l] for l in chosen]
+    columns["foot"] = [
+        "left" if rng.uniform() < 0.25 else "right" for _ in range(n_rows)
+    ]
+    schema = Schema.from_pairs(
+        _numeric_columns("stat", n_numeric)
+        + [
+            ("position", CATEGORICAL),
+            ("league", CATEGORICAL),
+            ("country", CATEGORICAL),
+            ("foot", CATEGORICAL),
+        ]
+    )
+    clean = Table(schema, columns)
+    fds = [FunctionalDependency(("league",), "country")]
+    stat_cols = [f"stat{i}" for i in range(n_numeric)]
+    injector = CompositeInjector(
+        [
+            OutlierInjector(columns=stat_cols, degree=4.0),
+            MissingValueInjector(columns=stat_cols),
+            ImplicitMissingInjector(columns=stat_cols),
+        ]
+    )
+    result = injector.inject(clean, 0.27 * 0.8, np.random.default_rng(seed + 1))
+    bart = BartEngine([fd.to_denial_constraint() for fd in fds])
+    result = result.merge(
+        bart.inject(result.dirty, 0.27 * 0.2, np.random.default_rng(seed + 2))
+    )
+    return BenchmarkDataset(
+        name="Soccer",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task=None,
+        target=None,
+        domain="Business",
+        fds=fds,
+    )
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("Beers", 2410, 0.16, "MVs, rule violations, typos",
+                    "Business", CLASSIFICATION, _build_beers),
+        DatasetSpec("Citation", 5005, 0.2, "duplicates, mislabels",
+                    "Research", CLASSIFICATION, _build_citation),
+        DatasetSpec("Adult", 45223, 0.58, "rule violations, outliers",
+                    "Social", CLASSIFICATION, _build_adult),
+        DatasetSpec("BreastCancer", 700, 0.08, "MVs, typos, outliers",
+                    "Healthcare", CLASSIFICATION, _build_breast_cancer),
+        DatasetSpec("SmartFactory", 23645, 0.153, "MVs, outliers",
+                    "Manufacturing", CLASSIFICATION, _build_smart_factory),
+        DatasetSpec("Nasa", 1504, 0.08, "MVs, outliers",
+                    "Manufacturing", REGRESSION, _build_nasa),
+        DatasetSpec("Bikes", 17378, 0.1, "rule violations, outliers",
+                    "Business", REGRESSION, _build_bikes),
+        DatasetSpec("SoilMoisture", 679, 0.01, "MVs, outliers",
+                    "Agriculture", REGRESSION, _build_soil_moisture),
+        DatasetSpec("Printer3D", 50, 0.05, "duplicates, MVs, implicit MVs",
+                    "Manufacturing", REGRESSION, _build_printer),
+        DatasetSpec("Mercedes", 4210, 0.05, "outliers, MVs, implicit MVs",
+                    "Manufacturing", REGRESSION, _build_mercedes),
+        DatasetSpec("Water", 527, 0.14, "outliers, implicit MVs",
+                    "Manufacturing", CLUSTERING, _build_water),
+        DatasetSpec("HAR", 70000, 0.13, "outliers, MVs",
+                    "Wearables", CLUSTERING, _build_har),
+        DatasetSpec("Power", 1456, 0.037, "typos, MVs, implicit MVs",
+                    "Energy", CLUSTERING, _build_power),
+        DatasetSpec("Soccer", 180228, 0.27,
+                    "rule violations, outliers, MVs, implicit MVs",
+                    "Business", None, _build_soccer),
+    ]
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset's Table 4 registry entry."""
+    if name not in _SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {sorted(_SPECS)}"
+        )
+    return _SPECS[name]
+
+
+def table4_rows(name: str) -> int:
+    """The dataset's row count as reported in Table 4."""
+    return dataset_spec(name).table4_rows
+
+
+def generate(
+    name: str, n_rows: Optional[int] = None, seed: int = 0
+) -> BenchmarkDataset:
+    """Generate one benchmark dataset analogue.
+
+    Args:
+        name: a Table 4 dataset name (see :data:`DATASET_NAMES`).
+        n_rows: rows to generate; defaults to the Table 4 size.  The
+            scalability experiments pass larger values, tests smaller.
+        seed: RNG seed controlling both the clean data and the injected
+            errors.
+    """
+    spec = dataset_spec(name)
+    rows = n_rows if n_rows is not None else spec.table4_rows
+    if rows < 20:
+        raise ValueError("n_rows must be >= 20 for a meaningful dataset")
+    dataset = spec.build(rows, seed)
+    # Invariant: the recorded error mask equals the actual clean-vs-dirty
+    # diff, even when multiple injection stages touched the same cells.
+    actual = dataset.clean.diff_cells(dataset.dirty)
+    dataset.cells_by_type = {
+        error_type: cells & actual
+        for error_type, cells in dataset.cells_by_type.items()
+    }
+    return dataset

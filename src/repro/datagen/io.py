@@ -1,0 +1,157 @@
+"""Persist benchmark datasets to disk and reload them.
+
+A :class:`~repro.datagen.benchmark_dataset.BenchmarkDataset` is written as a
+directory: ``clean.csv`` + ``dirty.csv`` (the two table versions),
+``mask.json`` (the per-error-type cell mask), and ``meta.json`` (task,
+target, signals: FDs, denial constraints, patterns, key columns, knowledge
+base).  This is the on-disk exchange format for sharing generated dirty
+datasets between machines or runs, mirroring how REIN's offline error
+injection phase hands datasets to the benchmark proper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.constraints.dc import DenialConstraint, Predicate
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.patterns import ColumnPattern
+from repro.datagen.benchmark_dataset import BenchmarkDataset
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.detectors.katara import KnowledgeBase
+
+_CLEAN = "clean.csv"
+_DIRTY = "dirty.csv"
+_MASK = "mask.json"
+_META = "meta.json"
+
+
+def _predicate_to_dict(predicate: Predicate) -> Dict[str, Any]:
+    return {
+        "left_attr": predicate.left_attr,
+        "op": predicate.op,
+        "right_attr": predicate.right_attr,
+        "constant": predicate.constant,
+        "right_tuple": predicate.right_tuple,
+    }
+
+
+def _predicate_from_dict(payload: Dict[str, Any]) -> Predicate:
+    return Predicate(**payload)
+
+
+def _kb_to_dict(kb: KnowledgeBase) -> Dict[str, Any]:
+    return {
+        "domains": {k: sorted(v) for k, v in kb.domains.items()},
+        "relations": {
+            f"{a}|{b}": sorted(map(list, pairs))
+            for (a, b), pairs in kb.relations.items()
+        },
+    }
+
+
+def _kb_from_dict(payload: Dict[str, Any]) -> KnowledgeBase:
+    kb = KnowledgeBase()
+    for concept, values in payload.get("domains", {}).items():
+        kb.add_domain(concept, values)
+    for key, pairs in payload.get("relations", {}).items():
+        concept_a, concept_b = key.split("|", 1)
+        kb.add_relation(concept_a, concept_b, [tuple(p) for p in pairs])
+    return kb
+
+
+def save_dataset(dataset: BenchmarkDataset, directory: str) -> None:
+    """Write a benchmark dataset to *directory* (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    dataset.clean.to_csv(os.path.join(directory, _CLEAN))
+    dataset.dirty.to_csv(os.path.join(directory, _DIRTY))
+    mask = {
+        error_type: sorted([row, column] for row, column in cells)
+        for error_type, cells in dataset.cells_by_type.items()
+    }
+    with open(os.path.join(directory, _MASK), "w") as fh:
+        json.dump(mask, fh)
+    meta: Dict[str, Any] = {
+        "name": dataset.name,
+        "task": dataset.task,
+        "target": dataset.target,
+        "domain": dataset.domain,
+        "key_columns": dataset.key_columns,
+        "schema": [(c.name, c.kind) for c in dataset.clean.schema.columns],
+        "fds": [
+            {"lhs": list(fd.lhs), "rhs": fd.rhs} for fd in dataset.fds
+        ],
+        "constraints": [
+            {
+                "name": dc.name,
+                "binary": dc.binary,
+                "predicates": [_predicate_to_dict(p) for p in dc.predicates],
+            }
+            for dc in dataset.constraints
+        ],
+        "patterns": [
+            {"column": p.column, "regex": p.regex, "name": p.name}
+            for p in dataset.patterns
+        ],
+        "knowledge_base": (
+            _kb_to_dict(dataset.knowledge_base)
+            if isinstance(dataset.knowledge_base, KnowledgeBase)
+            else None
+        ),
+    }
+    with open(os.path.join(directory, _META), "w") as fh:
+        json.dump(meta, fh, indent=2)
+
+
+def load_dataset(directory: str) -> BenchmarkDataset:
+    """Reload a benchmark dataset written by :func:`save_dataset`."""
+    meta_path = os.path.join(directory, _META)
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(f"no dataset at {directory!r}")
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    schema = Schema.from_pairs([tuple(pair) for pair in meta["schema"]])
+    clean = Table.from_csv(os.path.join(directory, _CLEAN), schema)
+    dirty = Table.from_csv(os.path.join(directory, _DIRTY), schema)
+    with open(os.path.join(directory, _MASK)) as fh:
+        raw_mask = json.load(fh)
+    cells_by_type = {
+        error_type: {(int(row), column) for row, column in cells}
+        for error_type, cells in raw_mask.items()
+    }
+    fds = [
+        FunctionalDependency(tuple(fd["lhs"]), fd["rhs"])
+        for fd in meta.get("fds", [])
+    ]
+    constraints = [
+        DenialConstraint(
+            [_predicate_from_dict(p) for p in dc["predicates"]],
+            binary=dc["binary"],
+            name=dc["name"],
+        )
+        for dc in meta.get("constraints", [])
+    ]
+    patterns = [
+        ColumnPattern(p["column"], p["regex"], p.get("name", ""))
+        for p in meta.get("patterns", [])
+    ]
+    kb_payload = meta.get("knowledge_base")
+    return BenchmarkDataset(
+        name=meta["name"],
+        clean=clean,
+        dirty=dirty,
+        cells_by_type=cells_by_type,
+        task=meta.get("task"),
+        target=meta.get("target"),
+        domain=meta.get("domain", ""),
+        key_columns=list(meta.get("key_columns", [])),
+        fds=fds,
+        constraints=constraints,
+        patterns=patterns,
+        knowledge_base=(
+            _kb_from_dict(kb_payload) if kb_payload is not None else None
+        ),
+    )

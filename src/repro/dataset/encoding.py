@@ -1,0 +1,217 @@
+"""Feature encoding for the ML stage.
+
+REIN feeds dirty, repaired, and clean table versions to the same model pool,
+so the encoder must tolerate anything a dirty table can contain: missing
+values, categories unseen at fit time, and numeric cells corrupted into text.
+The policy mirrors common practice (and REIN's own preprocessing): numerical
+columns are mean-imputed and standardized; categorical columns are one-hot
+encoded over the categories seen at fit time with unseen values mapped to an
+all-zero block.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.table import Table, coerce_float, is_missing
+
+
+def standardize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Z-score a matrix column-wise, returning ``(scaled, mean, std)``.
+
+    Zero-variance columns are left centred (divided by 1) to avoid NaNs.
+    """
+    mean = np.nanmean(matrix, axis=0) if matrix.size else np.zeros(matrix.shape[1])
+    mean = np.where(np.isnan(mean), 0.0, mean)
+    std = np.nanstd(matrix, axis=0) if matrix.size else np.ones(matrix.shape[1])
+    std = np.where((std == 0) | np.isnan(std), 1.0, std)
+    return (matrix - mean) / std, mean, std
+
+
+class LabelEncoder:
+    """Map arbitrary label payloads to contiguous integer classes."""
+
+    def __init__(self) -> None:
+        self.classes_: List[Any] = []
+        self._index: Dict[str, int] = {}
+
+    @staticmethod
+    def _key(value: Any) -> str:
+        return "␀missing" if is_missing(value) else str(value).strip()
+
+    def fit(self, values: Sequence[Any]) -> "LabelEncoder":
+        seen: Dict[str, Any] = {}
+        for v in values:
+            key = self._key(v)
+            if key not in seen:
+                seen[key] = v
+        self.classes_ = [seen[k] for k in sorted(seen)]
+        self._index = {self._key(c): i for i, c in enumerate(self.classes_)}
+        return self
+
+    def transform(self, values: Sequence[Any]) -> np.ndarray:
+        if not self._index:
+            raise RuntimeError("LabelEncoder used before fit")
+        out = np.empty(len(values), dtype=np.int64)
+        for i, v in enumerate(values):
+            key = self._key(v)
+            if key not in self._index:
+                # Unseen label at transform time: bucket into class 0 so the
+                # pipeline keeps running on very dirty label columns.
+                out[i] = 0
+            else:
+                out[i] = self._index[key]
+        return out
+
+    def fit_transform(self, values: Sequence[Any]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes: Sequence[int]) -> List[Any]:
+        return [self.classes_[int(c)] for c in codes]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes_)
+
+
+class TableEncoder:
+    """Encode a :class:`Table` into a dense float feature matrix.
+
+    Args:
+        max_categories: cap on one-hot width per categorical column; the most
+            frequent categories are kept and the tail is bucketed together.
+        scale: when True (default), numerical columns are standardized with
+            statistics learned at fit time.
+    """
+
+    def __init__(self, max_categories: int = 20, scale: bool = True):
+        if max_categories < 1:
+            raise ValueError("max_categories must be >= 1")
+        self.max_categories = max_categories
+        self.scale = scale
+        self._numerical: List[str] = []
+        self._categorical: List[str] = []
+        self._num_mean: Optional[np.ndarray] = None
+        self._num_std: Optional[np.ndarray] = None
+        self._cat_levels: Dict[str, List[str]] = {}
+        self._fitted = False
+
+    @staticmethod
+    def _cat_key(value: Any) -> Optional[str]:
+        return None if is_missing(value) else str(value).strip()
+
+    def fit(self, table: Table, exclude: Sequence[str] = ()) -> "TableEncoder":
+        excluded = set(exclude)
+        self._numerical = [
+            n for n in table.schema.numerical_names if n not in excluded
+        ]
+        self._categorical = [
+            n for n in table.schema.categorical_names if n not in excluded
+        ]
+        if self._numerical:
+            matrix = table.numeric_matrix(self._numerical)
+            mean = np.nanmean(matrix, axis=0)
+            self._num_mean = np.where(np.isnan(mean), 0.0, mean)
+            std = np.nanstd(matrix, axis=0)
+            self._num_std = np.where((std == 0) | np.isnan(std), 1.0, std)
+        else:
+            self._num_mean = np.zeros(0)
+            self._num_std = np.ones(0)
+        self._cat_levels = {}
+        for name in self._categorical:
+            counts: Dict[str, int] = {}
+            for v in table.column(name):
+                key = self._cat_key(v)
+                if key is not None:
+                    counts[key] = counts.get(key, 0) + 1
+            top = sorted(counts, key=lambda k: (-counts[k], k))
+            self._cat_levels[name] = top[: self.max_categories]
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("TableEncoder used before fit")
+        blocks: List[np.ndarray] = []
+        if self._numerical:
+            matrix = table.numeric_matrix(self._numerical)
+            # Mean-impute anything missing or corrupted-to-text.
+            for j in range(matrix.shape[1]):
+                col = matrix[:, j]
+                col[np.isnan(col)] = self._num_mean[j]
+            if self.scale:
+                matrix = (matrix - self._num_mean) / self._num_std
+            blocks.append(matrix)
+        for name in self._categorical:
+            levels = self._cat_levels[name]
+            block = np.zeros((table.n_rows, len(levels)), dtype=np.float64)
+            index = {lvl: j for j, lvl in enumerate(levels)}
+            for i, v in enumerate(table.column(name)):
+                key = self._cat_key(v)
+                if key is not None and key in index:
+                    block[i, index[key]] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((table.n_rows, 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+    def fit_transform(self, table: Table, exclude: Sequence[str] = ()) -> np.ndarray:
+        return self.fit(table, exclude=exclude).transform(table)
+
+    @property
+    def n_features(self) -> int:
+        if not self._fitted:
+            raise RuntimeError("TableEncoder used before fit")
+        return len(self._numerical) + sum(
+            len(v) for v in self._cat_levels.values()
+        )
+
+    @property
+    def feature_names(self) -> List[str]:
+        if not self._fitted:
+            raise RuntimeError("TableEncoder used before fit")
+        names = list(self._numerical)
+        for col in self._categorical:
+            names.extend(f"{col}={lvl}" for lvl in self._cat_levels[col])
+        return names
+
+
+def encode_supervised(
+    train: Table,
+    test: Table,
+    target: str,
+    task: str,
+    max_categories: int = 20,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, TableEncoder]:
+    """Encode a train/test table pair for a supervised task.
+
+    Returns ``(X_train, y_train, X_test, y_test, encoder)``.  For
+    classification, labels are label-encoded over the union of both splits so
+    train and test codes agree.  For regression, labels are float-coerced with
+    NaN targets replaced by the training-label mean (dirty labels must not
+    crash the pipeline).
+    """
+    encoder = TableEncoder(max_categories=max_categories)
+    x_train = encoder.fit_transform(train, exclude=[target])
+    x_test = encoder.transform(test)
+    if task == "classification":
+        label_encoder = LabelEncoder()
+        label_encoder.fit(
+            list(train.column(target)) + list(test.column(target))
+        )
+        y_train = label_encoder.transform(train.column(target))
+        y_test = label_encoder.transform(test.column(target))
+    elif task == "regression":
+        y_train = train.as_float(target)
+        y_test = test.as_float(target)
+        fill = float(np.nanmean(y_train)) if len(y_train) else 0.0
+        if math.isnan(fill):
+            fill = 0.0
+        y_train = np.where(np.isnan(y_train), fill, y_train)
+        y_test = np.where(np.isnan(y_test), fill, y_test)
+    else:
+        raise ValueError(f"unsupported supervised task {task!r}")
+    return x_train, y_train, x_test, y_test, encoder

@@ -1,0 +1,118 @@
+"""Column typing for benchmark tables.
+
+REIN distinguishes numerical from categorical attributes throughout: error
+injection, detection, repair, and evaluation all branch on the column kind
+(e.g. RMSE for numerical repairs, precision/recall for categorical ones).
+A :class:`Schema` pins that choice down once per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+NUMERICAL = "numerical"
+CATEGORICAL = "categorical"
+
+_VALID_KINDS = (NUMERICAL, CATEGORICAL)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed table column.
+
+    Attributes:
+        name: column identifier, unique within a schema.
+        kind: ``"numerical"`` or ``"categorical"``.
+    """
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"column kind must be one of {_VALID_KINDS}, got {self.kind!r}"
+            )
+
+    @property
+    def is_numerical(self) -> bool:
+        return self.kind == NUMERICAL
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+
+class Schema:
+    """An ordered collection of uniquely named columns."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        names = [c.name for c in self._columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate column names in schema: {dupes}")
+        self._by_name = {c.name: c for c in self._columns}
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, str]]) -> "Schema":
+        """Build a schema from ``(name, kind)`` pairs."""
+        return cls(Column(name, kind) for name, kind in pairs)
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self._columns]
+
+    @property
+    def numerical_names(self) -> List[str]:
+        return [c.name for c in self._columns if c.is_numerical]
+
+    @property
+    def categorical_names(self) -> List[str]:
+        return [c.name for c in self._columns if c.is_categorical]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r} in schema") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def kind_of(self, name: str) -> str:
+        """Return the kind of column *name*."""
+        return self[name].kind
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema without the given columns."""
+        dropped = set(names)
+        missing = dropped - set(self.names)
+        if missing:
+            raise KeyError(f"cannot drop unknown columns: {sorted(missing)}")
+        return Schema(c for c in self._columns if c.name not in dropped)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.kind[:3]}" for c in self._columns)
+        return f"Schema({cols})"

@@ -1,0 +1,85 @@
+"""Train/test splitting utilities.
+
+REIN repeats every ML experiment ``s`` times with different random seeds that
+control the train-test split; the split helpers here take explicit RNGs so
+those repetitions are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _as_rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def train_test_split(
+    n_rows: int,
+    test_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    stratify: Optional[Sequence[object]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(train_indices, test_indices)`` for a table of *n_rows*.
+
+    Args:
+        test_fraction: fraction of rows held out (0 < f < 1).
+        stratify: optional label sequence; when given, each label keeps
+            roughly its proportion in both splits (and every class with at
+            least two members lands in both splits when possible).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if n_rows < 2:
+        raise ValueError("need at least two rows to split")
+    if stratify is not None and len(stratify) != n_rows:
+        raise ValueError("stratify length must equal n_rows")
+    generator = _as_rng(rng, seed)
+
+    if stratify is None:
+        order = generator.permutation(n_rows)
+        n_test = max(1, int(round(n_rows * test_fraction)))
+        n_test = min(n_test, n_rows - 1)
+        return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+    groups: dict = {}
+    for i, label in enumerate(stratify):
+        groups.setdefault(str(label), []).append(i)
+    train: List[int] = []
+    test: List[int] = []
+    for label in sorted(groups):
+        members = np.array(groups[label])
+        generator.shuffle(members)
+        n_test = int(round(len(members) * test_fraction))
+        if len(members) >= 2:
+            n_test = min(max(n_test, 1), len(members) - 1)
+        test.extend(members[:n_test].tolist())
+        train.extend(members[n_test:].tolist())
+    if not test:  # All classes were singletons; fall back to random split.
+        return train_test_split(n_rows, test_fraction, rng=generator)
+    return np.sort(np.array(train)), np.sort(np.array(test))
+
+
+def kfold_indices(
+    n_rows: int,
+    n_folds: int = 5,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_indices, test_indices)`` pairs for k-fold CV."""
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    if n_folds > n_rows:
+        raise ValueError("cannot have more folds than rows")
+    generator = _as_rng(rng, seed)
+    order = generator.permutation(n_rows)
+    folds = np.array_split(order, n_folds)
+    for k in range(n_folds):
+        test = np.sort(folds[k])
+        train = np.sort(np.concatenate([folds[j] for j in range(n_folds) if j != k]))
+        yield train, test

@@ -1,0 +1,370 @@
+"""Cell-addressable mixed-type table.
+
+This is the substrate every REIN component works on.  A :class:`Table` stores
+each column as a numpy ``object`` array so that dirty data can hold anything a
+real-world CSV can: numbers, strings, typos that turned a number into text,
+empty strings, and explicit ``None``/NaN missing values.  The declared
+:class:`~repro.dataset.schema.Schema` records the *intended* kind of each
+column; the actual cell payload may disagree on a dirty version (which is
+exactly what detectors like FAHES look for).
+
+Cells are addressed as ``(row_index, column_name)`` tuples, matching REIN's
+cell-level detection and repair granularity.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.dataset.schema import CATEGORICAL, NUMERICAL, Column, Schema
+
+Cell = Tuple[int, str]
+
+_MISSING_TOKENS = {"", "na", "n/a", "nan", "null", "none", "?"}
+
+
+def is_missing(value: Any) -> bool:
+    """Return True when *value* is an explicit missing marker.
+
+    ``None``, float NaN, and the usual CSV null tokens (case-insensitive
+    ``""``, ``"NA"``, ``"NaN"``, ``"NULL"``, ``"?"`` ...) all count.  Disguised
+    missing values such as ``"99999"`` deliberately do not -- detecting those
+    is FAHES's job.
+    """
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in _MISSING_TOKENS:
+        return True
+    return False
+
+
+def coerce_float(value: Any) -> float:
+    """Best-effort conversion of a cell payload to float (NaN on failure).
+
+    Non-finite parses (e.g. the typo ``"9e999"`` overflowing to inf) count
+    as unparseable: downstream statistics assume finite numeric views.
+    """
+    if is_missing(value):
+        return math.nan
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        result = float(value)
+        return result if math.isfinite(result) else math.nan
+    if isinstance(value, str):
+        try:
+            result = float(value.strip())
+        except ValueError:
+            return math.nan
+        return result if math.isfinite(result) else math.nan
+    return math.nan
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Cell equality that treats missing markers as mutually equal.
+
+    Numeric payloads compare numerically (``"3.0"`` equals ``3.0``), so a
+    repair that restores a number as a string still counts as correct.
+    """
+    a_missing, b_missing = is_missing(a), is_missing(b)
+    if a_missing or b_missing:
+        return a_missing and b_missing
+    fa, fb = coerce_float(a), coerce_float(b)
+    if not math.isnan(fa) and not math.isnan(fb):
+        return fa == fb or math.isclose(fa, fb, rel_tol=1e-12, abs_tol=1e-12)
+    if math.isnan(fa) != math.isnan(fb):
+        return False
+    return str(a).strip() == str(b).strip()
+
+
+class Table:
+    """An immutable-schema, mutable-content table of mixed-type columns."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence[Any]]):
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                "column data does not match schema: "
+                f"schema={sorted(schema.names)} data={sorted(columns)}"
+            )
+        self._schema = schema
+        self._data: Dict[str, np.ndarray] = {}
+        n_rows: Optional[int] = None
+        for name in schema.names:
+            arr = np.empty(len(columns[name]), dtype=object)
+            arr[:] = list(columns[name])
+            if n_rows is None:
+                n_rows = len(arr)
+            elif len(arr) != n_rows:
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} rows, expected {n_rows}"
+                )
+            self._data[name] = arr
+        self._n_rows = n_rows if n_rows is not None else 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Iterable[Sequence[Any]]
+    ) -> "Table":
+        """Build a table from an iterable of row tuples (schema order)."""
+        materialized = [tuple(r) for r in rows]
+        for i, row in enumerate(materialized):
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row {i} has {len(row)} fields, expected {len(schema)}"
+                )
+        columns = {
+            name: [row[j] for row in materialized]
+            for j, name in enumerate(schema.names)
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        return cls(schema, {name: [] for name in schema.names})
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._schema)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._n_rows, len(self._schema))
+
+    @property
+    def column_names(self) -> List[str]:
+        return self._schema.names
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the raw object array for a column (a live view)."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}") from None
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """Return row *index* as a tuple in schema order."""
+        self._check_row(index)
+        return tuple(self._data[name][index] for name in self._schema.names)
+
+    def get_cell(self, row: int, column: str) -> Any:
+        self._check_row(row)
+        return self.column(column)[row]
+
+    def set_cell(self, row: int, column: str, value: Any) -> None:
+        self._check_row(row)
+        self.column(column)[row] = value
+
+    def _check_row(self, index: int) -> None:
+        if not 0 <= index < self._n_rows:
+            raise IndexError(
+                f"row index {index} out of range [0, {self._n_rows})"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._schema != other._schema or self._n_rows != other._n_rows:
+            return False
+        return not self.diff_cells(other)
+
+    def __hash__(self) -> int:  # Tables are mutable containers.
+        raise TypeError("Table is unhashable")
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {len(self._schema)} columns)"
+
+    # ------------------------------------------------------------------
+    # Numeric views and missing masks
+    # ------------------------------------------------------------------
+    def as_float(self, name: str) -> np.ndarray:
+        """Column as float64 with NaN for missing or non-numeric payloads."""
+        col = self.column(name)
+        return np.array([coerce_float(v) for v in col], dtype=np.float64)
+
+    def numeric_matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack numeric views of columns into an ``(n_rows, k)`` matrix."""
+        if names is None:
+            names = self._schema.numerical_names
+        if not names:
+            return np.empty((self._n_rows, 0), dtype=np.float64)
+        return np.column_stack([self.as_float(n) for n in names])
+
+    def missing_mask(self, name: str) -> np.ndarray:
+        """Boolean array marking explicitly missing cells of a column."""
+        return np.array([is_missing(v) for v in self.column(name)], dtype=bool)
+
+    def missing_cells(self) -> Set[Cell]:
+        """All explicitly missing cells in the table."""
+        cells: Set[Cell] = set()
+        for name in self._schema.names:
+            for i in np.flatnonzero(self.missing_mask(name)):
+                cells.add((int(i), name))
+        return cells
+
+    # ------------------------------------------------------------------
+    # Structural operations (all return new tables)
+    # ------------------------------------------------------------------
+    def copy(self) -> "Table":
+        return Table(
+            self._schema,
+            {name: self._data[name].copy() for name in self._schema.names},
+        )
+
+    def select_rows(self, indices: Sequence[int]) -> "Table":
+        idx = np.asarray(indices, dtype=int)
+        if len(idx) and (idx.min() < 0 or idx.max() >= self._n_rows):
+            raise IndexError("row index out of range in select_rows")
+        return Table(
+            self._schema,
+            {name: self._data[name][idx] for name in self._schema.names},
+        )
+
+    def drop_rows(self, indices: Iterable[int]) -> "Table":
+        drop = set(int(i) for i in indices)
+        keep = [i for i in range(self._n_rows) if i not in drop]
+        return self.select_rows(keep)
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        sub_schema = Schema(self._schema[n] for n in names)
+        return Table(sub_schema, {n: self._data[n].copy() for n in names})
+
+    def drop_columns(self, names: Iterable[str]) -> "Table":
+        dropped = set(names)
+        keep = [n for n in self._schema.names if n not in dropped]
+        return self.select_columns(keep)
+
+    def with_column(self, column: Column, values: Sequence[Any]) -> "Table":
+        """Return a copy with an extra column appended."""
+        if column.name in self._schema:
+            raise ValueError(f"column {column.name!r} already exists")
+        if len(values) != self._n_rows:
+            raise ValueError("new column length does not match table")
+        new_schema = Schema(list(self._schema.columns) + [column])
+        data = {n: self._data[n].copy() for n in self._schema.names}
+        data[column.name] = list(values)
+        return Table(new_schema, data)
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> "Table":
+        """Return a copy with extra rows appended (schema order)."""
+        extra = [tuple(r) for r in rows]
+        data = {}
+        for j, name in enumerate(self._schema.names):
+            data[name] = list(self._data[name]) + [row[j] for row in extra]
+        return Table(self._schema, data)
+
+    def map_column(self, name: str, fn: Callable[[Any], Any]) -> "Table":
+        """Return a copy with *fn* applied to every cell of one column."""
+        out = self.copy()
+        col = out.column(name)
+        for i in range(len(col)):
+            col[i] = fn(col[i])
+        return out
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def diff_cells(self, other: "Table") -> Set[Cell]:
+        """Cells whose values differ between two same-shape tables.
+
+        This is how REIN derives the ground-truth error mask: the dirty
+        version is diffed against the clean version.
+        """
+        if self._schema.names != other._schema.names:
+            raise ValueError("cannot diff tables with different columns")
+        if self._n_rows != other._n_rows:
+            raise ValueError(
+                f"cannot diff tables with {self._n_rows} vs "
+                f"{other._n_rows} rows"
+            )
+        cells: Set[Cell] = set()
+        for name in self._schema.names:
+            mine, theirs = self._data[name], other._data[name]
+            for i in range(self._n_rows):
+                if not values_equal(mine[i], theirs[i]):
+                    cells.add((i, name))
+        return cells
+
+    # ------------------------------------------------------------------
+    # CSV I/O
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Write the table to CSV with a header row."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self._schema.names)
+            for i in range(self._n_rows):
+                writer.writerow(
+                    ["" if is_missing(v) else v for v in self.row(i)]
+                )
+
+    @classmethod
+    def from_csv(cls, path: str, schema: Schema) -> "Table":
+        """Read a CSV written by :meth:`to_csv` back into a table.
+
+        Numerical columns are parsed to float where possible; unparseable
+        payloads are kept verbatim (they may be deliberate dirty values).
+        """
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            if header != schema.names:
+                raise ValueError(
+                    f"CSV header {header} does not match schema {schema.names}"
+                )
+            rows = []
+            for raw in reader:
+                row: List[Any] = []
+                for name, text in zip(schema.names, raw):
+                    if text == "":
+                        row.append(None)
+                    elif schema.kind_of(name) == NUMERICAL:
+                        value = coerce_float(text)
+                        row.append(text if math.isnan(value) else value)
+                    else:
+                        row.append(text)
+                rows.append(row)
+        return cls.from_rows(schema, rows)
+
+
+def infer_schema(columns: Mapping[str, Sequence[Any]]) -> Schema:
+    """Infer a schema from raw column data.
+
+    A column is numerical when every non-missing payload coerces to float.
+    """
+    cols = []
+    for name, values in columns.items():
+        non_missing = [v for v in values if not is_missing(v)]
+        numeric = non_missing and all(
+            not math.isnan(coerce_float(v)) for v in non_missing
+        )
+        cols.append(Column(name, NUMERICAL if numeric else CATEGORICAL))
+    return Schema(cols)

@@ -1,0 +1,90 @@
+"""The 19 error detection methods of Table 1.
+
+Non-learning: KATARA, NADEEF, FAHES, HoloClean, dBoost, OpenRefine, IF, SD,
+IQR, MVD, KeyCollision, ZeroER, CleanLab, Min-K, MaxEntropy.
+ML-supported: Metadata-driven, RAHA, ED2, Picket.
+"""
+
+from typing import Dict, List
+
+from repro.detectors.base import ML_SUPPORTED, NON_LEARNING, DetectionResult, Detector
+from repro.detectors.cleanlab import CleanLabDetector
+from repro.detectors.dboost import DBoostDetector
+from repro.detectors.duplicates import KeyCollisionDetector, ZeroERDetector
+from repro.detectors.ensembles import (
+    MaxEntropyDetector,
+    MinKDetector,
+    default_base_detectors,
+)
+from repro.detectors.fahes import FahesDetector
+from repro.detectors.katara import KataraDetector, KnowledgeBase
+from repro.detectors.ml_detectors import (
+    ED2Detector,
+    MetadataDrivenDetector,
+    PicketDetector,
+    RahaDetector,
+)
+from repro.detectors.openrefine import OpenRefineDetector
+from repro.detectors.rules import HoloCleanDetector, NadeefDetector
+from repro.detectors.simple import IFDetector, IQRDetector, MVDetector, SDDetector
+
+
+def all_detectors() -> List[Detector]:
+    """Fresh instances of all 19 detectors with default configurations."""
+    return [
+        KataraDetector(),
+        NadeefDetector(),
+        FahesDetector(),
+        HoloCleanDetector(),
+        DBoostDetector(),
+        OpenRefineDetector(),
+        IFDetector(),
+        SDDetector(),
+        IQRDetector(),
+        MVDetector(),
+        KeyCollisionDetector(),
+        ZeroERDetector(),
+        CleanLabDetector(),
+        MinKDetector(),
+        MaxEntropyDetector(),
+        MetadataDrivenDetector(),
+        RahaDetector(),
+        ED2Detector(),
+        PicketDetector(),
+    ]
+
+
+def detector_registry() -> Dict[str, Detector]:
+    """Detectors keyed by their paper names."""
+    return {detector.name: detector for detector in all_detectors()}
+
+
+__all__ = [
+    "CleanLabDetector",
+    "DBoostDetector",
+    "DetectionResult",
+    "Detector",
+    "ED2Detector",
+    "FahesDetector",
+    "HoloCleanDetector",
+    "IFDetector",
+    "IQRDetector",
+    "KataraDetector",
+    "KeyCollisionDetector",
+    "KnowledgeBase",
+    "MaxEntropyDetector",
+    "MetadataDrivenDetector",
+    "MinKDetector",
+    "ML_SUPPORTED",
+    "MVDetector",
+    "NON_LEARNING",
+    "NadeefDetector",
+    "OpenRefineDetector",
+    "PicketDetector",
+    "RahaDetector",
+    "SDDetector",
+    "ZeroERDetector",
+    "all_detectors",
+    "default_base_detectors",
+    "detector_registry",
+]

@@ -1,0 +1,71 @@
+"""Detector protocol and result type.
+
+A detector consumes a :class:`~repro.context.CleaningContext` and returns
+the set of cells it believes erroneous, plus its runtime -- the two
+quantities Section 6.2 evaluates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell
+
+#: Methodology categories from Table 1.
+NON_LEARNING = "non-learning"
+ML_SUPPORTED = "ml-supported"
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Cells flagged by one detector run."""
+
+    detector: str
+    cells: FrozenSet[Cell]
+    runtime_seconds: float
+    metadata: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    @property
+    def n_detected(self) -> int:
+        return len(self.cells)
+
+    def restricted_to_columns(self, columns) -> "DetectionResult":
+        allowed = set(columns)
+        return DetectionResult(
+            self.detector,
+            frozenset(c for c in self.cells if c[1] in allowed),
+            self.runtime_seconds,
+            dict(self.metadata),
+        )
+
+
+class Detector:
+    """Base class for all error detectors.
+
+    Subclasses implement :meth:`_detect`; :meth:`detect` adds timing and
+    result packaging.  Class attributes mirror Table 1:
+
+    - ``name``: the paper's method name;
+    - ``category``: non-learning or ML-supported;
+    - ``tackles``: error types the method targets (controller pruning key).
+    """
+
+    name: str = "detector"
+    category: str = NON_LEARNING
+    tackles: FrozenSet[str] = frozenset()
+
+    def detect(self, context: CleaningContext) -> DetectionResult:
+        """Run detection, timing the full pass over the dataset."""
+        started = time.perf_counter()
+        cells = self._detect(context)
+        elapsed = time.perf_counter() - started
+        return DetectionResult(self.name, frozenset(cells), elapsed)
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,98 @@
+"""CleanLab: mislabel detection via confident learning.
+
+Confident learning (Northcutt et al.) estimates the joint distribution of
+noisy and true labels from out-of-sample predicted probabilities: a sample
+is flagged when its predicted probability for some *other* class exceeds
+that class's self-confidence threshold (the mean predicted probability of
+samples labeled with that class).  We compute out-of-sample probabilities
+with k-fold cross-validated classifiers over the encoded features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.context import CleaningContext
+from repro.dataset.encoding import LabelEncoder, TableEncoder
+from repro.dataset.splits import kfold_indices
+from repro.dataset.table import Cell
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import profile
+from repro.ml.linear import LogisticRegression
+
+
+class CleanLabDetector(Detector):
+    """Noisy-label detection (Table 1 row 'C')."""
+
+    name = "CleanLab"
+    category = NON_LEARNING
+    tackles = frozenset({profile.MISLABEL})
+
+    def __init__(self, n_folds: int = 4) -> None:
+        if n_folds < 2:
+            raise ValueError("n_folds must be >= 2")
+        self.n_folds = n_folds
+
+    def _out_of_sample_probabilities(
+        self, features: np.ndarray, labels: np.ndarray, n_classes: int, seed: int
+    ) -> Optional[np.ndarray]:
+        probabilities = np.zeros((len(features), n_classes))
+        filled = np.zeros(len(features), dtype=bool)
+        folds = kfold_indices(len(features), self.n_folds, seed=seed)
+        for train_idx, test_idx in folds:
+            if len(np.unique(labels[train_idx])) < 2:
+                continue
+            model = LogisticRegression(max_iter=150)
+            model.fit(features[train_idx], labels[train_idx])
+            fold_probabilities = model.predict_proba(features[test_idx])
+            for local, cls in enumerate(model.classes_):
+                probabilities[test_idx, int(cls)] = fold_probabilities[:, local]
+            filled[test_idx] = True
+        if not filled.all():
+            return None
+        return probabilities
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        label_column = context.label_column
+        if label_column is None or label_column not in context.dirty.schema:
+            return set()
+        table = context.dirty
+        if table.n_rows < self.n_folds * 2:
+            return set()
+        encoder = TableEncoder()
+        features = encoder.fit_transform(table, exclude=[label_column])
+        label_encoder = LabelEncoder()
+        labels = label_encoder.fit_transform(table.column(label_column))
+        n_classes = label_encoder.n_classes
+        if n_classes < 2:
+            return set()
+        probabilities = self._out_of_sample_probabilities(
+            features, labels, n_classes, context.seed
+        )
+        if probabilities is None:
+            return set()
+        # Self-confidence threshold per class: mean p(class) over samples
+        # currently labeled with that class.
+        thresholds = np.zeros(n_classes)
+        for cls in range(n_classes):
+            members = labels == cls
+            thresholds[cls] = (
+                probabilities[members, cls].mean() if members.any() else 1.1
+            )
+        cells: Set[Cell] = set()
+        for i in range(len(labels)):
+            given = labels[i]
+            # Confident classes: those whose probability clears the bar.
+            confident = [
+                cls
+                for cls in range(n_classes)
+                if probabilities[i, cls] >= thresholds[cls]
+            ]
+            if not confident:
+                continue
+            best = max(confident, key=lambda cls: probabilities[i, cls])
+            if best != given:
+                cells.add((i, label_column))
+        return cells

@@ -1,0 +1,196 @@
+"""Duplicate detectors: key collision and ZeroER.
+
+Key collision flags rows sharing the user-provided key attributes.  ZeroER
+(Wu et al.) needs *zero* labeled examples: it derives Magellan-style
+similarity features for candidate row pairs (found via cheap blocking) and
+fits a two-component Gaussian mixture whose components correspond to the
+match / unmatch populations; pairs assigned to the high-similarity
+component are duplicates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, Table, coerce_float, is_missing
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import profile
+from repro.ml.cluster import GaussianMixture
+
+
+def _duplicate_cells(table: Table, groups: List[List[int]]) -> Set[Cell]:
+    """All cells of every non-first row in each duplicate group."""
+    cells: Set[Cell] = set()
+    for rows in groups:
+        for row in sorted(rows)[1:]:
+            for column in table.column_names:
+                cells.add((row, column))
+    return cells
+
+
+class KeyCollisionDetector(Detector):
+    """Duplicate detection via user-provided key attributes (row 'D')."""
+
+    name = "KeyCollision"
+    category = NON_LEARNING
+    tackles = frozenset({profile.DUPLICATE})
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        keys = [
+            c for c in context.key_columns if c in context.dirty.schema
+        ]
+        if not keys:
+            return set()
+        table = context.dirty
+        groups: Dict[Tuple[str, ...], List[int]] = defaultdict(list)
+        for i in range(table.n_rows):
+            parts = []
+            valid = True
+            for key in keys:
+                value = table.get_cell(i, key)
+                if is_missing(value):
+                    valid = False
+                    break
+                parts.append(str(value).strip().lower())
+            if valid:
+                groups[tuple(parts)].append(i)
+        duplicate_groups = [rows for rows in groups.values() if len(rows) > 1]
+        return _duplicate_cells(table, duplicate_groups)
+
+
+def _string_similarity(a: str, b: str) -> float:
+    """Jaccard similarity over character trigrams (Magellan-style)."""
+    def grams(s: str) -> Set[str]:
+        padded = f"  {s.lower()} "
+        return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+    ga, gb = grams(a), grams(b)
+    union = ga | gb
+    if not union:
+        return 1.0
+    return len(ga & gb) / len(union)
+
+
+def pair_features(
+    table: Table, i: int, j: int, column_stds: Dict[str, float]
+) -> np.ndarray:
+    """Per-column similarity feature vector for a row pair.
+
+    Numeric similarity is scaled by the column's standard deviation so only
+    near-identical values score highly -- two ordinary rows of the same
+    distribution should not look like a match.
+    """
+    features = []
+    for column in table.column_names:
+        a, b = table.get_cell(i, column), table.get_cell(j, column)
+        if is_missing(a) or is_missing(b):
+            features.append(0.5)
+            continue
+        fa, fb = coerce_float(a), coerce_float(b)
+        if not np.isnan(fa) and not np.isnan(fb):
+            scale = column_stds.get(column, 1.0) or 1.0
+            features.append(max(0.0, 1.0 - abs(fa - fb) / scale))
+        else:
+            features.append(_string_similarity(str(a), str(b)))
+    return np.array(features)
+
+
+def column_standard_deviations(table: Table) -> Dict[str, float]:
+    """Per-column std of the numeric view (0 columns excluded)."""
+    stds: Dict[str, float] = {}
+    for column in table.column_names:
+        values = table.as_float(column)
+        finite = values[~np.isnan(values)]
+        if len(finite) > 1:
+            stds[column] = float(finite.std()) or 1.0
+    return stds
+
+
+class ZeroERDetector(Detector):
+    """ZeroER: unsupervised entity resolution with a GMM (row 'Z').
+
+    Blocking: candidate pairs share a token in any categorical attribute
+    (or a rounded numeric value), keeping the pair set tractable.
+    """
+
+    name = "ZeroER"
+    category = NON_LEARNING
+    tackles = frozenset({profile.DUPLICATE})
+
+    def __init__(self, max_pairs: int = 50_000, match_threshold: float = 0.5) -> None:
+        self.max_pairs = max_pairs
+        self.match_threshold = match_threshold
+
+    def _blocking_pairs(self, table: Table) -> List[Tuple[int, int]]:
+        blocks: Dict[str, List[int]] = defaultdict(list)
+        for i in range(table.n_rows):
+            for column in table.column_names:
+                value = table.get_cell(i, column)
+                if is_missing(value):
+                    continue
+                numeric = coerce_float(value)
+                if not np.isnan(numeric):
+                    blocks[f"{column}:{round(numeric, 1)}"].append(i)
+                else:
+                    for token in str(value).strip().lower().split():
+                        blocks[f"{column}:{token}"].append(i)
+        pairs: Set[Tuple[int, int]] = set()
+        for rows in blocks.values():
+            if len(rows) > 60:  # ubiquitous token: useless block
+                continue
+            unique_rows = sorted(set(rows))
+            for a in range(len(unique_rows)):
+                for b in range(a + 1, len(unique_rows)):
+                    pairs.add((unique_rows[a], unique_rows[b]))
+                    if len(pairs) >= self.max_pairs:
+                        return sorted(pairs)
+        return sorted(pairs)
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        table = context.dirty
+        pairs = self._blocking_pairs(table)
+        if len(pairs) < 4:
+            return set()
+        stds = column_standard_deviations(table)
+        features = np.vstack(
+            [pair_features(table, i, j, stds) for i, j in pairs]
+        )
+        mixture = GaussianMixture(n_components=2, seed=context.seed)
+        try:
+            mixture.fit(features)
+        except (ValueError, np.linalg.LinAlgError):
+            return set()
+        # The match component is the one with the higher mean similarity.
+        match_component = int(np.argmax(mixture.means_.mean(axis=1)))
+        probabilities = mixture.predict_proba(features)[:, match_component]
+        mean_similarity = features.mean(axis=1)
+        groups: List[List[int]] = []
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            while parent.setdefault(x, x) != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        matched = False
+        for (i, j), probability, similarity in zip(
+            pairs, probabilities, mean_similarity
+        ):
+            # Require both the GMM assignment and near-exact similarity;
+            # with no true matches the two components split the bulk and the
+            # similarity floor keeps coincidentally-close rows out.
+            if probability > self.match_threshold and similarity >= 0.97:
+                parent[find(i)] = find(j)
+                matched = True
+        if not matched:
+            return set()
+        clusters: Dict[int, List[int]] = defaultdict(list)
+        for node in parent:
+            clusters[find(node)].append(node)
+        duplicate_groups = [rows for rows in clusters.values() if len(rows) > 1]
+        return _duplicate_cells(table, duplicate_groups)

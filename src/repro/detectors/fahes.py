@@ -1,0 +1,138 @@
+"""FAHES: disguised missing-value detection.
+
+FAHES (Qahtan et al.) finds values that *stand in* for missing data, e.g.
+``99999`` in a numeric column or ``unknown`` in a text column.  It combines:
+
+- a syntactic module for categorical data: suspiciously frequent tokens
+  drawn from a missing-sentinel lexicon, plus tokens whose character shape
+  deviates from the column's dominant pattern while repeating verbatim;
+- a density-based module for numerical data: values that repeat far more
+  often than the column's continuous distribution allows *and* sit at the
+  extremes of (or outside) the bulk of the distribution.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Set
+
+import numpy as np
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, coerce_float, is_missing
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import profile
+
+#: Sentinel strings users commonly type instead of leaving a field blank.
+_SENTINEL_LEXICON = {
+    "unknown", "unk", "none given", "not available", "xxx", "x",
+    "missing", "tbd", "n.a.", "na.", "nil", "-",
+}
+
+#: Numeric sentinels: repeated-9 / repeated-0 patterns and -1 style codes.
+_NUMERIC_SENTINEL_RE = re.compile(r"-?(9{3,}(\.0*)?|0{4,}|1{4,})|-1(\.0*)?|-99+(\.0*)?")
+
+
+def _shape_of(text: str) -> str:
+    """Character-class shape, e.g. '12.5oz' -> '99.9aa'."""
+    out = []
+    for ch in text:
+        if ch.isdigit():
+            out.append("9")
+        elif ch.isalpha():
+            out.append("a")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+class FahesDetector(Detector):
+    """Disguised missing-value detector (Table 1 row 'F')."""
+
+    name = "FAHES"
+    category = NON_LEARNING
+    tackles = frozenset({profile.IMPLICIT_MISSING})
+
+    def __init__(
+        self,
+        min_repeats: int = 2,
+        extreme_quantile: float = 0.05,
+    ) -> None:
+        if min_repeats < 1:
+            raise ValueError("min_repeats must be >= 1")
+        if not 0.0 < extreme_quantile < 0.5:
+            raise ValueError("extreme_quantile must be in (0, 0.5)")
+        self.min_repeats = min_repeats
+        self.extreme_quantile = extreme_quantile
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        table = context.dirty
+        for column in table.schema.categorical_names:
+            cells |= self._detect_categorical(table, column)
+        for column in table.schema.numerical_names:
+            cells |= self._detect_numerical(table, column)
+        return cells
+
+    def _detect_categorical(self, table, column: str) -> Set[Cell]:
+        values = table.column(column)
+        normalized = [
+            None if is_missing(v) else str(v).strip().lower() for v in values
+        ]
+        counts = Counter(v for v in normalized if v is not None)
+        if not counts:
+            return set()
+        # Dominant shape of the column.
+        shapes = Counter(_shape_of(v) for v in counts)
+        dominant_shape, _ = shapes.most_common(1)[0]
+        total = sum(counts.values())
+        suspicious: Set[str] = set()
+        for value, count in counts.items():
+            if value in _SENTINEL_LEXICON:
+                suspicious.add(value)
+            elif _NUMERIC_SENTINEL_RE.fullmatch(value):
+                suspicious.add(value)
+            elif (
+                count >= self.min_repeats
+                and count / total <= 0.05
+                and _shape_of(value) != dominant_shape
+                and len(value) <= 4
+            ):
+                # Short, repeated-but-rare, shape-deviant tokens ('?', 'xx').
+                # The frequency cap keeps legitimate short categories (which
+                # dominate their column) out.
+                suspicious.add(value)
+        return {
+            (i, column)
+            for i, v in enumerate(normalized)
+            if v is not None and v in suspicious
+        }
+
+    def _detect_numerical(self, table, column: str) -> Set[Cell]:
+        values = table.as_float(column)
+        finite_mask = ~np.isnan(values)
+        finite = values[finite_mask]
+        if len(finite) < 8:
+            return set()
+        counts = Counter(finite.tolist())
+        n = len(finite)
+        low, high = np.quantile(finite, [self.extreme_quantile, 1 - self.extreme_quantile])
+        suspicious_values = set()
+        expected_repeat = max(2, int(0.01 * n))
+        for value, count in counts.items():
+            text = ("%g" % value)
+            is_sentinel_shape = _NUMERIC_SENTINEL_RE.fullmatch(text) is not None
+            repeats_abnormally = count >= max(self.min_repeats, expected_repeat)
+            at_extreme = value <= low or value >= high
+            if is_sentinel_shape and (repeats_abnormally or at_extreme):
+                suspicious_values.add(value)
+            elif repeats_abnormally and at_extreme and count >= 3:
+                suspicious_values.add(value)
+        if not suspicious_values:
+            return set()
+        cells: Set[Cell] = set()
+        for i in np.flatnonzero(finite_mask):
+            if values[i] in suspicious_values:
+                cells.add((int(i), column))
+        return cells

@@ -1,0 +1,170 @@
+"""Cell featurization shared by the ML-supported detectors.
+
+RAHA, ED2, and the metadata-driven detector all learn a per-cell dirty/clean
+classifier; what differs is how features are built and how labels are
+acquired.  This module provides the two feature families they draw on:
+
+- *strategy features*: binary outputs of a battery of cheap detection
+  strategies (outlier tests at several thresholds, missing-value checks,
+  pattern-shape deviation, rare-value tests) -- RAHA's feature generation;
+- *metadata features*: per-cell profile statistics (value length, token
+  count, frequency, z-score, row-level missingness) -- ED2 / metadata-driven
+  profiling features.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dataset.table import Table, coerce_float, is_missing
+
+_SENTINEL_STRINGS = {"unknown", "unk", "xxx", "missing", "tbd", "-", "x"}
+
+
+def _shape_of(text: str) -> str:
+    out = []
+    for ch in text:
+        if ch.isdigit():
+            out.append("9")
+        elif ch.isalpha():
+            out.append("a")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def strategy_features(table: Table, column: str) -> np.ndarray:
+    """Binary strategy-output matrix for one column (n_rows x n_strategies).
+
+    Strategies: missing check, |z| > {2, 3, 4}, IQR k in {1.5, 3},
+    frequency < {1%, 0.1%}, shape deviates from dominant shape,
+    sentinel-lexicon membership, non-numeric payload in numeric column.
+    """
+    n_rows = table.n_rows
+    values = table.column(column)
+    numeric = table.as_float(column)
+    finite = numeric[~np.isnan(numeric)]
+    missing = np.array([is_missing(v) for v in values], dtype=float)
+
+    columns: List[np.ndarray] = [missing]
+    # Z-score strategies.
+    if len(finite) >= 3 and finite.std() > 0:
+        z = np.abs(numeric - finite.mean()) / finite.std()
+        z = np.where(np.isnan(z), 0.0, z)
+        for threshold in (2.0, 3.0, 4.0):
+            columns.append((z > threshold).astype(float))
+    else:
+        columns.extend([np.zeros(n_rows)] * 3)
+    # IQR strategies.
+    if len(finite) >= 4:
+        q1, q3 = np.quantile(finite, [0.25, 0.75])
+        iqr = q3 - q1
+        for k in (1.5, 3.0):
+            if iqr > 0:
+                out = (numeric < q1 - k * iqr) | (numeric > q3 + k * iqr)
+                columns.append(np.where(np.isnan(numeric), 0.0, out).astype(float))
+            else:
+                columns.append(np.zeros(n_rows))
+    else:
+        columns.extend([np.zeros(n_rows)] * 2)
+    # Frequency strategies.
+    keys = [None if is_missing(v) else str(v).strip().lower() for v in values]
+    counts = Counter(k for k in keys if k is not None)
+    total = sum(counts.values()) or 1
+    frequency = np.array(
+        [counts.get(k, 0) / total if k is not None else 0.0 for k in keys]
+    )
+    columns.append((frequency < 0.01).astype(float))
+    columns.append((frequency < 0.001).astype(float))
+    # Shape deviation.
+    shape_counts = Counter(_shape_of(k) for k in keys if k is not None)
+    if shape_counts:
+        dominant, _ = shape_counts.most_common(1)[0]
+        deviates = np.array(
+            [
+                0.0 if k is None else float(_shape_of(k) != dominant)
+                for k in keys
+            ]
+        )
+    else:
+        deviates = np.zeros(n_rows)
+    columns.append(deviates)
+    # Sentinel lexicon.
+    columns.append(
+        np.array(
+            [float(k in _SENTINEL_STRINGS) if k is not None else 0.0 for k in keys]
+        )
+    )
+    # Non-numeric payload in a numeric column.
+    if table.schema.kind_of(column) == "numerical":
+        corrupted = np.array(
+            [
+                float(not is_missing(v) and np.isnan(coerce_float(v)))
+                for v in values
+            ]
+        )
+    else:
+        corrupted = np.zeros(n_rows)
+    columns.append(corrupted)
+    return np.column_stack(columns)
+
+
+def metadata_features(table: Table, column: str) -> np.ndarray:
+    """Profile-statistic matrix for one column (n_rows x n_features).
+
+    Features: value length, token count, digit fraction, frequency,
+    z-score (0 for non-numeric), is-missing, and the row's missing count
+    (tuple-level feature, per ED2).
+    """
+    n_rows = table.n_rows
+    values = table.column(column)
+    numeric = table.as_float(column)
+    finite = numeric[~np.isnan(numeric)]
+    keys = [None if is_missing(v) else str(v).strip() for v in values]
+    counts = Counter(k.lower() for k in keys if k is not None)
+    total = sum(counts.values()) or 1
+
+    lengths = np.array([0.0 if k is None else float(len(k)) for k in keys])
+    tokens = np.array(
+        [0.0 if k is None else float(len(k.split())) for k in keys]
+    )
+    digit_fraction = np.array(
+        [
+            0.0
+            if not k
+            else sum(ch.isdigit() for ch in k) / len(k)
+            for k in keys
+        ]
+    )
+    frequency = np.array(
+        [
+            counts.get(k.lower(), 0) / total if k is not None else 0.0
+            for k in keys
+        ]
+    )
+    if len(finite) >= 3 and finite.std() > 0:
+        z = np.abs(numeric - finite.mean()) / finite.std()
+        z = np.where(np.isnan(z), 0.0, np.minimum(z, 10.0))
+    else:
+        z = np.zeros(n_rows)
+    missing = np.array([float(k is None) for k in keys])
+    row_missing = np.zeros(n_rows)
+    for other in table.column_names:
+        row_missing += table.missing_mask(other).astype(float)
+    row_missing /= max(len(table.column_names), 1)
+    return np.column_stack(
+        [lengths, tokens, digit_fraction, frequency, z, missing, row_missing]
+    )
+
+
+def combined_features(table: Table) -> Dict[str, np.ndarray]:
+    """Strategy + metadata features for every column."""
+    return {
+        column: np.hstack(
+            [strategy_features(table, column), metadata_features(table, column)]
+        )
+        for column in table.column_names
+    }

@@ -1,0 +1,139 @@
+"""KATARA: knowledge-base-powered semantic pattern detection.
+
+KATARA (Chu et al.) aligns table columns with knowledge-base concepts and
+relations, then flags cells that violate the discovered semantic patterns.
+The crowdsourced KB of the original is replaced by a synthetic
+:class:`KnowledgeBase`: concept domains (valid value sets) plus binary
+relations (valid value pairs across two concepts).  Column-to-concept
+alignment is discovered automatically by domain overlap, mirroring KATARA's
+table-pattern discovery step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, Table, is_missing
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import profile
+
+
+@dataclass
+class KnowledgeBase:
+    """A miniature KB: concept domains and binary relations.
+
+    Attributes:
+        domains: concept name -> set of valid surface forms.
+        relations: (concept_a, concept_b) -> set of valid (a, b) pairs.
+    """
+
+    domains: Dict[str, Set[str]] = field(default_factory=dict)
+    relations: Dict[Tuple[str, str], Set[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+
+    @staticmethod
+    def normalize(value: object) -> Optional[str]:
+        if is_missing(value):
+            return None
+        return str(value).strip().lower()
+
+    def add_domain(self, concept: str, values) -> None:
+        normalized = {self.normalize(v) for v in values}
+        self.domains[concept] = {v for v in normalized if v is not None}
+
+    def add_relation(self, concept_a: str, concept_b: str, pairs) -> None:
+        normalized = set()
+        for a, b in pairs:
+            na, nb = self.normalize(a), self.normalize(b)
+            if na is not None and nb is not None:
+                normalized.add((na, nb))
+        self.relations[(concept_a, concept_b)] = normalized
+
+    def align_column(
+        self, table: Table, column: str, min_overlap: float = 0.5
+    ) -> Optional[str]:
+        """Best-matching concept for a column by domain-overlap score.
+
+        Overlap is row-weighted (fraction of non-missing *cells* inside the
+        concept's domain) so a long tail of dirty variants cannot mask an
+        otherwise clear alignment.
+        """
+        values = [
+            self.normalize(v)
+            for v in table.column(column)
+            if not is_missing(v)
+        ]
+        values = [v for v in values if v is not None]
+        if not values:
+            return None
+        best_concept, best_score = None, min_overlap
+        for concept, domain in self.domains.items():
+            if not domain:
+                continue
+            score = sum(1 for v in values if v in domain) / len(values)
+            if score > best_score:
+                best_concept, best_score = concept, score
+        return best_concept
+
+
+class KataraDetector(Detector):
+    """KATARA detection (Table 1 row 'K').
+
+    Flags: (1) cells whose value is outside the aligned concept's domain,
+    and (2) cell pairs that contradict a KB relation between two aligned
+    columns (both participating cells are flagged, as KATARA cannot tell
+    which side is wrong without the crowd).
+    """
+
+    name = "KATARA"
+    category = NON_LEARNING
+    tackles = frozenset(
+        {profile.PATTERN_VIOLATION, profile.RULE_VIOLATION, profile.TYPO,
+         profile.INCONSISTENCY}
+    )
+
+    def __init__(self, min_overlap: float = 0.5) -> None:
+        if not 0.0 < min_overlap < 1.0:
+            raise ValueError("min_overlap must be in (0, 1)")
+        self.min_overlap = min_overlap
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        kb = context.knowledge_base
+        if not isinstance(kb, KnowledgeBase):
+            return set()
+        table = context.dirty
+        alignment: Dict[str, str] = {}
+        for column in table.column_names:
+            concept = kb.align_column(table, column, self.min_overlap)
+            if concept is not None:
+                alignment[column] = concept
+        cells: Set[Cell] = set()
+        # Domain violations.
+        for column, concept in alignment.items():
+            domain = kb.domains[concept]
+            for i, value in enumerate(table.column(column)):
+                normalized = kb.normalize(value)
+                if normalized is not None and normalized not in domain:
+                    cells.add((i, column))
+        # Relation violations.
+        columns = list(alignment)
+        for col_a in columns:
+            for col_b in columns:
+                if col_a == col_b:
+                    continue
+                key = (alignment[col_a], alignment[col_b])
+                if key not in kb.relations:
+                    continue
+                valid_pairs = kb.relations[key]
+                for i in range(table.n_rows):
+                    a = kb.normalize(table.get_cell(i, col_a))
+                    b = kb.normalize(table.get_cell(i, col_b))
+                    if a is None or b is None:
+                        continue
+                    if (a, b) not in valid_pairs:
+                        cells.add((i, col_a))
+                        cells.add((i, col_b))
+        return cells

@@ -1,0 +1,75 @@
+"""OpenRefine-style inconsistency detection via key-collision clustering.
+
+OpenRefine's facet/cluster workflow groups categorical values whose
+*fingerprints* collide (lower-cased, punctuation-stripped, token-sorted) --
+e.g. ``"New York"``, ``"new york "``, ``"York New"`` -- and lets the user
+merge them.  The detector flags every cell whose raw value is a minority
+variant inside its fingerprint cluster; the companion repair method merges
+clusters to the majority variant.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, Table, is_missing
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import profile
+
+_PUNCTUATION_RE = re.compile(r"[^\w\s]")
+_SUFFIXES = (" inc", " llc", " ltd", " co")
+
+
+def fingerprint(value: str) -> str:
+    """OpenRefine's fingerprint keying function (simplified).
+
+    Lower-case, strip punctuation and common company suffixes, split into
+    tokens, sort, deduplicate, re-join.
+    """
+    text = value.strip().lower().replace("_", " ")
+    for suffix in _SUFFIXES:
+        if text.endswith(suffix):
+            text = text[: -len(suffix)]
+    text = _PUNCTUATION_RE.sub("", text)
+    tokens = sorted(set(text.split()))
+    return " ".join(tokens)
+
+
+def cluster_column(table: Table, column: str) -> Dict[str, Counter]:
+    """Fingerprint clusters of a column: fingerprint -> raw-value counts."""
+    clusters: Dict[str, Counter] = defaultdict(Counter)
+    for value in table.column(column):
+        if is_missing(value):
+            continue
+        raw = str(value)
+        clusters[fingerprint(raw)][raw] += 1
+    return dict(clusters)
+
+
+class OpenRefineDetector(Detector):
+    """Inconsistency detection via fingerprint clustering (row 'O')."""
+
+    name = "OpenRefine"
+    category = NON_LEARNING
+    tackles = frozenset({profile.INCONSISTENCY, profile.PATTERN_VIOLATION})
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        table = context.dirty
+        cells: Set[Cell] = set()
+        for column in table.schema.categorical_names:
+            clusters = cluster_column(table, column)
+            minority_values: Set[str] = set()
+            for counts in clusters.values():
+                if len(counts) < 2:
+                    continue
+                majority, _ = counts.most_common(1)[0]
+                minority_values |= {v for v in counts if v != majority}
+            if not minority_values:
+                continue
+            for i, value in enumerate(table.column(column)):
+                if not is_missing(value) and str(value) in minority_values:
+                    cells.add((i, column))
+        return cells

@@ -1,0 +1,154 @@
+"""Magellan-style similarity feature library.
+
+ZeroER "relies on Magellan to generate a set of similarity features"
+(Section 3.1).  This module reproduces the relevant feature family:
+string similarities (trigram Jaccard, Levenshtein ratio, token Jaccard,
+overlap coefficient, Monge-Elkan) and scale-aware numeric similarity, plus
+the per-column feature-vector builder the ZeroER detector consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.dataset.table import Table, coerce_float, is_missing
+
+
+def character_ngrams(text: str, n: int = 3) -> Set[str]:
+    """Padded character n-grams of a string."""
+    padded = f"{' ' * (n - 1)}{text.lower()}{' ' * (n - 1)}"
+    if len(padded) < n:
+        return {padded}
+    return {padded[i : i + n] for i in range(len(padded) - n + 1)}
+
+
+def jaccard_ngram(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity over character n-grams."""
+    grams_a, grams_b = character_ngrams(a, n), character_ngrams(b, n)
+    union = grams_a | grams_b
+    if not union:
+        return 1.0
+    return len(grams_a & grams_b) / len(union)
+
+
+def jaccard_tokens(a: str, b: str) -> float:
+    """Jaccard similarity over whitespace tokens."""
+    tokens_a = set(a.lower().split())
+    tokens_b = set(b.lower().split())
+    union = tokens_a | tokens_b
+    if not union:
+        return 1.0
+    return len(tokens_a & tokens_b) / len(union)
+
+
+def overlap_coefficient(a: str, b: str) -> float:
+    """Token overlap coefficient: |A∩B| / min(|A|, |B|)."""
+    tokens_a = set(a.lower().split())
+    tokens_b = set(b.lower().split())
+    smaller = min(len(tokens_a), len(tokens_b))
+    if smaller == 0:
+        return 1.0 if not tokens_a and not tokens_b else 0.0
+    return len(tokens_a & tokens_b) / smaller
+
+
+def levenshtein(a: str, b: str, cutoff: Optional[int] = None) -> int:
+    """Levenshtein edit distance (optionally with an early-exit cutoff)."""
+    if a == b:
+        return 0
+    if cutoff is not None and abs(len(a) - len(b)) > cutoff:
+        return cutoff + 1
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        row_min = i
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            value = min(previous[j] + 1, current[j - 1] + 1,
+                        previous[j - 1] + cost)
+            current.append(value)
+            row_min = min(row_min, value)
+        if cutoff is not None and row_min > cutoff:
+            return cutoff + 1
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """Normalized edit similarity in [0, 1]."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def monge_elkan(a: str, b: str) -> float:
+    """Monge-Elkan: mean best token-level similarity of A's tokens in B."""
+    tokens_a = a.lower().split()
+    tokens_b = b.lower().split()
+    if not tokens_a or not tokens_b:
+        return 1.0 if tokens_a == tokens_b else 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(levenshtein_ratio(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)
+
+
+def numeric_similarity(a: float, b: float, scale: float) -> float:
+    """Scale-aware numeric similarity: 1 at equality, 0 at one scale unit."""
+    if scale <= 0:
+        return 1.0 if a == b else 0.0
+    return max(0.0, 1.0 - abs(a - b) / scale)
+
+
+STRING_FEATURES = (
+    ("jaccard_3gram", jaccard_ngram),
+    ("levenshtein_ratio", levenshtein_ratio),
+    ("jaccard_tokens", jaccard_tokens),
+    ("overlap", overlap_coefficient),
+    ("monge_elkan", monge_elkan),
+)
+
+
+def pair_feature_names(table: Table) -> List[str]:
+    """Feature names produced by :func:`record_pair_features`."""
+    names: List[str] = []
+    for column in table.column_names:
+        if table.schema.kind_of(column) == "numerical":
+            names.append(f"{column}:numeric")
+        else:
+            names.extend(f"{column}:{fname}" for fname, _ in STRING_FEATURES)
+    return names
+
+
+def record_pair_features(
+    table: Table,
+    i: int,
+    j: int,
+    column_stds: Dict[str, float],
+) -> np.ndarray:
+    """Full Magellan-style feature vector for one row pair."""
+    features: List[float] = []
+    for column in table.column_names:
+        a, b = table.get_cell(i, column), table.get_cell(j, column)
+        missing = is_missing(a) or is_missing(b)
+        if table.schema.kind_of(column) == "numerical":
+            if missing:
+                features.append(0.5)
+                continue
+            fa, fb = coerce_float(a), coerce_float(b)
+            if np.isnan(fa) or np.isnan(fb):
+                features.append(0.5)
+            else:
+                features.append(
+                    numeric_similarity(fa, fb, column_stds.get(column, 1.0))
+                )
+        else:
+            if missing:
+                features.extend([0.5] * len(STRING_FEATURES))
+                continue
+            text_a, text_b = str(a), str(b)
+            for _, fn in STRING_FEATURES:
+                features.append(fn(text_a, text_b))
+    return np.array(features, dtype=np.float64)

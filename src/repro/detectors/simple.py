@@ -1,0 +1,138 @@
+"""Simple statistical detectors: explicit missing values and the SD / IQR /
+Isolation-Forest outlier detectors of Table 1."""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import profile
+from repro.ml.forest import IsolationForest
+
+
+class MVDetector(Detector):
+    """Explicit missing-value detector (empty / NaN / null tokens).
+
+    The paper attributes this to a pandas-style scan; it is exact for
+    explicit missing values and blind to disguised ones.
+    """
+
+    name = "MVD"
+    category = NON_LEARNING
+    tackles = frozenset({profile.MISSING})
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        return context.dirty.missing_cells()
+
+
+class SDDetector(Detector):
+    """Standard-deviation outlier detector.
+
+    A numeric cell is an outlier when it lies more than ``n_sigmas``
+    standard deviations from its column mean.
+    """
+
+    name = "SD"
+    category = NON_LEARNING
+    tackles = frozenset({profile.OUTLIER, profile.IMPLICIT_MISSING})
+
+    def __init__(self, n_sigmas: float = 3.0) -> None:
+        if n_sigmas <= 0:
+            raise ValueError("n_sigmas must be positive")
+        self.n_sigmas = n_sigmas
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        table = context.dirty
+        for column in table.schema.numerical_names:
+            values = table.as_float(column)
+            finite = values[~np.isnan(values)]
+            if len(finite) < 3:
+                continue
+            mean, std = float(finite.mean()), float(finite.std())
+            if std == 0:
+                continue
+            deviant = np.abs(values - mean) > self.n_sigmas * std
+            for i in np.flatnonzero(deviant & ~np.isnan(values)):
+                cells.add((int(i), column))
+        return cells
+
+
+class IQRDetector(Detector):
+    """Interquartile-range outlier detector.
+
+    Flags values outside ``[Q1 - k*IQR, Q3 + k*IQR]`` -- the resistant
+    alternative to SD the paper describes.
+    """
+
+    name = "IQR"
+    category = NON_LEARNING
+    tackles = frozenset({profile.OUTLIER, profile.IMPLICIT_MISSING})
+
+    def __init__(self, k: float = 1.5) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        table = context.dirty
+        for column in table.schema.numerical_names:
+            values = table.as_float(column)
+            finite = values[~np.isnan(values)]
+            if len(finite) < 4:
+                continue
+            q1, q3 = np.quantile(finite, [0.25, 0.75])
+            iqr = q3 - q1
+            if iqr == 0:
+                continue
+            low, high = q1 - self.k * iqr, q3 + self.k * iqr
+            deviant = (values < low) | (values > high)
+            for i in np.flatnonzero(deviant & ~np.isnan(values)):
+                cells.add((int(i), column))
+        return cells
+
+
+class IFDetector(Detector):
+    """Isolation-forest outlier detector.
+
+    Fits one isolation forest per numeric column (cell-level decisions, as
+    REIN requires) using mean imputation for missing entries, which are
+    never themselves flagged -- they belong to the MV detector.
+    """
+
+    name = "IF"
+    category = NON_LEARNING
+    tackles = frozenset({profile.OUTLIER, profile.IMPLICIT_MISSING})
+
+    def __init__(
+        self, n_estimators: int = 40, contamination: float = 0.1, seed: int = 0
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.contamination = contamination
+        self.seed = seed
+
+    def _detect(self, context: CleaningContext) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        table = context.dirty
+        for column in table.schema.numerical_names:
+            values = table.as_float(column)
+            missing = np.isnan(values)
+            if missing.all() or len(values) < 8:
+                continue
+            filled = values.copy()
+            filled[missing] = float(np.nanmean(values))
+            forest = IsolationForest(
+                n_estimators=self.n_estimators,
+                contamination=self.contamination,
+                seed=self.seed,
+            )
+            forest.fit(filled[:, None])
+            flagged = forest.predict(filled[:, None]) == -1
+            for i in np.flatnonzero(flagged & ~missing):
+                cells.add((int(i), column))
+        return cells

@@ -1,0 +1,41 @@
+"""Controlled error injection (Section 5 of the paper).
+
+REIN injects errors into clean datasets with two engines: BART (denial-
+constraint-guided rule violations, outliers, nulls, duplicates, mislabels)
+and the BigDaMa *error generator* (keyboard typos, implicit missing values,
+Gaussian noise, value swaps).  Both are reimplemented here with explicit
+error-rate control and exact ground-truth error masks.
+"""
+
+from repro.errors.bart import BartEngine
+from repro.errors.injectors import (
+    CompositeInjector,
+    DuplicateInjector,
+    ErrorInjector,
+    GaussianNoiseInjector,
+    ImplicitMissingInjector,
+    InconsistencyInjector,
+    MislabelInjector,
+    MissingValueInjector,
+    OutlierInjector,
+    SwapInjector,
+    TypoInjector,
+)
+from repro.errors.profile import ERROR_TYPES, InjectionResult
+
+__all__ = [
+    "ERROR_TYPES",
+    "BartEngine",
+    "CompositeInjector",
+    "DuplicateInjector",
+    "ErrorInjector",
+    "GaussianNoiseInjector",
+    "ImplicitMissingInjector",
+    "InconsistencyInjector",
+    "InjectionResult",
+    "MislabelInjector",
+    "MissingValueInjector",
+    "OutlierInjector",
+    "SwapInjector",
+    "TypoInjector",
+]

@@ -1,0 +1,197 @@
+"""BART analogue: denial-constraint-guided error injection.
+
+BART ("Benchmarking Algorithms for data Repairing and Translation") injects
+errors that provably violate a given set of denial constraints while
+controlling how *detectable* and *repairable* they are.  This engine
+reproduces that contract for the constraint classes REIN uses:
+
+- FD-style binary constraints (``t1.A == t2.A & t1.B != t2.B``): pick a row
+  inside an existing determinant group and change the dependent value to a
+  *different* group's value, creating a genuine rule violation whose repair
+  (the group majority) remains recoverable.
+- Unary range constraints (``t1.A <op> const``): move the value just across
+  the constraint boundary (detectable) or far across it (cheap to spot),
+  controlled by ``hardness``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint, Predicate
+from repro.dataset.table import Cell, Table, coerce_float, is_missing
+from repro.errors import profile
+from repro.errors.profile import InjectionResult
+
+_NUMERIC_OPS = {"<": -1.0, "<=": -1.0, ">": 1.0, ">=": 1.0}
+
+
+class BartEngine:
+    """Injects rule violations against a set of denial constraints.
+
+    Args:
+        constraints: the denial constraints errors must violate.
+        hardness: in [0, 1]; 0 places unary violations barely across the
+            constraint boundary (hard to spot with statistics), 1 places
+            them far across (easy).  BART's "degree of hardness" knob,
+            inverted to match its repairability semantics.
+    """
+
+    def __init__(
+        self, constraints: Sequence[DenialConstraint], hardness: float = 0.5
+    ) -> None:
+        if not constraints:
+            raise ValueError("BART needs at least one denial constraint")
+        if not 0.0 <= hardness <= 1.0:
+            raise ValueError("hardness must be in [0, 1]")
+        self.constraints = list(constraints)
+        self.hardness = hardness
+
+    def inject(
+        self, table: Table, rate: float, rng: np.random.Generator
+    ) -> InjectionResult:
+        """Corrupt ``rate`` of the table's cells with rule violations.
+
+        The budget is split evenly across constraints; constraints that
+        cannot produce more violations (e.g. all groups are singletons)
+        return fewer cells than requested.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        dirty = table.copy()
+        total_cells = table.n_rows * table.n_columns
+        budget = int(round(rate * total_cells))
+        per_constraint = max(budget // len(self.constraints), 0)
+        marked: Set[Cell] = set()
+        for constraint in self.constraints:
+            if per_constraint == 0:
+                break
+            if constraint.binary:
+                cells = self._violate_fd_constraint(
+                    dirty, constraint, per_constraint, rng, marked
+                )
+            else:
+                cells = self._violate_unary_constraint(
+                    dirty, constraint, per_constraint, rng, marked
+                )
+            marked |= cells
+        return InjectionResult(dirty, {profile.RULE_VIOLATION: marked})
+
+    # ------------------------------------------------------------------
+    def _fd_shape(
+        self, constraint: DenialConstraint
+    ) -> Optional[Tuple[List[str], str]]:
+        """Extract (lhs, rhs) when the constraint is FD-shaped."""
+        lhs: List[str] = []
+        rhs: List[str] = []
+        for predicate in constraint.predicates:
+            if predicate.constant is not None or predicate.right_attr != predicate.left_attr:
+                return None
+            if predicate.op == "==":
+                lhs.append(predicate.left_attr)
+            elif predicate.op == "!=":
+                rhs.append(predicate.left_attr)
+            else:
+                return None
+        if len(rhs) != 1 or not lhs:
+            return None
+        return lhs, rhs[0]
+
+    def _violate_fd_constraint(
+        self,
+        dirty: Table,
+        constraint: DenialConstraint,
+        budget: int,
+        rng: np.random.Generator,
+        already: Set[Cell],
+    ) -> Set[Cell]:
+        shape = self._fd_shape(constraint)
+        if shape is None:
+            return set()
+        lhs, rhs = shape
+        if rhs not in dirty.schema or any(a not in dirty.schema for a in lhs):
+            return set()
+        # Group rows by determinant values.
+        groups: Dict[Tuple[str, ...], List[int]] = {}
+        for i in range(dirty.n_rows):
+            key = []
+            ok = True
+            for attr in lhs:
+                value = dirty.get_cell(i, attr)
+                if is_missing(value):
+                    ok = False
+                    break
+                key.append(str(value).strip())
+            if ok:
+                groups.setdefault(tuple(key), []).append(i)
+        multi = [rows for rows in groups.values() if len(rows) > 1]
+        if not multi:
+            return set()
+        domain = [
+            dirty.get_cell(i, rhs)
+            for i in range(dirty.n_rows)
+            if not is_missing(dirty.get_cell(i, rhs))
+        ]
+        if len({str(v).strip() for v in domain}) < 2:
+            return set()
+        cells: Set[Cell] = set()
+        attempts = 0
+        while len(cells) < budget and attempts < budget * 20:
+            attempts += 1
+            rows = multi[int(rng.integers(len(multi)))]
+            victim = rows[int(rng.integers(len(rows)))]
+            if (victim, rhs) in already or (victim, rhs) in cells:
+                continue
+            current = dirty.get_cell(victim, rhs)
+            replacement = domain[int(rng.integers(len(domain)))]
+            if is_missing(replacement) or str(replacement).strip() == str(current).strip():
+                continue
+            dirty.set_cell(victim, rhs, replacement)
+            cells.add((victim, rhs))
+        return cells
+
+    def _violate_unary_constraint(
+        self,
+        dirty: Table,
+        constraint: DenialConstraint,
+        budget: int,
+        rng: np.random.Generator,
+        already: Set[Cell],
+    ) -> Set[Cell]:
+        # Only single-predicate numeric range constraints are supported;
+        # they cover BART's "outside the valid range" violation class.
+        if len(constraint.predicates) != 1:
+            return set()
+        predicate = constraint.predicates[0]
+        if predicate.constant is None or predicate.op not in _NUMERIC_OPS:
+            return set()
+        attr = predicate.left_attr
+        if attr not in dirty.schema:
+            return set()
+        boundary = coerce_float(predicate.constant)
+        if np.isnan(boundary):
+            return set()
+        values = dirty.as_float(attr)
+        std = float(np.nanstd(values)) or 1.0
+        direction = _NUMERIC_OPS[predicate.op]
+        candidates = [
+            i
+            for i in range(dirty.n_rows)
+            if (i, attr) not in already and not is_missing(dirty.get_cell(i, attr))
+        ]
+        if not candidates:
+            return set()
+        rng.shuffle(candidates)
+        cells: Set[Cell] = set()
+        # The predicate *holding* is the violation; push values to where it
+        # holds.  hardness=0 -> just across the boundary; 1 -> far across.
+        offset = (0.05 + 2.0 * self.hardness) * std
+        for victim in candidates[:budget]:
+            violating_value = boundary + direction * offset * (
+                1.0 + rng.uniform(0.0, 0.5)
+            )
+            dirty.set_cell(victim, attr, float(violating_value))
+            cells.add((victim, attr))
+        return cells

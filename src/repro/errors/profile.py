@@ -1,0 +1,88 @@
+"""Error taxonomy and injection bookkeeping.
+
+Every injector returns an :class:`InjectionResult` carrying the dirty table
+and an exact per-error-type map of the cells it corrupted -- the ground
+truth the detection metrics score against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.dataset.table import Cell, Table
+
+#: The attribute/class error types REIN injects and detects (Table 4).
+MISSING = "missing"
+IMPLICIT_MISSING = "implicit_missing"
+OUTLIER = "outlier"
+TYPO = "typo"
+SWAP = "swap"
+GAUSSIAN_NOISE = "gaussian_noise"
+RULE_VIOLATION = "rule_violation"
+PATTERN_VIOLATION = "pattern_violation"
+INCONSISTENCY = "inconsistency"
+DUPLICATE = "duplicate"
+MISLABEL = "mislabel"
+
+ERROR_TYPES = (
+    MISSING,
+    IMPLICIT_MISSING,
+    OUTLIER,
+    TYPO,
+    SWAP,
+    GAUSSIAN_NOISE,
+    RULE_VIOLATION,
+    PATTERN_VIOLATION,
+    INCONSISTENCY,
+    DUPLICATE,
+    MISLABEL,
+)
+
+
+@dataclass
+class InjectionResult:
+    """A dirty table plus the exact cells corrupted, per error type."""
+
+    dirty: Table
+    cells_by_type: Dict[str, Set[Cell]] = field(default_factory=dict)
+
+    @property
+    def error_cells(self) -> Set[Cell]:
+        """Union of all corrupted cells."""
+        cells: Set[Cell] = set()
+        for group in self.cells_by_type.values():
+            cells |= group
+        return cells
+
+    @property
+    def error_types(self) -> Set[str]:
+        return {t for t, cells in self.cells_by_type.items() if cells}
+
+    def error_rate(self) -> float:
+        """Fraction of table cells that were corrupted."""
+        total = self.dirty.n_rows * self.dirty.n_columns
+        return len(self.error_cells) / total if total else 0.0
+
+    def merge(self, other: "InjectionResult") -> "InjectionResult":
+        """Fold another result (produced on this result's table) in."""
+        merged = dict(self.cells_by_type)
+        for error_type, cells in other.cells_by_type.items():
+            merged[error_type] = merged.get(error_type, set()) | cells
+        return InjectionResult(other.dirty, merged)
+
+    def reconciled_with(self, clean: Table) -> "InjectionResult":
+        """Drop mask entries that no longer differ from the clean table.
+
+        A later injector can accidentally restore an earlier injector's
+        corruption to its original value; reconciling against the clean
+        version keeps the mask exactly equal to the true cell diff.
+        """
+        actual = clean.diff_cells(self.dirty)
+        return InjectionResult(
+            self.dirty,
+            {
+                error_type: cells & actual
+                for error_type, cells in self.cells_by_type.items()
+            },
+        )

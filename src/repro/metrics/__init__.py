@@ -1,0 +1,39 @@
+"""Evaluation metrics for every stage of the pipeline (Section 6.1).
+
+- detection: precision / recall / F1 relative to the ground-truth error
+  mask, plus IoU similarity between detector outputs;
+- repair: precision / recall / F1 for categorical repairs, RMSE for
+  numerical repairs;
+- model: classification P/R/F1 (macro), regression RMSE, clustering
+  Silhouette index;
+- stats: the two-tailed Wilcoxon signed-rank test with continuity
+  correction used for the S1-vs-S4 A/B hypothesis tests.
+"""
+
+from repro.metrics.detection import DetectionScores, detection_scores, iou, iou_matrix
+from repro.metrics.model import (
+    classification_report,
+    f1_score,
+    precision_recall_f1,
+    rmse,
+    silhouette_score,
+)
+from repro.metrics.repair import RepairScores, repair_scores_categorical, repair_rmse
+from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = [
+    "DetectionScores",
+    "RepairScores",
+    "WilcoxonResult",
+    "classification_report",
+    "detection_scores",
+    "f1_score",
+    "iou",
+    "iou_matrix",
+    "precision_recall_f1",
+    "repair_rmse",
+    "repair_scores_categorical",
+    "rmse",
+    "silhouette_score",
+    "wilcoxon_signed_rank",
+]

@@ -1,0 +1,80 @@
+"""Detection-phase metrics: P/R/F1 against the error mask and IoU between
+detectors (Section 6.1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.dataset.table import Cell
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Precision, recall, F1 and raw counts for one detector run."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def detected(self) -> int:
+        return self.true_positives + self.false_positives
+
+
+def detection_scores(
+    detected: Iterable[Cell], actual_errors: Iterable[Cell]
+) -> DetectionScores:
+    """Score a set of detected cells against the ground-truth error cells."""
+    detected_set = set(detected)
+    actual_set = set(actual_errors)
+    tp = len(detected_set & actual_set)
+    fp = len(detected_set - actual_set)
+    fn = len(actual_set - detected_set)
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    return DetectionScores(precision, recall, f1, tp, fp, fn)
+
+
+def iou(cells_a: Iterable[Cell], cells_b: Iterable[Cell]) -> float:
+    """Intersection-over-union of two detection sets.
+
+    Following the paper, callers should pass only true positives -- false
+    positives make the similarity misleading.
+    """
+    set_a, set_b = set(cells_a), set(cells_b)
+    if not set_a and not set_b:
+        return 1.0
+    intersection = len(set_a & set_b)
+    union = len(set_a) + len(set_b) - intersection
+    return intersection / union if union else 0.0
+
+
+def iou_matrix(
+    detections: Dict[str, Set[Cell]],
+    actual_errors: Set[Cell],
+    true_positives_only: bool = True,
+) -> Tuple[List[str], List[List[float]]]:
+    """Pairwise IoU between named detectors.
+
+    Returns the detector name order and a symmetric matrix.  When
+    ``true_positives_only`` is set (the paper's choice), each detection set
+    is first intersected with the actual error cells.
+    """
+    names = sorted(detections)
+    effective = {
+        name: (detections[name] & actual_errors if true_positives_only else detections[name])
+        for name in names
+    }
+    matrix = [
+        [iou(effective[a], effective[b]) for b in names] for a in names
+    ]
+    return names, matrix

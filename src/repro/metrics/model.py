@@ -1,0 +1,114 @@
+"""Model-phase metrics: classification P/R/F1, regression RMSE, and the
+Silhouette index for clustering (Section 6.1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def precision_recall_f1(
+    y_true: Sequence, y_pred: Sequence, average: str = "macro"
+) -> Tuple[float, float, float]:
+    """Multiclass precision/recall/F1.
+
+    ``macro`` averages per-class scores uniformly; ``micro`` pools counts
+    (equivalent to accuracy for single-label classification).
+    """
+    truths = np.asarray(y_true)
+    predictions = np.asarray(y_pred)
+    if len(truths) != len(predictions):
+        raise ValueError("y_true and y_pred must have equal length")
+    if len(truths) == 0:
+        raise ValueError("cannot score empty predictions")
+    classes = np.unique(np.concatenate([truths, predictions]))
+    if average == "micro":
+        tp = float(np.sum(truths == predictions))
+        precision = recall = tp / len(truths)
+        f1 = precision
+        return precision, recall, f1
+    if average != "macro":
+        raise ValueError("average must be 'macro' or 'micro'")
+    precisions, recalls, f1s = [], [], []
+    for cls in classes:
+        tp = float(np.sum((predictions == cls) & (truths == cls)))
+        fp = float(np.sum((predictions == cls) & (truths != cls)))
+        fn = float(np.sum((predictions != cls) & (truths == cls)))
+        p = tp / (tp + fp) if (tp + fp) else 0.0
+        r = tp / (tp + fn) if (tp + fn) else 0.0
+        f = 2 * p * r / (p + r) if (p + r) else 0.0
+        precisions.append(p)
+        recalls.append(r)
+        f1s.append(f)
+    return (
+        float(np.mean(precisions)),
+        float(np.mean(recalls)),
+        float(np.mean(f1s)),
+    )
+
+
+def f1_score(y_true: Sequence, y_pred: Sequence, average: str = "macro") -> float:
+    """Convenience wrapper returning only the F1 component."""
+    return precision_recall_f1(y_true, y_pred, average)[2]
+
+
+def classification_report(y_true: Sequence, y_pred: Sequence) -> Dict[str, float]:
+    """Accuracy plus macro P/R/F1 in one dictionary."""
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+    accuracy = float(np.mean(np.asarray(y_true) == np.asarray(y_pred)))
+    return {
+        "accuracy": accuracy,
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }
+
+
+def rmse(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Root mean squared error."""
+    truths = np.asarray(y_true, dtype=np.float64)
+    predictions = np.asarray(y_pred, dtype=np.float64)
+    if len(truths) != len(predictions):
+        raise ValueError("y_true and y_pred must have equal length")
+    if len(truths) == 0:
+        raise ValueError("cannot score empty predictions")
+    return float(np.sqrt(np.mean((truths - predictions) ** 2)))
+
+
+def silhouette_score(features: np.ndarray, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient over all clustered samples.
+
+    Noise points (label -1, e.g. from OPTICS) are excluded.  Returns 0 when
+    fewer than two clusters remain -- the score is undefined there, and 0 is
+    the conventional "no structure" value.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels)
+    if len(features) != len(labels):
+        raise ValueError("features and labels must have equal length")
+    keep = labels != -1
+    features, labels = features[keep], labels[keep]
+    unique = np.unique(labels)
+    if len(unique) < 2 or len(features) < 3:
+        return 0.0
+    # Pairwise distances once; datasets at clustering stage are sampled small.
+    diffs = features[:, None, :] - features[None, :, :]
+    distances = np.sqrt(np.sum(diffs**2, axis=2))
+    scores = np.zeros(len(features))
+    for i in range(len(features)):
+        same = (labels == labels[i]) & (np.arange(len(features)) != i)
+        if not same.any():
+            scores[i] = 0.0
+            continue
+        a = distances[i, same].mean()
+        b = np.inf
+        for cls in unique:
+            if cls == labels[i]:
+                continue
+            members = labels == cls
+            if members.any():
+                b = min(b, distances[i, members].mean())
+        denom = max(a, b)
+        scores[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(scores.mean())

@@ -1,0 +1,106 @@
+"""Repair-phase metrics (Section 6.1).
+
+Categorical attributes are scored with precision / recall / F1 over
+correctly repaired cells; numerical attributes with RMSE between the
+repaired and ground-truth values.  Cells that an error turned from numeric
+into text and that were never repaired are filtered out of the RMSE
+computation, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.dataset.table import Cell, Table, coerce_float, values_equal
+
+
+@dataclass(frozen=True)
+class RepairScores:
+    precision: float
+    recall: float
+    f1: float
+    correctly_repaired: int
+    repaired: int
+    total_errors: int
+
+
+def _cells_in_columns(cells: Iterable[Cell], columns: Sequence[str]) -> Set[Cell]:
+    allowed = set(columns)
+    return {cell for cell in cells if cell[1] in allowed}
+
+
+def repair_scores_categorical(
+    dirty: Table,
+    repaired: Table,
+    clean: Table,
+    actual_errors: Iterable[Cell],
+    columns: Optional[Sequence[str]] = None,
+) -> RepairScores:
+    """Score categorical repairs.
+
+    Precision = correctly repaired / repaired cells; recall = correctly
+    repaired / actual error cells (restricted to the given columns, which
+    default to the schema's categorical attributes).
+    """
+    if columns is None:
+        columns = clean.schema.categorical_names
+    errors = _cells_in_columns(actual_errors, columns)
+    changed = _cells_in_columns(dirty.diff_cells(repaired), columns)
+    correctly = {
+        (row, col)
+        for row, col in changed
+        if values_equal(repaired.get_cell(row, col), clean.get_cell(row, col))
+    }
+    repaired_count = len(changed)
+    correct_count = len(correctly)
+    total_errors = len(errors)
+    precision = correct_count / repaired_count if repaired_count else 0.0
+    recall = correct_count / total_errors if total_errors else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    return RepairScores(
+        precision, recall, f1, correct_count, repaired_count, total_errors
+    )
+
+
+def repair_rmse(
+    repaired: Table,
+    clean: Table,
+    columns: Optional[Sequence[str]] = None,
+    normalize: bool = True,
+) -> float:
+    """RMSE between repaired and ground-truth numerical values.
+
+    Cells whose repaired payload is still non-numeric (e.g. an undetected
+    typo that turned a number into text) are filtered out, following the
+    paper.  With ``normalize`` (default) each column's squared errors are
+    scaled by the clean column's standard deviation so wide-range columns
+    do not dominate; this keeps RMSE comparable across datasets.
+    """
+    if columns is None:
+        columns = clean.schema.numerical_names
+    if not columns:
+        return 0.0
+    squared_errors = []
+    for name in columns:
+        repaired_values = repaired.as_float(name)
+        clean_values = clean.as_float(name)
+        valid = ~np.isnan(repaired_values) & ~np.isnan(clean_values)
+        if not valid.any():
+            continue
+        diff = repaired_values[valid] - clean_values[valid]
+        if normalize:
+            scale = float(np.nanstd(clean_values))
+            if scale > 0:
+                diff = diff / scale
+        squared_errors.append(diff**2)
+    if not squared_errors:
+        return math.nan
+    return float(np.sqrt(np.concatenate(squared_errors).mean()))

@@ -1,0 +1,116 @@
+"""Wilcoxon signed-rank test with continuity correction (Section 4).
+
+REIN uses the two-tailed Wilcoxon signed-rank test to decide whether an ML
+model behaves the same in two scenarios (e.g. S1 vs S4) across repeated
+runs.  The implementation here uses the normal approximation with tie
+correction and the +-0.5 continuity correction the paper calls out, and
+falls back to the exact null distribution for very small samples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of a two-tailed Wilcoxon signed-rank test."""
+
+    statistic: float
+    p_value: float
+    n_effective: int
+
+    def reject_null(self, alpha: float = 0.05) -> bool:
+        """True when the two samples differ significantly at level alpha."""
+        return self.p_value < alpha
+
+
+def _signed_ranks(differences: np.ndarray) -> np.ndarray:
+    """Average ranks of |differences| (ties share their mean rank)."""
+    magnitudes = np.abs(differences)
+    order = np.argsort(magnitudes, kind="stable")
+    ranks = np.empty(len(magnitudes), dtype=np.float64)
+    sorted_mags = magnitudes[order]
+    i = 0
+    while i < len(sorted_mags):
+        j = i
+        while j + 1 < len(sorted_mags) and sorted_mags[j + 1] == sorted_mags[i]:
+            j += 1
+        mean_rank = 0.5 * (i + j) + 1.0
+        ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def _exact_p_value(w_plus: float, ranks: np.ndarray) -> float:
+    """Exact two-tailed p-value by enumerating all sign assignments."""
+    n = len(ranks)
+    total = 0
+    extreme = 0
+    mean = ranks.sum() / 2.0
+    observed_dev = abs(w_plus - mean)
+    for signs in itertools.product((0.0, 1.0), repeat=n):
+        w = float(np.dot(signs, ranks))
+        total += 1
+        if abs(w - mean) >= observed_dev - 1e-12:
+            extreme += 1
+    return extreme / total
+
+
+def wilcoxon_signed_rank(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    exact_threshold: int = 12,
+) -> WilcoxonResult:
+    """Two-tailed Wilcoxon signed-rank test on paired samples.
+
+    Args:
+        sample_a, sample_b: paired measurements (e.g. per-seed F1 scores of
+            a model in scenarios S1 and S4).
+        exact_threshold: use the exact null distribution when the number of
+            non-zero differences is at most this (2^n enumeration).
+
+    Returns:
+        :class:`WilcoxonResult` with statistic W+ and two-tailed p-value.
+        When every pair is tied (no non-zero differences), the samples are
+        indistinguishable and p-value 1.0 is returned.
+    """
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if len(a) == 0:
+        raise ValueError("need at least one pair")
+    differences = a - b
+    nonzero = differences[differences != 0.0]
+    n = len(nonzero)
+    if n == 0:
+        return WilcoxonResult(statistic=0.0, p_value=1.0, n_effective=0)
+    ranks = _signed_ranks(nonzero)
+    w_plus = float(ranks[nonzero > 0].sum())
+    if n <= exact_threshold:
+        return WilcoxonResult(w_plus, _exact_p_value(w_plus, ranks), n)
+    # Normal approximation with tie correction and continuity correction.
+    mean = n * (n + 1) / 4.0
+    variance = n * (n + 1) * (2 * n + 1) / 24.0
+    # Tie correction: subtract sum(t^3 - t)/48 over tie groups.
+    _, counts = np.unique(np.abs(nonzero), return_counts=True)
+    variance -= float(np.sum(counts**3 - counts)) / 48.0
+    if variance <= 0:
+        return WilcoxonResult(w_plus, 1.0, n)
+    deviation = w_plus - mean
+    # Continuity correction shrinks |deviation| by 0.5.
+    corrected = abs(deviation) - 0.5
+    corrected = max(corrected, 0.0)
+    z = corrected / math.sqrt(variance)
+    p_value = 2.0 * (1.0 - _standard_normal_cdf(z))
+    return WilcoxonResult(w_plus, min(p_value, 1.0), n)
+
+
+def _standard_normal_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

@@ -1,0 +1,78 @@
+"""From-scratch ML model pool (Table 2 of the REIN paper).
+
+REIN evaluates cleaning strategies through the downstream performance of 12
+classifiers, 11 regressors, 6 clustering algorithms, and 2 AutoML systems.
+scikit-learn is not available in this environment, so every model here is a
+faithful numpy reimplementation with the same algorithmic behaviour (and thus
+the same sensitivity to dirty data) as the original.
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, ClustererMixin, RegressorMixin, clone
+from repro.ml.boosting import (
+    AdaBoostClassifier,
+    AdaBoostRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+)
+from repro.ml.cluster import (
+    AffinityPropagation,
+    AgglomerativeClustering,
+    Birch,
+    GaussianMixture,
+    KMeans,
+    Optics,
+)
+from repro.ml.forest import IsolationForest, RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import (
+    BayesianRidgeRegressor,
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    RansacRegressor,
+    RidgeClassifier,
+    RidgeRegressor,
+    SGDClassifier,
+)
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+from repro.ml.naive_bayes import GaussianNB, MultinomialNB
+from repro.ml.neighbors import KNNClassifier, KNNRegressor
+from repro.ml.noise_aware import LabelSmoothingClassifier, PruneAndRetrainClassifier
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "AdaBoostClassifier",
+    "AdaBoostRegressor",
+    "AffinityPropagation",
+    "AgglomerativeClustering",
+    "BaseEstimator",
+    "BayesianRidgeRegressor",
+    "Birch",
+    "ClassifierMixin",
+    "ClustererMixin",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianMixture",
+    "GaussianNB",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "IsolationForest",
+    "KMeans",
+    "KNNClassifier",
+    "KNNRegressor",
+    "LabelSmoothingClassifier",
+    "PruneAndRetrainClassifier",
+    "LinearRegression",
+    "LinearSVC",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MLPRegressor",
+    "MultinomialNB",
+    "Optics",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "RansacRegressor",
+    "RidgeClassifier",
+    "RidgeRegressor",
+    "SGDClassifier",
+    "clone",
+]

@@ -1,0 +1,301 @@
+"""AutoML systems: an Auto-Sklearn analogue and a TPOT analogue.
+
+REIN evaluates two AutoML algorithms to see whether fully automated pipelines
+can compensate for dirty or badly repaired data.  Both systems here search
+jointly over preprocessing and model/hyperparameter choices drawn from the
+:mod:`repro.ml.model_zoo` registry:
+
+- :class:`AutoLearn` (Auto-Sklearn analogue): TPE-guided search over a
+  portfolio of (preprocessor, model, hyperparameters) configurations with a
+  holdout objective.
+- :class:`TPotLite` (TPOT analogue): a small genetic algorithm that evolves
+  pipeline genomes via mutation and crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataset.splits import train_test_split
+from repro.ml.base import BaseEstimator, check_arrays
+from repro.ml.model_zoo import CLASSIFICATION, REGRESSION, ModelSpec, specs_for_task
+
+
+# ----------------------------------------------------------------------
+# Preprocessing operators the pipelines can include
+# ----------------------------------------------------------------------
+class _IdentityOp:
+    name = "identity"
+
+    def fit(self, features: np.ndarray) -> "_IdentityOp":
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return features
+
+
+class _PCAOp:
+    """Dimensionality reduction via truncated SVD on centred features."""
+
+    name = "pca"
+
+    def __init__(self, n_components: int = 5) -> None:
+        self.n_components = n_components
+        self._mean: Optional[np.ndarray] = None
+        self._components: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "_PCAOp":
+        self._mean = features.mean(axis=0)
+        centred = features - self._mean
+        _, _, vt = np.linalg.svd(centred, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self._components = vt[:k]
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._mean) @ self._components.T
+
+
+class _VarianceSelectOp:
+    """Keep the top-k highest-variance features."""
+
+    name = "variance_select"
+
+    def __init__(self, k: int = 10) -> None:
+        self.k = k
+        self._keep: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "_VarianceSelectOp":
+        variances = features.var(axis=0)
+        k = min(self.k, features.shape[1])
+        self._keep = np.argsort(variances)[::-1][:k]
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return features[:, self._keep]
+
+
+def _make_preprocessor(kind: str, rng: np.random.Generator, n_features: int):
+    if kind == "identity":
+        return _IdentityOp()
+    if kind == "pca":
+        return _PCAOp(n_components=int(rng.integers(2, max(3, n_features))))
+    if kind == "variance_select":
+        return _VarianceSelectOp(k=int(rng.integers(2, max(3, n_features + 1))))
+    raise ValueError(f"unknown preprocessor {kind!r}")
+
+
+_PREPROCESSORS = ("identity", "pca", "variance_select")
+
+
+@dataclass
+class PipelineGenome:
+    """One candidate pipeline: preprocessor kind + model spec + params."""
+
+    preprocessor: str
+    spec: ModelSpec
+    params: Dict[str, Any]
+
+
+class _FittedPipeline:
+    """A fitted (preprocessor, model) pair."""
+
+    def __init__(self, preprocessor, model) -> None:
+        self.preprocessor = preprocessor
+        self.model = model
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.model.predict(self.preprocessor.transform(features))
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        return self.model.score(self.preprocessor.transform(features), targets)
+
+
+class _AutoMLBase(BaseEstimator):
+    """Shared holdout-evaluation machinery for both AutoML systems."""
+
+    def __init__(self, task: str, time_budget: int, seed: int) -> None:
+        if task not in (CLASSIFICATION, REGRESSION):
+            raise ValueError("AutoML supports classification or regression")
+        if time_budget < 1:
+            raise ValueError("time_budget must be >= 1 evaluations")
+        self.task = task
+        self.time_budget = time_budget
+        self.seed = seed
+        self.best_pipeline_: Optional[_FittedPipeline] = None
+        self.best_genome_: Optional[PipelineGenome] = None
+        self.best_score_: float = -np.inf
+        self.history_: List[Tuple[PipelineGenome, float]] = []
+
+    def _random_genome(self, rng: np.random.Generator) -> PipelineGenome:
+        specs = specs_for_task(self.task)
+        spec = specs[int(rng.integers(len(specs)))]
+        params = spec.space.sample(rng)
+        preprocessor = _PREPROCESSORS[int(rng.integers(len(_PREPROCESSORS)))]
+        return PipelineGenome(preprocessor, spec, params)
+
+    def _evaluate(
+        self,
+        genome: PipelineGenome,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_valid: np.ndarray,
+        y_valid: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[float, Optional[_FittedPipeline]]:
+        try:
+            preprocessor = _make_preprocessor(
+                genome.preprocessor, rng, x_train.shape[1]
+            ).fit(x_train)
+            model = genome.spec.build(**genome.params)
+            model.fit(preprocessor.transform(x_train), y_train)
+            pipeline = _FittedPipeline(preprocessor, model)
+            return pipeline.score(x_valid, y_valid), pipeline
+        except (ValueError, np.linalg.LinAlgError, RuntimeError):
+            return -np.inf, None
+
+    def _record(self, genome: PipelineGenome, score: float, pipeline) -> None:
+        self.history_.append((genome, score))
+        if pipeline is not None and score > self.best_score_:
+            self.best_score_ = score
+            self.best_genome_ = genome
+            self.best_pipeline_ = pipeline
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("best_pipeline_")
+        features, _ = check_arrays(features)
+        return self.best_pipeline_.predict(features)
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        self._require_fitted("best_pipeline_")
+        return self.best_pipeline_.score(features, targets)
+
+
+class AutoLearn(_AutoMLBase):
+    """Auto-Sklearn analogue: portfolio + adaptive search with holdout.
+
+    The first third of the budget samples random pipelines (the "portfolio"
+    phase); the remainder mutates the best genome found so far, which mimics
+    Auto-Sklearn's Bayesian-optimisation refinement.
+    """
+
+    def __init__(self, task: str = CLASSIFICATION, time_budget: int = 15, seed: int = 0):
+        super().__init__(task, time_budget, seed)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "AutoLearn":
+        features, targets = check_arrays(features, targets)
+        rng = np.random.default_rng(self.seed)
+        stratify = targets if self.task == CLASSIFICATION else None
+        train_idx, valid_idx = train_test_split(
+            len(features), 0.25, rng=rng, stratify=stratify
+        )
+        x_train, y_train = features[train_idx], targets[train_idx]
+        x_valid, y_valid = features[valid_idx], targets[valid_idx]
+        n_random = max(3, self.time_budget // 3)
+        for step in range(self.time_budget):
+            if step < n_random or self.best_genome_ is None:
+                genome = self._random_genome(rng)
+            else:
+                genome = _mutate(self.best_genome_, rng, self.task)
+            score, pipeline = self._evaluate(
+                genome, x_train, y_train, x_valid, y_valid, rng
+            )
+            self._record(genome, score, pipeline)
+        if self.best_pipeline_ is None:
+            raise RuntimeError("AutoLearn found no working pipeline")
+        return self
+
+
+def _mutate(
+    genome: PipelineGenome, rng: np.random.Generator, task: str
+) -> PipelineGenome:
+    """Return a perturbed copy of a pipeline genome."""
+    choice = rng.uniform()
+    if choice < 0.2:
+        # Swap the preprocessor.
+        preprocessor = _PREPROCESSORS[int(rng.integers(len(_PREPROCESSORS)))]
+        return PipelineGenome(preprocessor, genome.spec, dict(genome.params))
+    if choice < 0.4:
+        # Swap the model entirely.
+        specs = specs_for_task(task)
+        spec = specs[int(rng.integers(len(specs)))]
+        return PipelineGenome(genome.preprocessor, spec, spec.space.sample(rng))
+    # Perturb the hyperparameters near the current values.
+    params = genome.spec.space.sample_near(genome.params, rng)
+    return PipelineGenome(genome.preprocessor, genome.spec, params)
+
+
+def _crossover(
+    a: PipelineGenome, b: PipelineGenome, rng: np.random.Generator
+) -> PipelineGenome:
+    """Combine two genomes: preprocessor from one, model from the other."""
+    if rng.uniform() < 0.5:
+        return PipelineGenome(a.preprocessor, b.spec, dict(b.params))
+    return PipelineGenome(b.preprocessor, a.spec, dict(a.params))
+
+
+class TPotLite(_AutoMLBase):
+    """TPOT analogue: genetic programming over pipeline genomes.
+
+    Maintains a small population, selects by holdout fitness, and produces
+    offspring by crossover + mutation for a fixed number of generations.
+    ``time_budget`` caps the total number of pipeline evaluations.
+    """
+
+    def __init__(
+        self,
+        task: str = CLASSIFICATION,
+        population_size: int = 6,
+        generations: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__(task, population_size * (generations + 1), seed)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.population_size = population_size
+        self.generations = generations
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "TPotLite":
+        features, targets = check_arrays(features, targets)
+        rng = np.random.default_rng(self.seed)
+        stratify = targets if self.task == CLASSIFICATION else None
+        train_idx, valid_idx = train_test_split(
+            len(features), 0.25, rng=rng, stratify=stratify
+        )
+        x_train, y_train = features[train_idx], targets[train_idx]
+        x_valid, y_valid = features[valid_idx], targets[valid_idx]
+
+        population = [
+            self._random_genome(rng) for _ in range(self.population_size)
+        ]
+        scored: List[Tuple[PipelineGenome, float]] = []
+        for genome in population:
+            score, pipeline = self._evaluate(
+                genome, x_train, y_train, x_valid, y_valid, rng
+            )
+            self._record(genome, score, pipeline)
+            scored.append((genome, score))
+        for _ in range(self.generations):
+            scored.sort(key=lambda pair: pair[1], reverse=True)
+            parents = [g for g, _ in scored[: max(2, self.population_size // 2)]]
+            offspring: List[PipelineGenome] = []
+            while len(offspring) < self.population_size:
+                a = parents[int(rng.integers(len(parents)))]
+                b = parents[int(rng.integers(len(parents)))]
+                child = _crossover(a, b, rng)
+                if rng.uniform() < 0.7:
+                    child = _mutate(child, rng, self.task)
+                offspring.append(child)
+            scored = []
+            for genome in offspring:
+                score, pipeline = self._evaluate(
+                    genome, x_train, y_train, x_valid, y_valid, rng
+                )
+                self._record(genome, score, pipeline)
+                scored.append((genome, score))
+        if self.best_pipeline_ is None:
+            raise RuntimeError("TPotLite found no working pipeline")
+        return self

@@ -1,0 +1,142 @@
+"""Estimator protocol shared by every model in the pool.
+
+Models follow the familiar fit/predict contract.  Constructor arguments are
+hyperparameters; :func:`clone` rebuilds an unfitted copy from them, which the
+tuning and AutoML layers rely on.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Optional, Tuple, TypeVar
+
+import numpy as np
+
+EstimatorT = TypeVar("EstimatorT", bound="BaseEstimator")
+
+
+def check_arrays(
+    features: np.ndarray, targets: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Validate and canonicalize a feature matrix (and optional targets)."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    if np.isnan(features).any():
+        raise ValueError("features contain NaN; encode/impute before fitting")
+    if targets is not None:
+        targets = np.asarray(targets)
+        if targets.ndim != 1:
+            raise ValueError("targets must be 1-D")
+        if len(targets) != len(features):
+            raise ValueError(
+                f"{len(features)} rows but {len(targets)} targets"
+            )
+    return features, targets
+
+
+class BaseEstimator:
+    """Base class: hyperparameter introspection and cloning."""
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return constructor hyperparameters by introspection."""
+        signature = inspect.signature(type(self).__init__)
+        params = {}
+        for name in signature.parameters:
+            if name in ("self", "args", "kwargs"):
+                continue
+            params[name] = getattr(self, name)
+        return params
+
+    def set_params(self: EstimatorT, **params: Any) -> EstimatorT:
+        valid = set(self.get_params())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no hyperparameter {name!r}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _require_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise RuntimeError(
+                f"{type(self).__name__} used before fit()"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: EstimatorT) -> EstimatorT:
+    """Return an unfitted copy with identical hyperparameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+class ClassifierMixin:
+    """Adds class bookkeeping and accuracy scoring to classifiers."""
+
+    classes_: Optional[np.ndarray] = None
+
+    def _encode_labels(self, targets: np.ndarray) -> np.ndarray:
+        """Record classes_ and return labels as indices into it."""
+        classes, encoded = np.unique(targets, return_inverse=True)
+        self.classes_ = classes
+        return encoded
+
+    def _decode_labels(self, indices: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        return self.classes_[indices]
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Mean accuracy."""
+        predictions = self.predict(features)  # type: ignore[attr-defined]
+        return float(np.mean(np.asarray(predictions) == np.asarray(targets)))
+
+
+class RegressorMixin:
+    """Adds R^2 scoring to regressors."""
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        predictions = np.asarray(self.predict(features))  # type: ignore[attr-defined]
+        targets = np.asarray(targets, dtype=np.float64)
+        residual = float(np.sum((targets - predictions) ** 2))
+        total = float(np.sum((targets - targets.mean()) ** 2))
+        if total == 0.0:
+            return 0.0 if residual > 0 else 1.0
+        return 1.0 - residual / total
+
+
+class ClustererMixin:
+    """Marker for clustering estimators (fit_predict interface)."""
+
+    labels_: Optional[np.ndarray] = None
+
+    def fit_predict(self, features: np.ndarray) -> np.ndarray:
+        self.fit(features)  # type: ignore[attr-defined]
+        assert self.labels_ is not None
+        return self.labels_
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(values, dtype=np.float64)
+    positive = values >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_vals = np.exp(values[~positive])
+    out[~positive] = exp_vals / (1.0 + exp_vals)
+    return out
+
+
+def add_intercept(features: np.ndarray) -> np.ndarray:
+    """Append a constant-1 column."""
+    return np.hstack([features, np.ones((len(features), 1))])

@@ -1,0 +1,280 @@
+"""Boosting ensembles: AdaBoost (SAMME / R2) and gradient boosting.
+
+Gradient boosting with shrinkage and subsampling stands in for XGBoost in
+Table 2 -- it is the same additive-trees-on-gradients algorithm, minus the
+second-order and systems-level optimisations, so its sensitivity to dirty
+data matches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_arrays,
+    sigmoid,
+    softmax,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
+    """Multiclass AdaBoost (SAMME) over depth-1..k CART stumps."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 1,
+        learning_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.estimators_: Optional[List[Tuple[DecisionTreeClassifier, float]]] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "AdaBoostClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_samples = len(features)
+        n_classes = len(self.classes_)
+        weights = np.full(n_samples, 1.0 / n_samples)
+        self.estimators_ = []
+        for t in range(self.n_estimators):
+            stump = DecisionTreeClassifier(
+                max_depth=self.max_depth, seed=self.seed * 7919 + t
+            )
+            stump.fit(features, encoded, sample_weight=weights)
+            predictions = stump.predict(features)
+            wrong = predictions != encoded
+            error = float(np.sum(weights[wrong]))
+            if error >= 1.0 - 1.0 / n_classes:
+                continue  # worse than chance: skip this round
+            error = max(error, 1e-10)
+            alpha = self.learning_rate * (
+                np.log((1 - error) / error) + np.log(n_classes - 1)
+            )
+            self.estimators_.append((stump, alpha))
+            weights = weights * np.exp(alpha * wrong)
+            weights /= weights.sum()
+            if error < 1e-9:
+                break
+        if not self.estimators_:
+            fallback = DecisionTreeClassifier(max_depth=self.max_depth, seed=self.seed)
+            fallback.fit(features, encoded)
+            self.estimators_ = [(fallback, 1.0)]
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("estimators_")
+        features, _ = check_arrays(features)
+        n_classes = len(self.classes_)
+        scores = np.zeros((len(features), n_classes))
+        for stump, alpha in self.estimators_:
+            predictions = stump.predict(features).astype(int)
+            scores[np.arange(len(features)), predictions] += alpha
+        return scores
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.decision_function(features), axis=1))
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return softmax(self.decision_function(features))
+
+
+class AdaBoostRegressor(BaseEstimator, RegressorMixin):
+    """AdaBoost.R2 (Drucker) with linear loss and weighted-median output."""
+
+    def __init__(
+        self, n_estimators: int = 30, max_depth: int = 3, seed: int = 0
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self.estimators_: Optional[List[Tuple[DecisionTreeRegressor, float]]] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "AdaBoostRegressor":
+        features, targets = check_arrays(features, targets)
+        targets = targets.astype(np.float64)
+        rng = np.random.default_rng(self.seed)
+        n_samples = len(features)
+        weights = np.full(n_samples, 1.0 / n_samples)
+        self.estimators_ = []
+        for t in range(self.n_estimators):
+            idx = rng.choice(n_samples, size=n_samples, p=weights)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, seed=self.seed * 7919 + t
+            )
+            tree.fit(features[idx], targets[idx])
+            errors = np.abs(tree.predict(features) - targets)
+            max_error = errors.max()
+            if max_error <= 1e-12:
+                self.estimators_.append((tree, 1.0))
+                break
+            losses = errors / max_error
+            avg_loss = float(np.sum(weights * losses))
+            if avg_loss >= 0.5:
+                if not self.estimators_:
+                    self.estimators_.append((tree, 1e-3))
+                break
+            beta = avg_loss / (1 - avg_loss)
+            self.estimators_.append((tree, np.log(1.0 / max(beta, 1e-10))))
+            weights = weights * beta ** (1 - losses)
+            weights /= weights.sum()
+        if not self.estimators_:
+            fallback = DecisionTreeRegressor(max_depth=self.max_depth, seed=self.seed)
+            fallback.fit(features, targets)
+            self.estimators_ = [(fallback, 1.0)]
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("estimators_")
+        features, _ = check_arrays(features)
+        all_predictions = np.vstack(
+            [tree.predict(features) for tree, _ in self.estimators_]
+        )
+        alphas = np.array([alpha for _, alpha in self.estimators_])
+        # Weighted median across estimators, per sample.
+        order = np.argsort(all_predictions, axis=0)
+        sorted_alpha = alphas[order]
+        cum = np.cumsum(sorted_alpha, axis=0)
+        half = 0.5 * alphas.sum()
+        pick = np.argmax(cum >= half, axis=0)
+        return all_predictions[order[pick, np.arange(features.shape[0])],
+                               np.arange(features.shape[0])]
+
+
+class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+    """Least-squares gradient boosting with shrinkage and row subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.seed = seed
+        self.init_: float = 0.0
+        self.trees_: Optional[List[DecisionTreeRegressor]] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
+        features, targets = check_arrays(features, targets)
+        targets = targets.astype(np.float64)
+        rng = np.random.default_rng(self.seed)
+        self.init_ = float(targets.mean())
+        current = np.full(len(targets), self.init_)
+        self.trees_ = []
+        n_sub = max(2, int(self.subsample * len(features)))
+        for t in range(self.n_estimators):
+            residuals = targets - current
+            idx = (
+                np.arange(len(features))
+                if self.subsample >= 1.0
+                else rng.choice(len(features), size=n_sub, replace=False)
+            )
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, seed=self.seed * 7919 + t
+            )
+            tree.fit(features[idx], residuals[idx])
+            current += self.learning_rate * tree.predict(features)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("trees_")
+        features, _ = check_arrays(features)
+        out = np.full(len(features), self.init_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(features)
+        return out
+
+
+class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
+    """Gradient boosting for classification.
+
+    Binary problems use logistic loss; multiclass uses one-vs-rest logistic
+    boosting (a K-output additive model on per-class residuals).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.seed = seed
+        self.init_: Optional[np.ndarray] = None
+        self.trees_: Optional[List[List[DecisionTreeRegressor]]] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_classes = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        n_samples = len(features)
+        onehot = np.zeros((n_samples, n_classes))
+        onehot[np.arange(n_samples), encoded] = 1.0
+        prior = onehot.mean(axis=0).clip(1e-6, 1 - 1e-6)
+        self.init_ = np.log(prior / (1 - prior))
+        logits = np.tile(self.init_, (n_samples, 1))
+        self.trees_ = []
+        n_sub = max(2, int(self.subsample * n_samples))
+        for t in range(self.n_estimators):
+            probabilities = sigmoid(logits)
+            stage: List[DecisionTreeRegressor] = []
+            idx = (
+                np.arange(n_samples)
+                if self.subsample >= 1.0
+                else rng.choice(n_samples, size=n_sub, replace=False)
+            )
+            for k in range(n_classes):
+                residual = onehot[:, k] - probabilities[:, k]
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    seed=self.seed * 7919 + t * n_classes + k,
+                )
+                tree.fit(features[idx], residual[idx])
+                logits[:, k] += self.learning_rate * tree.predict(features)
+                stage.append(tree)
+            self.trees_.append(stage)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("trees_")
+        features, _ = check_arrays(features)
+        logits = np.tile(self.init_, (len(features), 1))
+        for stage in self.trees_:
+            for k, tree in enumerate(stage):
+                logits[:, k] += self.learning_rate * tree.predict(features)
+        return logits
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        probabilities = sigmoid(self.decision_function(features))
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return probabilities / totals
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.decision_function(features), axis=1))

@@ -1,0 +1,466 @@
+"""Clustering algorithms: K-Means, GMM, affinity propagation, agglomerative,
+OPTICS, and BIRCH (Table 2's unsupervised column)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClustererMixin, check_arrays
+from repro.ml.neighbors import _pairwise_sq_distances
+
+
+class KMeans(BaseEstimator, ClustererMixin):
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        max_iter: int = 100,
+        n_init: int = 3,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.tol = tol
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+
+    def _init_centers(
+        self, features: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n_samples = len(features)
+        centers = [features[rng.integers(n_samples)]]
+        for _ in range(1, self.n_clusters):
+            distances = np.min(
+                _pairwise_sq_distances(features, np.vstack(centers)), axis=1
+            )
+            total = distances.sum()
+            if total <= 0:
+                centers.append(features[rng.integers(n_samples)])
+                continue
+            probabilities = distances / total
+            centers.append(features[rng.choice(n_samples, p=probabilities)])
+        return np.vstack(centers)
+
+    def _single_run(
+        self, features: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        centers = self._init_centers(features, rng)
+        labels = np.zeros(len(features), dtype=np.int64)
+        for _ in range(self.max_iter):
+            distances = _pairwise_sq_distances(features, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = features[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        inertia = float(
+            np.sum(np.min(_pairwise_sq_distances(features, centers), axis=1))
+        )
+        return centers, labels, inertia
+
+    def fit(self, features: np.ndarray) -> "KMeans":
+        features, _ = check_arrays(features)
+        if len(features) < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        best: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+        for _ in range(self.n_init):
+            run = self._single_run(features, rng)
+            if best is None or run[2] < best[2]:
+                best = run
+        self.centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("centers_")
+        features, _ = check_arrays(features)
+        return np.argmin(_pairwise_sq_distances(features, self.centers_), axis=1)
+
+
+class GaussianMixture(BaseEstimator, ClustererMixin):
+    """Diagonal-covariance Gaussian mixture fit with EM."""
+
+    def __init__(
+        self,
+        n_components: int = 3,
+        max_iter: int = 100,
+        tol: float = 1e-4,
+        reg_covar: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.seed = seed
+        self.means_: Optional[np.ndarray] = None
+        self.variances_: Optional[np.ndarray] = None
+        self.weights_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.log_likelihood_: float = -np.inf
+
+    def _log_prob(self, features: np.ndarray) -> np.ndarray:
+        """Per-sample, per-component weighted log density."""
+        n_samples = len(features)
+        log_probs = np.empty((n_samples, self.n_components))
+        for k in range(self.n_components):
+            var = self.variances_[k]
+            diff = features - self.means_[k]
+            log_probs[:, k] = (
+                np.log(self.weights_[k] + 1e-300)
+                - 0.5 * np.sum(np.log(2.0 * np.pi * var))
+                - 0.5 * np.sum(diff**2 / var, axis=1)
+            )
+        return log_probs
+
+    def fit(self, features: np.ndarray) -> "GaussianMixture":
+        features, _ = check_arrays(features)
+        if len(features) < self.n_components:
+            raise ValueError("fewer samples than components")
+        # Initialize from a cheap K-Means run.
+        kmeans = KMeans(self.n_components, n_init=1, seed=self.seed).fit(features)
+        n_features = features.shape[1]
+        self.means_ = kmeans.centers_.copy()
+        self.variances_ = np.empty((self.n_components, n_features))
+        self.weights_ = np.empty(self.n_components)
+        global_var = features.var(axis=0) + self.reg_covar
+        for k in range(self.n_components):
+            members = features[kmeans.labels_ == k]
+            self.weights_[k] = max(len(members), 1) / len(features)
+            self.variances_[k] = (
+                members.var(axis=0) + self.reg_covar if len(members) > 1 else global_var
+            )
+        previous = -np.inf
+        for _ in range(self.max_iter):
+            log_probs = self._log_prob(features)
+            log_norm = np.logaddexp.reduce(log_probs, axis=1)
+            responsibilities = np.exp(log_probs - log_norm[:, None])
+            likelihood = float(log_norm.mean())
+            if abs(likelihood - previous) < self.tol:
+                break
+            previous = likelihood
+            counts = responsibilities.sum(axis=0) + 1e-10
+            self.weights_ = counts / len(features)
+            self.means_ = (responsibilities.T @ features) / counts[:, None]
+            for k in range(self.n_components):
+                diff = features - self.means_[k]
+                self.variances_[k] = (
+                    responsibilities[:, k] @ (diff**2) / counts[k] + self.reg_covar
+                )
+        self.log_likelihood_ = previous
+        self.labels_ = np.argmax(self._log_prob(features), axis=1)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("means_")
+        features, _ = check_arrays(features)
+        return np.argmax(self._log_prob(features), axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("means_")
+        features, _ = check_arrays(features)
+        log_probs = self._log_prob(features)
+        log_norm = np.logaddexp.reduce(log_probs, axis=1)
+        return np.exp(log_probs - log_norm[:, None])
+
+
+class AffinityPropagation(BaseEstimator, ClustererMixin):
+    """Frey & Dueck's message-passing exemplar clustering."""
+
+    def __init__(
+        self,
+        damping: float = 0.7,
+        max_iter: int = 200,
+        convergence_iter: int = 15,
+        preference: Optional[float] = None,
+    ) -> None:
+        if not 0.5 <= damping < 1.0:
+            raise ValueError("damping must be in [0.5, 1)")
+        self.damping = damping
+        self.max_iter = max_iter
+        self.convergence_iter = convergence_iter
+        self.preference = preference
+        self.labels_: Optional[np.ndarray] = None
+        self.exemplars_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "AffinityPropagation":
+        features, _ = check_arrays(features)
+        n_samples = len(features)
+        similarity = -_pairwise_sq_distances(features, features)
+        preference = (
+            self.preference
+            if self.preference is not None
+            else float(np.median(similarity))
+        )
+        np.fill_diagonal(similarity, preference)
+        responsibility = np.zeros_like(similarity)
+        availability = np.zeros_like(similarity)
+        stable = 0
+        previous_exemplars: Optional[np.ndarray] = None
+        for _ in range(self.max_iter):
+            # Responsibility update.
+            combined = availability + similarity
+            first_max = combined.max(axis=1)
+            first_arg = combined.argmax(axis=1)
+            combined[np.arange(n_samples), first_arg] = -np.inf
+            second_max = combined.max(axis=1)
+            new_resp = similarity - first_max[:, None]
+            new_resp[np.arange(n_samples), first_arg] = (
+                similarity[np.arange(n_samples), first_arg] - second_max
+            )
+            responsibility = (
+                self.damping * responsibility + (1 - self.damping) * new_resp
+            )
+            # Availability update.
+            clipped = np.maximum(responsibility, 0.0)
+            np.fill_diagonal(clipped, np.diag(responsibility))
+            column_sums = clipped.sum(axis=0)
+            new_avail = np.minimum(0.0, column_sums[None, :] - clipped)
+            diag = column_sums - np.diag(clipped)
+            np.fill_diagonal(new_avail, diag)
+            availability = (
+                self.damping * availability + (1 - self.damping) * new_avail
+            )
+            exemplars = np.flatnonzero(
+                np.diag(responsibility) + np.diag(availability) > 0
+            )
+            if previous_exemplars is not None and np.array_equal(
+                exemplars, previous_exemplars
+            ):
+                stable += 1
+                if stable >= self.convergence_iter:
+                    break
+            else:
+                stable = 0
+            previous_exemplars = exemplars
+        if previous_exemplars is None or len(previous_exemplars) == 0:
+            previous_exemplars = np.array([int(np.argmax(np.diag(similarity)))])
+        self.exemplars_ = previous_exemplars
+        assignment = np.argmax(similarity[:, previous_exemplars], axis=1)
+        assignment[previous_exemplars] = np.arange(len(previous_exemplars))
+        self.labels_ = assignment
+        return self
+
+
+class AgglomerativeClustering(BaseEstimator, ClustererMixin):
+    """Bottom-up hierarchical clustering (average linkage by default).
+
+    A straightforward O(n^2 log n) heap-based implementation using the
+    Lance-Williams update, adequate for REIN's sampled clustering workloads.
+    """
+
+    def __init__(self, n_clusters: int = 3, linkage: str = "average") -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if linkage not in ("average", "single", "complete"):
+            raise ValueError("linkage must be average/single/complete")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.labels_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "AgglomerativeClustering":
+        features, _ = check_arrays(features)
+        n_samples = len(features)
+        if n_samples < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        distances = np.sqrt(_pairwise_sq_distances(features, features))
+        active = {i: [i] for i in range(n_samples)}
+        dist = {
+            (i, j): float(distances[i, j])
+            for i in range(n_samples)
+            for j in range(i + 1, n_samples)
+        }
+        heap = [(d, i, j) for (i, j), d in dist.items()]
+        heapq.heapify(heap)
+        next_id = n_samples
+        merged = {}
+        while len(active) > self.n_clusters and heap:
+            d, i, j = heapq.heappop(heap)
+            if i not in active or j not in active:
+                continue
+            members = active.pop(i) + active.pop(j)
+            size_i, size_j = len(merged.get(i, [i])), len(merged.get(j, [j]))
+            new_id = next_id
+            next_id += 1
+            for k in list(active):
+                d_ik = dist.pop(tuple(sorted((i, k))), None)
+                d_jk = dist.pop(tuple(sorted((j, k))), None)
+                if d_ik is None or d_jk is None:
+                    continue
+                if self.linkage == "single":
+                    d_new = min(d_ik, d_jk)
+                elif self.linkage == "complete":
+                    d_new = max(d_ik, d_jk)
+                else:
+                    ni = len(active.get(i, [])) or size_i
+                    nj = len(active.get(j, [])) or size_j
+                    ni = max(ni, 1)
+                    nj = max(nj, 1)
+                    d_new = (ni * d_ik + nj * d_jk) / (ni + nj)
+                key = tuple(sorted((new_id, k)))
+                dist[key] = d_new
+                heapq.heappush(heap, (d_new, key[0], key[1]))
+            active[new_id] = members
+            merged[new_id] = members
+        labels = np.empty(n_samples, dtype=np.int64)
+        for label, (_, members) in enumerate(sorted(active.items())):
+            labels[members] = label
+        self.labels_ = labels
+        return self
+
+
+class Optics(BaseEstimator, ClustererMixin):
+    """OPTICS density-based ordering with DBSCAN-style cluster extraction.
+
+    Computes core distances and reachability in the standard OPTICS order,
+    then extracts clusters by thresholding reachability at ``eps`` (the
+    common `cluster_method="dbscan"` extraction).  Label -1 marks noise.
+    """
+
+    def __init__(
+        self, min_samples: int = 5, eps: Optional[float] = None
+    ) -> None:
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.min_samples = min_samples
+        self.eps = eps
+        self.labels_: Optional[np.ndarray] = None
+        self.reachability_: Optional[np.ndarray] = None
+        self.ordering_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "Optics":
+        features, _ = check_arrays(features)
+        n_samples = len(features)
+        distances = np.sqrt(_pairwise_sq_distances(features, features))
+        k = min(self.min_samples, n_samples)
+        core_distance = np.sort(distances, axis=1)[:, k - 1]
+        reachability = np.full(n_samples, np.inf)
+        processed = np.zeros(n_samples, dtype=bool)
+        ordering: List[int] = []
+        for start in range(n_samples):
+            if processed[start]:
+                continue
+            seeds: List[Tuple[float, int]] = [(0.0, start)]
+            while seeds:
+                _, point = heapq.heappop(seeds)
+                if processed[point]:
+                    continue
+                processed[point] = True
+                ordering.append(point)
+                new_reach = np.maximum(core_distance[point], distances[point])
+                for neighbor in np.flatnonzero(~processed):
+                    if new_reach[neighbor] < reachability[neighbor]:
+                        reachability[neighbor] = new_reach[neighbor]
+                        heapq.heappush(
+                            seeds, (reachability[neighbor], int(neighbor))
+                        )
+        self.ordering_ = np.array(ordering)
+        self.reachability_ = reachability
+        eps = self.eps
+        if eps is None:
+            finite = reachability[np.isfinite(reachability)]
+            eps = float(np.quantile(finite, 0.9)) if len(finite) else 1.0
+        labels = np.full(n_samples, -1, dtype=np.int64)
+        current = -1
+        fresh_cluster = True
+        for point in ordering:
+            if reachability[point] > eps:
+                if core_distance[point] <= eps:
+                    current += 1
+                    labels[point] = current
+                    fresh_cluster = False
+                else:
+                    fresh_cluster = True
+            else:
+                if fresh_cluster:
+                    current += 1
+                    fresh_cluster = False
+                labels[point] = current
+        self.labels_ = labels
+        return self
+
+
+class _CFNode:
+    """A clustering-feature entry: running count, linear sum, square sum."""
+
+    __slots__ = ("count", "linear_sum", "square_sum")
+
+    def __init__(self, row: np.ndarray) -> None:
+        self.count = 1
+        self.linear_sum = row.copy()
+        self.square_sum = float(row @ row)
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.linear_sum / self.count
+
+    @property
+    def radius(self) -> float:
+        centroid = self.centroid
+        value = self.square_sum / self.count - float(centroid @ centroid)
+        return float(np.sqrt(max(value, 0.0)))
+
+    def absorb(self, row: np.ndarray) -> None:
+        self.count += 1
+        self.linear_sum += row
+        self.square_sum += float(row @ row)
+
+
+class Birch(BaseEstimator, ClustererMixin):
+    """BIRCH: incremental CF-entry construction + global clustering.
+
+    Streams rows into clustering-feature entries under a radius threshold,
+    then clusters the entry centroids with agglomerative clustering and maps
+    every row to its entry's global label -- the standard two-phase BIRCH.
+    """
+
+    def __init__(self, n_clusters: int = 3, threshold: float = 0.5) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.n_clusters = n_clusters
+        self.threshold = threshold
+        self.labels_: Optional[np.ndarray] = None
+        self.subcluster_centers_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "Birch":
+        features, _ = check_arrays(features)
+        entries: List[_CFNode] = []
+        assignment = np.empty(len(features), dtype=np.int64)
+        for i, row in enumerate(features):
+            best_idx, best_distance = -1, np.inf
+            for j, entry in enumerate(entries):
+                distance = float(np.linalg.norm(row - entry.centroid))
+                if distance < best_distance:
+                    best_idx, best_distance = j, distance
+            if best_idx >= 0 and best_distance <= self.threshold:
+                entries[best_idx].absorb(row)
+                assignment[i] = best_idx
+            else:
+                entries.append(_CFNode(row))
+                assignment[i] = len(entries) - 1
+        centers = np.vstack([e.centroid for e in entries])
+        self.subcluster_centers_ = centers
+        if len(entries) <= self.n_clusters:
+            self.labels_ = assignment
+            return self
+        global_clusterer = AgglomerativeClustering(self.n_clusters)
+        entry_labels = global_clusterer.fit(centers).labels_
+        self.labels_ = entry_labels[assignment]
+        return self

@@ -1,0 +1,394 @@
+"""Linear models: regression, ridge, Bayesian ridge, RANSAC, logistic
+regression, SGD classifier, linear SVC, and a ridge classifier.
+
+These correspond to the Logit / Linear SVC / SGD / Ridge / Linear Regression /
+BRidge / RANSAC rows of Table 2 in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    add_intercept,
+    check_arrays,
+    clone,
+    softmax,
+)
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via numpy lstsq."""
+
+    def __init__(self) -> None:
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        features, targets = check_arrays(features, targets)
+        design = add_intercept(features)
+        self.coef_, *_ = np.linalg.lstsq(design, targets.astype(np.float64), rcond=None)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return add_intercept(features) @ self.coef_
+
+
+class RidgeRegressor(BaseEstimator, RegressorMixin):
+    """L2-regularized least squares (closed form)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressor":
+        features, targets = check_arrays(features, targets)
+        design = add_intercept(features)
+        n_params = design.shape[1]
+        penalty = self.alpha * np.eye(n_params)
+        penalty[-1, -1] = 0.0  # do not penalize the intercept
+        gram = design.T @ design + penalty
+        self.coef_ = np.linalg.solve(gram, design.T @ targets.astype(np.float64))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return add_intercept(features) @ self.coef_
+
+
+class BayesianRidgeRegressor(BaseEstimator, RegressorMixin):
+    """Bayesian ridge regression with evidence-maximization updates.
+
+    Iteratively re-estimates the noise precision ``alpha`` and weight
+    precision ``lambda`` (MacKay's fixed-point updates), as in
+    scikit-learn's BayesianRidge.
+    """
+
+    def __init__(self, max_iter: int = 100, tol: float = 1e-4) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+        self.alpha_: float = 1.0
+        self.lambda_: float = 1.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "BayesianRidgeRegressor":
+        features, targets = check_arrays(features, targets)
+        targets = targets.astype(np.float64)
+        design = add_intercept(features)
+        n_samples, n_params = design.shape
+        gram = design.T @ design
+        xty = design.T @ targets
+        eigenvalues = np.linalg.eigvalsh(gram)
+        alpha, lam = 1.0, 1.0
+        coef = np.zeros(n_params)
+        for _ in range(self.max_iter):
+            posterior = np.linalg.solve(alpha * gram + lam * np.eye(n_params), alpha * xty)
+            gamma = float(np.sum(alpha * eigenvalues / (alpha * eigenvalues + lam)))
+            residual = float(np.sum((targets - design @ posterior) ** 2))
+            weight_norm = float(posterior @ posterior)
+            new_lam = max(gamma, 1e-10) / max(weight_norm, 1e-10)
+            new_alpha = max(n_samples - gamma, 1e-10) / max(residual, 1e-10)
+            converged = (
+                abs(new_lam - lam) < self.tol * max(lam, 1e-10)
+                and abs(new_alpha - alpha) < self.tol * max(alpha, 1e-10)
+            )
+            alpha, lam, coef = new_alpha, new_lam, posterior
+            if converged:
+                break
+        self.alpha_, self.lambda_, self.coef_ = alpha, lam, coef
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return add_intercept(features) @ self.coef_
+
+
+class RansacRegressor(BaseEstimator, RegressorMixin):
+    """RANSAC: robust regression by consensus over random minimal samples.
+
+    Repeatedly fits the base regressor on a small random subset, counts
+    inliers within ``residual_threshold`` (MAD-scaled by default), and keeps
+    the model with the largest consensus set, refit on its inliers.
+    """
+
+    def __init__(
+        self,
+        base: Optional[RegressorMixin] = None,
+        min_samples: int = 10,
+        max_trials: int = 30,
+        residual_threshold: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self.base = base
+        self.min_samples = min_samples
+        self.max_trials = max_trials
+        self.residual_threshold = residual_threshold
+        self.seed = seed
+        self.estimator_: Optional[RegressorMixin] = None
+        self.inlier_mask_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RansacRegressor":
+        features, targets = check_arrays(features, targets)
+        targets = targets.astype(np.float64)
+        rng = np.random.default_rng(self.seed)
+        base = self.base if self.base is not None else LinearRegression()
+        n_samples = len(features)
+        min_samples = min(max(self.min_samples, features.shape[1] + 1), n_samples)
+        threshold = self.residual_threshold
+        if threshold is None:
+            median = np.median(targets)
+            threshold = float(np.median(np.abs(targets - median))) or 1.0
+        best_inliers: Optional[np.ndarray] = None
+        best_count = -1
+        for _ in range(self.max_trials):
+            subset = rng.choice(n_samples, size=min_samples, replace=False)
+            candidate = clone(base)  # type: ignore[type-var]
+            try:
+                candidate.fit(features[subset], targets[subset])
+            except (np.linalg.LinAlgError, ValueError):
+                continue
+            residuals = np.abs(candidate.predict(features) - targets)
+            inliers = residuals <= threshold
+            count = int(inliers.sum())
+            if count > best_count:
+                best_count, best_inliers = count, inliers
+        if best_inliers is None or best_count < min_samples:
+            best_inliers = np.ones(n_samples, dtype=bool)
+        final = clone(base)  # type: ignore[type-var]
+        final.fit(features[best_inliers], targets[best_inliers])
+        self.estimator_, self.inlier_mask_ = final, best_inliers
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("estimator_")
+        return self.estimator_.predict(features)
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Multinomial logistic regression trained with full-batch gradient
+    descent plus L2 regularization."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iter: int = 300,
+        l2: float = 1e-3,
+        tol: float = 1e-6,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LogisticRegression":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_classes = len(self.classes_)
+        design = add_intercept(features)
+        n_samples, n_params = design.shape
+        onehot = np.zeros((n_samples, n_classes))
+        onehot[np.arange(n_samples), encoded] = 1.0
+        weights = np.zeros((n_params, n_classes))
+        previous_loss = np.inf
+        for _ in range(self.max_iter):
+            probabilities = softmax(design @ weights)
+            gradient = design.T @ (probabilities - onehot) / n_samples
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+            loss = -float(
+                np.mean(np.log(probabilities[np.arange(n_samples), encoded] + 1e-12))
+            )
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.coef_ = weights
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return softmax(add_intercept(features) @ self.coef_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+
+
+class SGDClassifier(BaseEstimator, ClassifierMixin):
+    """Linear classifier trained by stochastic gradient descent.
+
+    Supports hinge (linear SVM) and log (logistic) losses with one-vs-rest
+    multiclass handling, matching sklearn's ``SGDClassifier`` behaviour.
+    """
+
+    def __init__(
+        self,
+        loss: str = "hinge",
+        learning_rate: float = 0.05,
+        epochs: int = 20,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if loss not in ("hinge", "log"):
+            raise ValueError("loss must be 'hinge' or 'log'")
+        self.loss = loss
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.coef_: Optional[np.ndarray] = None
+
+    def _fit_binary(
+        self,
+        design: np.ndarray,
+        signs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n_samples, n_params = design.shape
+        weights = np.zeros(n_params)
+        step = self.learning_rate
+        for epoch in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for i in order:
+                margin = signs[i] * (design[i] @ weights)
+                if self.loss == "hinge":
+                    grad = -signs[i] * design[i] if margin < 1 else 0.0
+                else:
+                    p = 1.0 / (1.0 + np.exp(np.clip(margin, -500, 500)))
+                    grad = -signs[i] * p * design[i]
+                weights -= step * (grad + self.l2 * weights)
+            step = self.learning_rate / (1 + epoch)
+        return weights
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "SGDClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        design = add_intercept(features)
+        rng = np.random.default_rng(self.seed)
+        n_classes = len(self.classes_)
+        if n_classes == 2:
+            signs = np.where(encoded == 1, 1.0, -1.0)
+            weights = self._fit_binary(design, signs, rng)
+            self.coef_ = np.column_stack([-weights, weights])
+        else:
+            columns = []
+            for k in range(n_classes):
+                signs = np.where(encoded == k, 1.0, -1.0)
+                columns.append(self._fit_binary(design, signs, rng))
+            self.coef_ = np.column_stack(columns)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return add_intercept(features) @ self.coef_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.decision_function(features), axis=1))
+
+
+class LinearSVC(BaseEstimator, ClassifierMixin):
+    """Linear support vector classifier (hinge loss, batch Pegasos solver).
+
+    One-vs-rest for multiclass, like sklearn's LinearSVC.  The Pegasos update
+    (step size 1/(lambda*t) plus a projection onto the 1/sqrt(lambda) ball)
+    gives reliable convergence without learning-rate tuning.
+    """
+
+    def __init__(self, C: float = 1.0, max_iter: int = 500) -> None:
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = C
+        self.max_iter = max_iter
+        self.coef_: Optional[np.ndarray] = None
+
+    def _fit_binary(self, design: np.ndarray, signs: np.ndarray) -> np.ndarray:
+        n_samples, n_params = design.shape
+        lam = 1.0 / (self.C * n_samples)
+        weights = np.zeros(n_params)
+        radius = 1.0 / np.sqrt(lam)
+        for t in range(1, self.max_iter + 1):
+            margins = signs * (design @ weights)
+            violating = margins < 1
+            step = 1.0 / (lam * t)
+            gradient = lam * weights
+            if violating.any():
+                gradient = gradient - (
+                    design[violating].T @ signs[violating]
+                ) / n_samples
+            weights = weights - step * gradient
+            norm = np.linalg.norm(weights)
+            if norm > radius:
+                weights *= radius / norm
+        return weights
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearSVC":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        design = add_intercept(features)
+        n_classes = len(self.classes_)
+        if n_classes == 2:
+            signs = np.where(encoded == 1, 1.0, -1.0)
+            weights = self._fit_binary(design, signs)
+            self.coef_ = np.column_stack([-weights, weights])
+        else:
+            columns = [
+                self._fit_binary(design, np.where(encoded == k, 1.0, -1.0))
+                for k in range(n_classes)
+            ]
+            self.coef_ = np.column_stack(columns)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return add_intercept(features) @ self.coef_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.decision_function(features), axis=1))
+
+
+class RidgeClassifier(BaseEstimator, ClassifierMixin):
+    """Classification via ridge regression on one-hot targets.
+
+    This mirrors sklearn's RidgeClassifier (the "Ridge" classifier row of
+    Table 2): each class is regressed against +-1 and the argmax wins.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        design = add_intercept(features)
+        n_classes = len(self.classes_)
+        signs = -np.ones((len(design), n_classes))
+        signs[np.arange(len(design)), encoded] = 1.0
+        n_params = design.shape[1]
+        penalty = self.alpha * np.eye(n_params)
+        penalty[-1, -1] = 0.0
+        gram = design.T @ design + penalty
+        self.coef_ = np.linalg.solve(gram, design.T @ signs)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return add_intercept(features) @ self.coef_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.decision_function(features), axis=1))

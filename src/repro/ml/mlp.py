@@ -1,0 +1,195 @@
+"""Multi-layer perceptron classifier and regressor.
+
+A compact feed-forward network (ReLU hidden layers, Adam optimizer,
+mini-batch training) — the "MLP" row of Table 2 and the learning core of the
+DataWig-analogue imputer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_arrays, softmax
+
+
+class _AdamState:
+    """Per-parameter Adam moment buffers."""
+
+    def __init__(self, shapes: Sequence[Tuple[int, ...]]) -> None:
+        self.m = [np.zeros(s) for s in shapes]
+        self.v = [np.zeros(s) for s in shapes]
+        self.t = 0
+
+    def step(
+        self,
+        params: List[np.ndarray],
+        grads: List[np.ndarray],
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.t += 1
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self.m[i] = beta1 * self.m[i] + (1 - beta1) * g
+            self.v[i] = beta2 * self.v[i] + (1 - beta2) * g * g
+            m_hat = self.m[i] / (1 - beta1**self.t)
+            v_hat = self.v[i] / (1 - beta2**self.t)
+            p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class _MLPCore:
+    """Weights + forward/backward passes shared by both MLP heads."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        hidden: Sequence[int],
+        n_outputs: int,
+        rng: np.random.Generator,
+    ) -> None:
+        sizes = [n_inputs, *hidden, n_outputs]
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / max(fan_in, 1))
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    def forward(self, inputs: np.ndarray) -> List[np.ndarray]:
+        """Return activations per layer (last one is the raw output)."""
+        activations = [inputs]
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = activations[-1] @ w + b
+            if i < len(self.weights) - 1:
+                z = np.maximum(z, 0.0)  # ReLU
+            activations.append(z)
+        return activations
+
+    def backward(
+        self, activations: List[np.ndarray], output_grad: np.ndarray, l2: float
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        weight_grads: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        bias_grads: List[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        delta = output_grad
+        for i in reversed(range(len(self.weights))):
+            weight_grads[i] = activations[i].T @ delta / len(delta) + l2 * self.weights[i]
+            bias_grads[i] = delta.mean(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights[i].T) * (activations[i] > 0)
+        return weight_grads, bias_grads
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        return self.weights + self.biases
+
+
+class _MLPBase(BaseEstimator):
+    def __init__(
+        self,
+        hidden: Sequence[int] = (32,),
+        learning_rate: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = tuple(hidden)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.core_: Optional[_MLPCore] = None
+
+    def _train(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        n_outputs: int,
+        output_grad_fn,
+    ) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.core_ = _MLPCore(features.shape[1], self.hidden, n_outputs, rng)
+        adam = _AdamState([p.shape for p in self.core_.params])
+        n_samples = len(features)
+        batch = min(self.batch_size, n_samples)
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                activations = self.core_.forward(features[idx])
+                grad = output_grad_fn(activations[-1], targets[idx])
+                weight_grads, bias_grads = self.core_.backward(
+                    activations, grad, self.l2
+                )
+                adam.step(
+                    self.core_.params,
+                    weight_grads + bias_grads,
+                    self.learning_rate,
+                )
+
+    def _raw_output(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("core_")
+        features, _ = check_arrays(features)
+        return self.core_.forward(features)[-1]
+
+
+class MLPClassifier(_MLPBase, ClassifierMixin):
+    """Softmax-output MLP trained with cross-entropy."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_classes = len(self.classes_)
+        onehot_all = np.zeros((len(encoded), n_classes))
+        onehot_all[np.arange(len(encoded)), encoded] = 1.0
+
+        def grad_fn(logits: np.ndarray, onehot: np.ndarray) -> np.ndarray:
+            return softmax(logits) - onehot
+
+        # _train indexes targets per batch; pass one-hot rows as "targets".
+        self._train(features, onehot_all, n_classes, grad_fn)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return softmax(self._raw_output(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self._raw_output(features), axis=1))
+
+
+class MLPRegressor(_MLPBase, RegressorMixin):
+    """Linear-output MLP trained with squared error on standardized targets."""
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (32,),
+        learning_rate: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(hidden, learning_rate, epochs, batch_size, l2, seed)
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        features, targets = check_arrays(features, targets)
+        targets = targets.astype(np.float64)
+        self._target_mean = float(targets.mean())
+        self._target_std = float(targets.std()) or 1.0
+        scaled = (targets - self._target_mean) / self._target_std
+
+        def grad_fn(outputs: np.ndarray, batch_targets: np.ndarray) -> np.ndarray:
+            return outputs - batch_targets[:, None]
+
+        self._train(features, scaled, 1, grad_fn)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        raw = self._raw_output(features)[:, 0]
+        return raw * self._target_std + self._target_mean

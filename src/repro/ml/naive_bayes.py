@@ -1,0 +1,120 @@
+"""Naive Bayes classifiers: Gaussian and Multinomial."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, check_arrays
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Gaussian naive Bayes with per-class diagonal covariance."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.theta_: Optional[np.ndarray] = None  # (n_classes, n_features)
+        self.var_: Optional[np.ndarray] = None
+        self.priors_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GaussianNB":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_classes = len(self.classes_)
+        n_features = features.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        self.priors_ = np.zeros(n_classes)
+        epsilon = self.var_smoothing * float(features.var(axis=0).max() or 1.0)
+        for k in range(n_classes):
+            members = features[encoded == k]
+            self.priors_[k] = len(members) / len(features)
+            if len(members):
+                self.theta_[k] = members.mean(axis=0)
+                self.var_[k] = members.var(axis=0) + epsilon
+            else:
+                self.var_[k] = epsilon
+        return self
+
+    def _joint_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("theta_")
+        features, _ = check_arrays(features)
+        n_classes = len(self.classes_)
+        jll = np.empty((len(features), n_classes))
+        for k in range(n_classes):
+            prior = np.log(self.priors_[k] + 1e-12)
+            log_pdf = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[k])
+                + (features - self.theta_[k]) ** 2 / self.var_[k],
+                axis=1,
+            )
+            jll[:, k] = prior + log_pdf
+        return jll
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        jll = self._joint_log_likelihood(features)
+        jll -= jll.max(axis=1, keepdims=True)
+        probabilities = np.exp(jll)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(
+            np.argmax(self._joint_log_likelihood(features), axis=1)
+        )
+
+
+class MultinomialNB(BaseEstimator, ClassifierMixin):
+    """Multinomial naive Bayes with Laplace smoothing.
+
+    Expects non-negative features (counts / one-hot); negative inputs are
+    shifted to zero per feature, which lets it run on standardized matrices
+    the way REIN's pipeline feeds every model the same encoding.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.feature_log_prob_: Optional[np.ndarray] = None
+        self.class_log_prior_: Optional[np.ndarray] = None
+        self._shift: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MultinomialNB":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        self._shift = np.minimum(features.min(axis=0), 0.0)
+        counts = features - self._shift
+        n_classes = len(self.classes_)
+        n_features = features.shape[1]
+        class_counts = np.zeros(n_classes)
+        feature_counts = np.zeros((n_classes, n_features))
+        for k in range(n_classes):
+            members = counts[encoded == k]
+            class_counts[k] = len(members)
+            feature_counts[k] = members.sum(axis=0)
+        smoothed = feature_counts + self.alpha
+        self.feature_log_prob_ = np.log(
+            smoothed / smoothed.sum(axis=1, keepdims=True)
+        )
+        self.class_log_prior_ = np.log(
+            (class_counts + 1e-12) / (class_counts.sum() + 1e-12)
+        )
+        return self
+
+    def _joint_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("feature_log_prob_")
+        features, _ = check_arrays(features)
+        counts = np.maximum(features - self._shift, 0.0)
+        return counts @ self.feature_log_prob_.T + self.class_log_prior_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        jll = self._joint_log_likelihood(features)
+        jll -= jll.max(axis=1, keepdims=True)
+        probabilities = np.exp(jll)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(
+            np.argmax(self._joint_log_likelihood(features), axis=1)
+        )

@@ -1,0 +1,80 @@
+"""K-nearest-neighbour classifier and regressor (brute-force, chunked)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_arrays
+
+
+def _pairwise_sq_distances(queries: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, computed with the expansion trick."""
+    q_norms = np.sum(queries**2, axis=1)[:, None]
+    r_norms = np.sum(reference**2, axis=1)[None, :]
+    distances = q_norms + r_norms - 2.0 * queries @ reference.T
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+class _KNNBase(BaseEstimator):
+    def __init__(self, n_neighbors: int = 5, chunk_size: int = 512) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+        self._features: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def _store(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._features = features
+        self._targets = targets
+
+    def _neighbor_indices(self, queries: np.ndarray) -> np.ndarray:
+        self._require_fitted("_features")
+        queries, _ = check_arrays(queries)
+        k = min(self.n_neighbors, len(self._features))
+        out = np.empty((len(queries), k), dtype=np.int64)
+        for start in range(0, len(queries), self.chunk_size):
+            chunk = queries[start : start + self.chunk_size]
+            distances = _pairwise_sq_distances(chunk, self._features)
+            out[start : start + len(chunk)] = np.argpartition(
+                distances, kth=k - 1, axis=1
+            )[:, :k]
+        return out
+
+
+class KNNClassifier(_KNNBase, ClassifierMixin):
+    """Majority-vote KNN classification."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "KNNClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        self._store(features, encoded)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        neighbors = self._neighbor_indices(features)
+        n_classes = len(self.classes_)
+        votes = np.zeros((len(features), n_classes))
+        for i, idx in enumerate(neighbors):
+            counts = np.bincount(self._targets[idx], minlength=n_classes)
+            votes[i] = counts / counts.sum()
+        return votes
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+
+
+class KNNRegressor(_KNNBase, RegressorMixin):
+    """Mean-of-neighbours KNN regression."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "KNNRegressor":
+        features, targets = check_arrays(features, targets)
+        self._store(features, targets.astype(np.float64))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        neighbors = self._neighbor_indices(features)
+        return self._targets[neighbors].mean(axis=1)

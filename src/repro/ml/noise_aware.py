@@ -1,0 +1,172 @@
+"""Noise-aware learning for class errors (actionable suggestion #3).
+
+Section 6.5 recommends "advanced techniques to combat class errors, e.g.,
+CleanLab, data valuation, label smoothing, and noise-aware learning".  This
+module provides two such model-side defences that complement the data-side
+CleanLab detector/repair:
+
+- :class:`LabelSmoothingClassifier`: logistic regression trained against
+  smoothed targets ``(1-eps)*onehot + eps/K`` -- over-confident fitting of
+  (possibly wrong) hard labels is tempered;
+- :class:`PruneAndRetrainClassifier`: confident-learning-style wrapper that
+  estimates out-of-sample probabilities with k-fold models, prunes the
+  samples whose given label looks confidently wrong, and retrains the base
+  classifier on the kept subset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dataset.splits import kfold_indices
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    add_intercept,
+    check_arrays,
+    clone,
+    softmax,
+)
+from repro.ml.linear import LogisticRegression
+
+
+class LabelSmoothingClassifier(BaseEstimator, ClassifierMixin):
+    """Multinomial logistic regression with label smoothing.
+
+    Args:
+        epsilon: smoothing mass spread uniformly over classes; 0 recovers
+            plain logistic regression.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        learning_rate: float = 0.5,
+        max_iter: int = 300,
+        l2: float = 1e-3,
+    ) -> None:
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError("epsilon must be in [0, 1)")
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LabelSmoothingClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_classes = len(self.classes_)
+        design = add_intercept(features)
+        n_samples, n_params = design.shape
+        smoothed = np.full(
+            (n_samples, n_classes), self.epsilon / max(n_classes, 1)
+        )
+        smoothed[np.arange(n_samples), encoded] += 1.0 - self.epsilon
+        weights = np.zeros((n_params, n_classes))
+        for _ in range(self.max_iter):
+            probabilities = softmax(design @ weights)
+            gradient = design.T @ (probabilities - smoothed) / n_samples
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.coef_ = weights
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        features, _ = check_arrays(features)
+        return softmax(add_intercept(features) @ self.coef_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+
+
+class PruneAndRetrainClassifier(BaseEstimator, ClassifierMixin):
+    """Confident-learning wrapper: prune likely-mislabeled samples, retrain.
+
+    Args:
+        base: the classifier to train on the pruned data (must expose
+            ``predict_proba``); defaults to logistic regression.
+        n_folds: folds for the out-of-sample probability estimates.
+    """
+
+    def __init__(self, base: Optional[object] = None, n_folds: int = 4, seed: int = 0):
+        if n_folds < 2:
+            raise ValueError("n_folds must be >= 2")
+        self.base = base
+        self.n_folds = n_folds
+        self.seed = seed
+        self.model_: Optional[object] = None
+        self.kept_fraction_: float = 1.0
+
+    def _base(self):
+        return clone(self.base) if self.base is not None else LogisticRegression()
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "PruneAndRetrainClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        n_classes = len(self.classes_)
+        n_samples = len(features)
+        if n_samples < self.n_folds * 2 or n_classes < 2:
+            self.model_ = self._base()
+            self.model_.fit(features, encoded)
+            return self
+        probabilities = np.zeros((n_samples, n_classes))
+        filled = np.zeros(n_samples, dtype=bool)
+        for train_idx, test_idx in kfold_indices(
+            n_samples, self.n_folds, seed=self.seed
+        ):
+            if len(np.unique(encoded[train_idx])) < 2:
+                continue
+            model = self._base()
+            model.fit(features[train_idx], encoded[train_idx])
+            fold = model.predict_proba(features[test_idx])
+            for local, cls in enumerate(model.classes_):
+                probabilities[test_idx, int(cls)] = fold[:, local]
+            filled[test_idx] = True
+        if not filled.all():
+            self.model_ = self._base()
+            self.model_.fit(features, encoded)
+            return self
+        thresholds = np.full(n_classes, 1.1)
+        for cls in range(n_classes):
+            members = encoded == cls
+            if members.any():
+                thresholds[cls] = probabilities[members, cls].mean()
+        keep = np.ones(n_samples, dtype=bool)
+        for i in range(n_samples):
+            confident = [
+                cls for cls in range(n_classes)
+                if probabilities[i, cls] >= thresholds[cls]
+            ]
+            if confident:
+                best = max(confident, key=lambda cls: probabilities[i, cls])
+                if best != encoded[i]:
+                    keep[i] = False
+        # Never prune a class out of existence.
+        for cls in range(n_classes):
+            members = encoded == cls
+            if members.any() and not (keep & members).any():
+                keep |= members
+        self.kept_fraction_ = float(keep.mean())
+        self.model_ = self._base()
+        self.model_.fit(features[keep], encoded[keep])
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("model_")
+        features, _ = check_arrays(features)
+        inner = self.model_.predict(features)
+        return self._decode_labels(np.asarray(inner, dtype=int))
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("model_")
+        features, _ = check_arrays(features)
+        inner = self.model_.predict_proba(features)
+        n_classes = len(self.classes_)
+        out = np.zeros((len(features), n_classes))
+        for local, cls in enumerate(self.model_.classes_):
+            out[:, int(cls)] = inner[:, local]
+        return out

@@ -1,0 +1,276 @@
+"""CART decision trees (classifier and regressor).
+
+Greedy binary trees with Gini impurity (classification) or variance
+reduction (regression), supporting depth/leaf-size limits and per-split
+feature subsampling so the forest and boosting ensembles can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_arrays
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: np.ndarray  # class distribution or [mean]
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _resolve_max_features(max_features: Union[str, int, None], n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, (int, np.integer)):
+        if max_features < 1:
+            raise ValueError("max_features must be >= 1")
+        return min(int(max_features), n_features)
+    raise ValueError(f"unsupported max_features {max_features!r}")
+
+
+class _TreeBuilder:
+    """Shared recursive CART builder, parameterized by task."""
+
+    def __init__(
+        self,
+        task: str,
+        max_depth: Optional[int],
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: Union[str, int, None],
+        rng: np.random.Generator,
+        n_classes: int = 0,
+    ) -> None:
+        self.task = task
+        self.max_depth = max_depth if max_depth is not None else 10**9
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.n_classes = n_classes
+
+    def _leaf_value(self, targets: np.ndarray) -> np.ndarray:
+        if self.task == "classification":
+            counts = np.bincount(targets.astype(int), minlength=self.n_classes)
+            return counts / max(counts.sum(), 1)
+        return np.array([targets.mean() if len(targets) else 0.0])
+
+    def _node_impurity(self, targets: np.ndarray) -> float:
+        if self.task == "classification":
+            counts = np.bincount(targets.astype(int), minlength=self.n_classes)
+            p = counts / max(counts.sum(), 1)
+            return float(1.0 - np.sum(p * p))
+        return float(targets.var()) if len(targets) else 0.0
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> Optional[Tuple[int, float, float]]:
+        """Return (feature, threshold, impurity_decrease) or None."""
+        n_samples, n_features = features.shape
+        k = _resolve_max_features(self.max_features, n_features)
+        candidates = (
+            np.arange(n_features)
+            if k == n_features
+            else self.rng.choice(n_features, size=k, replace=False)
+        )
+        parent_impurity = self._node_impurity(targets)
+        best: Optional[Tuple[int, float, float]] = None
+        min_leaf = self.min_samples_leaf
+        for feature in candidates:
+            order = np.argsort(features[:, feature], kind="stable")
+            values = features[order, feature]
+            sorted_targets = targets[order]
+            # Split positions: boundaries between distinct adjacent values.
+            boundaries = np.flatnonzero(values[1:] > values[:-1]) + 1
+            if len(boundaries) == 0:
+                continue
+            valid = boundaries[
+                (boundaries >= min_leaf) & (boundaries <= n_samples - min_leaf)
+            ]
+            if len(valid) == 0:
+                continue
+            if self.task == "classification":
+                onehot = np.zeros((n_samples, self.n_classes))
+                onehot[np.arange(n_samples), sorted_targets.astype(int)] = 1.0
+                left_counts = np.cumsum(onehot, axis=0)
+                total = left_counts[-1]
+                left = left_counts[valid - 1]
+                right = total - left
+                n_left = valid.astype(np.float64)
+                n_right = n_samples - n_left
+                gini_left = 1.0 - np.sum(
+                    (left / n_left[:, None]) ** 2, axis=1
+                )
+                gini_right = 1.0 - np.sum(
+                    (right / n_right[:, None]) ** 2, axis=1
+                )
+                child = (n_left * gini_left + n_right * gini_right) / n_samples
+            else:
+                prefix = np.cumsum(sorted_targets, dtype=np.float64)
+                prefix_sq = np.cumsum(sorted_targets**2, dtype=np.float64)
+                n_left = valid.astype(np.float64)
+                n_right = n_samples - n_left
+                sum_left = prefix[valid - 1]
+                sum_right = prefix[-1] - sum_left
+                sq_left = prefix_sq[valid - 1]
+                sq_right = prefix_sq[-1] - sq_left
+                var_left = sq_left / n_left - (sum_left / n_left) ** 2
+                var_right = sq_right / n_right - (sum_right / n_right) ** 2
+                child = (n_left * var_left + n_right * var_right) / n_samples
+            decrease = parent_impurity - child
+            pos = int(np.argmax(decrease))
+            if decrease[pos] > 1e-12:
+                split_at = valid[pos]
+                threshold = 0.5 * (values[split_at - 1] + values[split_at])
+                if best is None or decrease[pos] > best[2]:
+                    best = (int(feature), float(threshold), float(decrease[pos]))
+        return best
+
+    def build(
+        self, features: np.ndarray, targets: np.ndarray, depth: int = 0
+    ) -> _Node:
+        node = _Node(prediction=self._leaf_value(targets))
+        if (
+            depth >= self.max_depth
+            or len(targets) < self.min_samples_split
+            or self._node_impurity(targets) < 1e-12
+        ):
+            return node
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        goes_left = features[:, feature] <= threshold
+        node.feature, node.threshold = feature, threshold
+        node.left = self.build(features[goes_left], targets[goes_left], depth + 1)
+        node.right = self.build(features[~goes_left], targets[~goes_left], depth + 1)
+        return node
+
+
+def _predict_node(node: _Node, row: np.ndarray) -> np.ndarray:
+    while not node.is_leaf:
+        node = node.left if row[node.feature] <= node.threshold else node.right
+    return node.prediction
+
+
+def _tree_depth(node: _Node) -> int:
+    if node.is_leaf:
+        return 0
+    return 1 + max(_tree_depth(node.left), _tree_depth(node.right))
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """CART classification tree (Gini impurity)."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, None] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[_Node] = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTreeClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        if sample_weight is not None:
+            # Weighted fitting via resampling, adequate for AdaBoost's needs.
+            rng = np.random.default_rng(self.seed)
+            probabilities = np.asarray(sample_weight, dtype=np.float64)
+            probabilities = probabilities / probabilities.sum()
+            idx = rng.choice(len(features), size=len(features), p=probabilities)
+            features, encoded = features[idx], encoded[idx]
+        builder = _TreeBuilder(
+            "classification",
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            np.random.default_rng(self.seed),
+            n_classes=len(self.classes_),
+        )
+        self.root_ = builder.build(features, encoded)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("root_")
+        features, _ = check_arrays(features)
+        return np.vstack([_predict_node(self.root_, row) for row in features])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+
+    @property
+    def depth(self) -> int:
+        self._require_fitted("root_")
+        return _tree_depth(self.root_)
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """CART regression tree (variance reduction)."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, None] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[_Node] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features, targets = check_arrays(features, targets)
+        builder = _TreeBuilder(
+            "regression",
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            np.random.default_rng(self.seed),
+        )
+        self.root_ = builder.build(features, targets.astype(np.float64))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("root_")
+        features, _ = check_arrays(features)
+        return np.array([_predict_node(self.root_, row)[0] for row in features])
+
+    @property
+    def depth(self) -> int:
+        self._require_fitted("root_")
+        return _tree_depth(self.root_)

@@ -1,0 +1,21 @@
+"""Data profiling (the Metanome analogue of actionable suggestion #4).
+
+Single-column statistics (types, distinctness, nulls, quantiles, shape
+histograms), candidate-key discovery, and inclusion-dependency discovery --
+the metadata that drives rule generation, the metadata-driven detector, and
+the benchmark controller's design-time knowledge.
+"""
+
+from repro.profiling.profiler import (
+    ColumnProfile,
+    TableProfile,
+    discover_inclusion_dependencies,
+    profile_table,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "TableProfile",
+    "discover_inclusion_dependencies",
+    "profile_table",
+]

@@ -1,0 +1,108 @@
+"""The 19 data repair methods of Table 1.
+
+Generic (category I): GT, Delete, Mean/Median/Mode imputation, missForest
+(mixed/separate), DataWig, MISS-DataWig, DT-MISS, Bayes-MISS, KNN-MISS,
+HoloClean, OpenRefine, BARAN, CleanLab.
+ML-oriented (category II): ActiveClean, BoostClean, CPClean.
+"""
+
+from typing import Dict, List, Union
+
+from repro.repair.baran import BaranRepair
+from repro.repair.base import (
+    GENERIC,
+    ML_ORIENTED,
+    MLOrientedRepair,
+    ModelRepairResult,
+    RepairMethod,
+    RepairResult,
+    blank_detected_cells,
+)
+from repro.repair.holistic import CleanLabRepair, HoloCleanRepair, OpenRefineRepair
+from repro.repair.imputers import (
+    BayesMissRepair,
+    DataWigMixRepair,
+    DTMissRepair,
+    KNNMissRepair,
+    MissDataWigRepair,
+    MissForestMixRepair,
+    MissForestSepRepair,
+    MLImputeRepair,
+)
+from repro.repair.ml_oriented import (
+    ActiveCleanRepair,
+    BoostCleanRepair,
+    CPCleanRepair,
+    FittedTabularModel,
+)
+from repro.repair.simple import (
+    DeleteRepair,
+    GroundTruthRepair,
+    MeanModeImputeRepair,
+    MedianModeImputeRepair,
+    ModeModeImputeRepair,
+)
+
+
+def all_repair_methods() -> List[Union[RepairMethod, MLOrientedRepair]]:
+    """Fresh instances of all 19 repair methods (Table 1 order)."""
+    return [
+        GroundTruthRepair(),
+        DeleteRepair(),
+        MeanModeImputeRepair(),
+        MedianModeImputeRepair(),
+        ModeModeImputeRepair(),
+        MissForestMixRepair(),
+        DataWigMixRepair(),
+        MissForestSepRepair(),
+        MissDataWigRepair(),
+        DTMissRepair(),
+        BayesMissRepair(),
+        KNNMissRepair(),
+        HoloCleanRepair(),
+        OpenRefineRepair(),
+        BaranRepair(),
+        CleanLabRepair(),
+        ActiveCleanRepair(),
+        BoostCleanRepair(),
+        CPCleanRepair(),
+    ]
+
+
+def repair_registry() -> Dict[str, Union[RepairMethod, MLOrientedRepair]]:
+    """Repair methods keyed by their paper names."""
+    return {method.name: method for method in all_repair_methods()}
+
+
+__all__ = [
+    "ActiveCleanRepair",
+    "BaranRepair",
+    "BayesMissRepair",
+    "BoostCleanRepair",
+    "CPCleanRepair",
+    "CleanLabRepair",
+    "DTMissRepair",
+    "DataWigMixRepair",
+    "DeleteRepair",
+    "FittedTabularModel",
+    "GENERIC",
+    "GroundTruthRepair",
+    "HoloCleanRepair",
+    "KNNMissRepair",
+    "MLImputeRepair",
+    "MLOrientedRepair",
+    "ML_ORIENTED",
+    "MeanModeImputeRepair",
+    "MedianModeImputeRepair",
+    "MissDataWigRepair",
+    "MissForestMixRepair",
+    "MissForestSepRepair",
+    "ModeModeImputeRepair",
+    "ModelRepairResult",
+    "OpenRefineRepair",
+    "RepairMethod",
+    "RepairResult",
+    "all_repair_methods",
+    "blank_detected_cells",
+    "repair_registry",
+]

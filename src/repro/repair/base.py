@@ -1,0 +1,102 @@
+"""Repair-method protocol and result types.
+
+Generic repair methods (Table 1, category I) map a dirty table plus a set of
+detected cells to a *repaired table*.  ML-oriented methods (category II:
+ActiveClean, BoostClean, CPClean) jointly optimise cleaning and modeling and
+return a fitted *model* instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, Table
+
+GENERIC = "generic"
+ML_ORIENTED = "ml-oriented"
+
+
+@dataclass
+class RepairResult:
+    """Output of a generic repair method."""
+
+    method: str
+    repaired: Table
+    runtime_seconds: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class RepairMethod:
+    """Base class for generic repair methods.
+
+    Subclasses implement :meth:`_repair`; :meth:`repair` adds timing.
+    """
+
+    name: str = "repair"
+    category: str = GENERIC
+
+    def repair(
+        self, context: CleaningContext, detections: Iterable[Cell]
+    ) -> RepairResult:
+        started = time.perf_counter()
+        output = self._repair(context, set(detections))
+        elapsed = time.perf_counter() - started
+        if isinstance(output, tuple):
+            repaired, metadata = output
+        else:
+            repaired, metadata = output, {}
+        return RepairResult(self.name, repaired, elapsed, metadata)
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]):
+        """Return the repaired table, optionally ``(table, metadata)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class ModelRepairResult:
+    """Output of an ML-oriented repair method: a trained model."""
+
+    method: str
+    model: Any
+    runtime_seconds: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class MLOrientedRepair:
+    """Base class for methods that output models rather than tables."""
+
+    name: str = "ml-repair"
+    category: str = ML_ORIENTED
+
+    def fit(
+        self, context: CleaningContext, detections: Iterable[Cell]
+    ) -> ModelRepairResult:
+        started = time.perf_counter()
+        model, metadata = self._fit(context, set(detections))
+        elapsed = time.perf_counter() - started
+        return ModelRepairResult(self.name, model, elapsed, metadata)
+
+    def _fit(self, context: CleaningContext, detections: Set[Cell]):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def blank_detected_cells(table: Table, detections: Set[Cell]) -> Table:
+    """Copy the table with every detected cell set to missing.
+
+    This is the canonical first step of impute-style repairs: detected
+    errors become holes for the imputer to fill.
+    """
+    blanked = table.copy()
+    for row, column in detections:
+        if column in table.schema and 0 <= row < table.n_rows:
+            blanked.set_cell(row, column, None)
+    return blanked

@@ -1,0 +1,411 @@
+"""A miniature GREL (Google Refine Expression Language) engine.
+
+OpenRefine repairs data through GREL expressions such as::
+
+    value.trim().toLowercase().replace("_", " ")
+    if(isBlank(value), "unknown", value)
+    cells["city"].value + ", " + cells["state"].value
+
+This module implements the subset REIN's OpenRefine repair path needs:
+
+- the ``value`` variable (current cell) and ``cells["col"].value`` access;
+- string methods: ``trim, toLowercase, toUppercase, toTitlecase, replace,
+  substring, length, startsWith, endsWith, contains, split, strip``;
+- numeric coercion ``toNumber`` and arithmetic ``+ - * /``;
+- functions: ``if(cond, a, b), isBlank(v), coalesce(a, b), concat(...)``;
+- comparison operators ``== != < <= > >=`` and string concatenation.
+
+Expressions are parsed into an AST once and can then be evaluated per row.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.dataset.table import Table, coerce_float, is_missing
+
+
+class GrelError(ValueError):
+    """Raised for syntax or evaluation errors in a GREL expression."""
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>==|!=|<=|>=|[+\-*/<>.,()\[\]])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+
+
+def tokenize(expression: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    while position < len(expression):
+        match = _TOKEN_RE.match(expression, position)
+        if match is None:
+            raise GrelError(
+                f"unexpected character {expression[position]!r} at "
+                f"position {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(Token(kind, match.group()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+class Node:
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+
+@dataclass
+class Literal(Node):
+    value: Any
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass
+class Variable(Node):
+    name: str
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        if self.name == "value":
+            return env.get("value")
+        if self.name == "cells":
+            return env.get("cells", {})
+        if self.name in ("true", "false"):
+            return self.name == "true"
+        if self.name == "null":
+            return None
+        raise GrelError(f"unknown variable {self.name!r}")
+
+
+@dataclass
+class Index(Node):
+    target: Node
+    key: Node
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        container = self.target.evaluate(env)
+        key = self.key.evaluate(env)
+        if isinstance(container, dict):
+            if key not in container:
+                raise GrelError(f"unknown column {key!r}")
+            return container[key]
+        if isinstance(container, list):
+            return container[int(key)]
+        raise GrelError(f"cannot index into {type(container).__name__}")
+
+
+@dataclass
+class Member(Node):
+    """Attribute access: ``cells["x"].value`` -- only `.value` for dicts."""
+
+    target: Node
+    name: str
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        container = self.target.evaluate(env)
+        if self.name == "value":
+            return container
+        raise GrelError(f"unknown attribute {self.name!r}")
+
+
+def _as_text(value: Any) -> str:
+    """String view of a value; only true nulls blank out.
+
+    Unlike :func:`is_missing`, a whitespace or ``"NA"`` *string* stays
+    verbatim here -- GREL expressions manipulate exact payloads.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, float) and value != value:  # NaN
+        return ""
+    return str(value)
+
+
+def _method_replace(value: Any, old: Any, new: Any) -> str:
+    return _as_text(value).replace(_as_text(old), _as_text(new))
+
+
+def _method_substring(value: Any, start: Any, end: Any = None) -> str:
+    text = _as_text(value)
+    lo = int(start)
+    hi = int(end) if end is not None else len(text)
+    return text[lo:hi]
+
+
+_METHODS: Dict[str, Callable[..., Any]] = {
+    "trim": lambda v: _as_text(v).strip(),
+    "strip": lambda v: _as_text(v).strip(),
+    "toLowercase": lambda v: _as_text(v).lower(),
+    "toUppercase": lambda v: _as_text(v).upper(),
+    "toTitlecase": lambda v: _as_text(v).title(),
+    "replace": _method_replace,
+    "substring": _method_substring,
+    "length": lambda v: len(_as_text(v)),
+    "startsWith": lambda v, prefix: _as_text(v).startswith(_as_text(prefix)),
+    "endsWith": lambda v, suffix: _as_text(v).endswith(_as_text(suffix)),
+    "contains": lambda v, needle: _as_text(needle) in _as_text(v),
+    "split": lambda v, sep: _as_text(v).split(_as_text(sep)),
+    "toNumber": lambda v: coerce_float(v),
+}
+
+
+def _fn_if(condition: Any, then_value: Any, else_value: Any) -> Any:
+    return then_value if condition else else_value
+
+
+_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "if": _fn_if,
+    "isBlank": lambda v: is_missing(v),
+    "coalesce": lambda *vs: next((v for v in vs if not is_missing(v)), None),
+    "concat": lambda *vs: "".join(_as_text(v) for v in vs),
+    "length": lambda v: len(_as_text(v)),
+    "toNumber": lambda v: coerce_float(v),
+}
+
+
+@dataclass
+class MethodCall(Node):
+    target: Node
+    name: str
+    args: List[Node]
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        if self.name not in _METHODS:
+            raise GrelError(f"unknown method {self.name!r}")
+        receiver = self.target.evaluate(env)
+        arguments = [a.evaluate(env) for a in self.args]
+        return _METHODS[self.name](receiver, *arguments)
+
+
+@dataclass
+class FunctionCall(Node):
+    name: str
+    args: List[Node]
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        if self.name not in _FUNCTIONS:
+            raise GrelError(f"unknown function {self.name!r}")
+        arguments = [a.evaluate(env) for a in self.args]
+        return _FUNCTIONS[self.name](*arguments)
+
+
+def _numeric_pair(a: Any, b: Any):
+    fa, fb = coerce_float(a), coerce_float(b)
+    if fa == fa and fb == fb:  # neither is NaN
+        return fa, fb
+    return None
+
+
+@dataclass
+class BinaryOp(Node):
+    op: str
+    left: Node
+    right: Node
+
+    def evaluate(self, env: Dict[str, Any]) -> Any:
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        if self.op == "+":
+            pair = _numeric_pair(a, b)
+            if pair is not None and not (
+                isinstance(a, str) or isinstance(b, str)
+            ):
+                return pair[0] + pair[1]
+            return _as_text(a) + _as_text(b)
+        if self.op in ("-", "*", "/"):
+            pair = _numeric_pair(a, b)
+            if pair is None:
+                raise GrelError(f"non-numeric operands for {self.op!r}")
+            if self.op == "-":
+                return pair[0] - pair[1]
+            if self.op == "*":
+                return pair[0] * pair[1]
+            if pair[1] == 0:
+                raise GrelError("division by zero")
+            return pair[0] / pair[1]
+        if self.op in ("==", "!="):
+            from repro.dataset.table import values_equal
+
+            equal = values_equal(a, b)
+            return equal if self.op == "==" else not equal
+        pair = _numeric_pair(a, b)
+        if pair is not None:
+            a, b = pair
+        else:
+            a, b = _as_text(a), _as_text(b)
+        if self.op == "<":
+            return a < b
+        if self.op == "<=":
+            return a <= b
+        if self.op == ">":
+            return a > b
+        if self.op == ">=":
+            return a >= b
+        raise GrelError(f"unknown operator {self.op!r}")
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise GrelError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        token = self.advance()
+        if token.text != text:
+            raise GrelError(f"expected {text!r}, got {token.text!r}")
+
+    def parse(self) -> Node:
+        node = self.comparison()
+        if self.peek() is not None:
+            raise GrelError(f"trailing input at {self.peek().text!r}")
+        return node
+
+    def comparison(self) -> Node:
+        node = self.additive()
+        while self.peek() and self.peek().text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.additive())
+        return node
+
+    def additive(self) -> Node:
+        node = self.multiplicative()
+        while self.peek() and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.multiplicative())
+        return node
+
+    def multiplicative(self) -> Node:
+        node = self.postfix()
+        while self.peek() and self.peek().text in ("*", "/"):
+            op = self.advance().text
+            node = BinaryOp(op, node, self.postfix())
+        return node
+
+    def postfix(self) -> Node:
+        node = self.primary()
+        while True:
+            token = self.peek()
+            if token is None:
+                return node
+            if token.text == ".":
+                self.advance()
+                name = self.advance()
+                if name.kind != "name":
+                    raise GrelError(f"expected name after '.', got {name.text!r}")
+                if self.peek() and self.peek().text == "(":
+                    self.advance()
+                    args = self.arguments()
+                    node = MethodCall(node, name.text, args)
+                else:
+                    node = Member(node, name.text)
+            elif token.text == "[":
+                self.advance()
+                key = self.comparison()
+                self.expect("]")
+                node = Index(node, key)
+            else:
+                return node
+
+    def arguments(self) -> List[Node]:
+        args: List[Node] = []
+        if self.peek() and self.peek().text == ")":
+            self.advance()
+            return args
+        while True:
+            args.append(self.comparison())
+            token = self.advance()
+            if token.text == ")":
+                return args
+            if token.text != ",":
+                raise GrelError(f"expected ',' or ')', got {token.text!r}")
+
+    def primary(self) -> Node:
+        token = self.advance()
+        if token.kind == "number":
+            return Literal(float(token.text))
+        if token.kind == "string":
+            body = token.text[1:-1]
+            body = body.replace('\\"', '"').replace("\\'", "'")
+            body = body.replace("\\\\", "\\")
+            return Literal(body)
+        if token.text == "(":
+            node = self.comparison()
+            self.expect(")")
+            return node
+        if token.text == "-":
+            inner = self.postfix()
+            return BinaryOp("-", Literal(0.0), inner)
+        if token.kind == "name":
+            if self.peek() and self.peek().text == "(":
+                self.advance()
+                args = self.arguments()
+                return FunctionCall(token.text, args)
+            return Variable(token.text)
+        raise GrelError(f"unexpected token {token.text!r}")
+
+
+class GrelExpression:
+    """A parsed, reusable GREL expression."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._ast = _Parser(tokenize(source)).parse()
+
+    def evaluate(self, value: Any, cells: Optional[Dict[str, Any]] = None) -> Any:
+        """Evaluate against one cell value (and optionally the full row)."""
+        env = {"value": value, "cells": cells or {}}
+        return self._ast.evaluate(env)
+
+    def apply_to_column(self, table: Table, column: str) -> Table:
+        """Return a copy of *table* with the expression applied column-wise."""
+        out = table.copy()
+        column_names = table.column_names
+        for row in range(table.n_rows):
+            cells = {name: table.get_cell(row, name) for name in column_names}
+            out.set_cell(
+                row, column, self.evaluate(table.get_cell(row, column), cells)
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return f"GrelExpression({self.source!r})"

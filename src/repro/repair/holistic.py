@@ -1,0 +1,328 @@
+"""Holistic signal-combining repairs: HoloClean, OpenRefine, and CleanLab's
+repair side (Table 1 rows 13, 14, 16)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.context import CleaningContext
+from repro.dataset.encoding import LabelEncoder, TableEncoder
+from repro.dataset.table import Cell, Table, is_missing
+from repro.detectors.openrefine import cluster_column, fingerprint
+from repro.ml.linear import LogisticRegression
+from repro.repair.base import GENERIC, RepairMethod, blank_detected_cells
+from repro.repair.simple import MeanModeImputeRepair
+
+
+class HoloCleanRepair(RepairMethod):
+    """HoloClean's repair stage: probabilistic inference over signals.
+
+    Candidate repairs are scored by a log-linear model over the signal
+    features HoloClean's factor graph encodes:
+
+    - FD/constraint co-group votes (rows agreeing on a determinant);
+    - attribute co-occurrence with the rest of the tuple;
+    - the column's empirical value prior.
+
+    With ``learn_weights`` (default), the feature weights are *learned* the
+    way HoloClean learns its factor weights: every unflagged categorical
+    cell is treated as weak supervision -- its observed value is a positive
+    example and sampled domain values are negatives -- and a logistic model
+    fits the weights.  With too little evidence the scorer falls back to
+    calibrated fixed weights.  Numeric cells fall back to the column mean
+    (HoloClean's domain pruning makes continuous attributes statistical).
+    """
+
+    name = "HoloClean"
+    category = GENERIC
+
+    #: Fixed fallback weights: [prior, fd_vote, cooccurrence, bias].
+    _FALLBACK_WEIGHTS = np.array([1.0, 4.0, 1.0, 0.0])
+
+    def __init__(
+        self,
+        max_candidates: int = 30,
+        learn_weights: bool = True,
+        max_training_cells: int = 400,
+    ) -> None:
+        if max_candidates < 2:
+            raise ValueError("max_candidates must be >= 2")
+        if max_training_cells < 10:
+            raise ValueError("max_training_cells must be >= 10")
+        self.max_candidates = max_candidates
+        self.learn_weights = learn_weights
+        self.max_training_cells = max_training_cells
+        self.learned_weights_: Optional[np.ndarray] = None
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        table = context.dirty
+        blanked = blank_detected_cells(table, detections)
+        repaired = blanked.copy()
+        # FD majority votes per (cell -> value).
+        fd_votes: Dict[Cell, Counter] = defaultdict(Counter)
+        for fd in context.fds:
+            for cell, value in fd.majority_repairs(table).items():
+                fd_votes[cell][str(value).strip()] += 3  # strong signal
+        normalized: Dict[str, List[Optional[str]]] = {}
+        for column in table.schema.categorical_names:
+            normalized[column] = [
+                None if is_missing(v) else str(v).strip()
+                for v in blanked.column(column)
+            ]
+        priors = {
+            column: Counter(v for v in normalized[column] if v is not None)
+            for column in normalized
+        }
+        # Co-occurrence counts between categorical columns (on kept cells).
+        cooccurrence: Dict[Tuple[str, str], Counter] = defaultdict(Counter)
+        categorical = list(normalized)
+        for i in range(table.n_rows):
+            for col_a in categorical:
+                a = normalized[col_a][i]
+                if a is None:
+                    continue
+                for col_b in categorical:
+                    if col_b == col_a:
+                        continue
+                    b = normalized[col_b][i]
+                    if b is not None:
+                        cooccurrence[(col_a, col_b)][(a, b)] += 1
+
+        def candidate_features(
+            row: int, column: str, candidate: str
+        ) -> np.ndarray:
+            """Signal features for assigning *candidate* to one cell."""
+            prior = np.log(priors[column][candidate] + 1.0)
+            fd_vote = float(
+                fd_votes.get((row, column), Counter())[candidate]
+            )
+            context_loglik = 0.0
+            contexts = 0
+            for col_b in categorical:
+                if col_b == column:
+                    continue
+                b = normalized[col_b][row]
+                if b is None:
+                    continue
+                joint = cooccurrence[(column, col_b)][(candidate, b)]
+                context_loglik += np.log(joint + 1.0)
+                contexts += 1
+            if contexts:
+                context_loglik /= contexts
+            return np.array([prior, fd_vote, context_loglik, 1.0])
+
+        weights = self._learn_weights(
+            context, detections, categorical, normalized, priors,
+            candidate_features,
+        )
+        self.learned_weights_ = weights
+
+        numeric_means: Dict[str, float] = {}
+        for row, column in sorted(detections):
+            if column not in table.schema or not (0 <= row < table.n_rows):
+                continue
+            if table.schema.kind_of(column) == "numerical":
+                if column not in numeric_means:
+                    values = blanked.as_float(column)
+                    finite = values[~np.isnan(values)]
+                    numeric_means[column] = (
+                        float(finite.mean()) if len(finite) else 0.0
+                    )
+                repaired.set_cell(row, column, numeric_means[column])
+                continue
+            candidates = [
+                v for v, _ in priors[column].most_common(self.max_candidates)
+            ]
+            for vote_value in fd_votes.get((row, column), ()):
+                if vote_value not in candidates:
+                    candidates.append(vote_value)
+            if not candidates:
+                continue
+            scores = [
+                float(weights @ candidate_features(row, column, candidate))
+                for candidate in candidates
+            ]
+            repaired.set_cell(
+                row, column, candidates[int(np.argmax(scores))]
+            )
+        return repaired
+
+    def _learn_weights(
+        self,
+        context: CleaningContext,
+        detections: Set[Cell],
+        categorical: List[str],
+        normalized: Dict[str, List[Optional[str]]],
+        priors: Dict[str, Counter],
+        candidate_features,
+    ) -> np.ndarray:
+        """Fit factor weights from unflagged cells (weak supervision)."""
+        if not self.learn_weights or not categorical:
+            return self._FALLBACK_WEIGHTS
+        rng = context.rng(83)
+        detected = set(detections)
+        examples: List[np.ndarray] = []
+        labels: List[int] = []
+        pool: List[Tuple[int, str]] = [
+            (row, column)
+            for column in categorical
+            for row in range(context.dirty.n_rows)
+            if (row, column) not in detected
+            and normalized[column][row] is not None
+            and len(priors[column]) >= 2
+        ]
+        if len(pool) > self.max_training_cells:
+            picks = rng.choice(
+                len(pool), size=self.max_training_cells, replace=False
+            )
+            pool = [pool[int(p)] for p in picks]
+        for row, column in pool:
+            observed = normalized[column][row]
+            examples.append(candidate_features(row, column, observed))
+            labels.append(1)
+            alternatives = [v for v in priors[column] if v != observed]
+            negative = alternatives[int(rng.integers(len(alternatives)))]
+            examples.append(candidate_features(row, column, negative))
+            labels.append(0)
+        if len(examples) < 20:
+            return self._FALLBACK_WEIGHTS
+        features = np.vstack(examples)
+        targets = np.array(labels)
+        # Hold out a slice of the pseudo-examples to decide whether the
+        # learned weights actually beat the calibrated fallback.
+        n_holdout = max(4, len(features) // 4)
+        order = rng.permutation(len(features))
+        holdout, training = order[:n_holdout], order[n_holdout:]
+        model = LogisticRegression(max_iter=200, learning_rate=0.3)
+        try:
+            model.fit(features[training], targets[training])
+        except (ValueError, np.linalg.LinAlgError):
+            return self._FALLBACK_WEIGHTS
+        # Column 1 of coef_ is the positive-class direction; the model adds
+        # its own intercept on top of our bias feature -- fold it in.
+        learned = model.coef_[:, 1] - model.coef_[:, 0]
+        weights = learned[:-1].copy()
+        weights[-1] += learned[-1]  # merge the intercept into the bias slot
+        if not np.isfinite(weights).all():
+            return self._FALLBACK_WEIGHTS
+        # FD votes never occur among unflagged training cells, so their
+        # weight cannot be learned here; keep the fallback's strong prior
+        # (hard-constraint factors are not softened in HoloClean either).
+        weights[1] = max(weights[1], self._FALLBACK_WEIGHTS[1])
+
+        def holdout_accuracy(w: np.ndarray) -> float:
+            scores = features[holdout] @ w
+            predictions = (scores > 0).astype(int)
+            return float(np.mean(predictions == targets[holdout]))
+
+        if holdout_accuracy(weights) >= holdout_accuracy(self._FALLBACK_WEIGHTS):
+            return weights
+        return self._FALLBACK_WEIGHTS
+
+
+class OpenRefineRepair(RepairMethod):
+    """OpenRefine repair (row 14): cluster merges plus GREL transforms.
+
+    Detected categorical cells whose fingerprint cluster has a majority raw
+    variant are rewritten to that variant -- the "mass edit" a user performs
+    after reviewing clusters.  Optionally, per-column GREL expressions
+    (OpenRefine's native transformation language, see
+    :mod:`repro.repair.grel`) are applied to the detected cells first, e.g.
+    ``{"city": 'value.trim().toLowercase()'}``.
+    """
+
+    name = "OpenRefine"
+    category = GENERIC
+
+    def __init__(self, transforms: Optional[Dict[str, str]] = None) -> None:
+        from repro.repair.grel import GrelExpression
+
+        self.transforms = {
+            column: GrelExpression(source)
+            for column, source in (transforms or {}).items()
+        }
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        table = context.dirty
+        repaired = table.copy()
+        # Phase 1: user-supplied GREL transforms on detected cells.
+        if self.transforms:
+            column_names = table.column_names
+            for row, column in sorted(detections):
+                expression = self.transforms.get(column)
+                if expression is None or not (0 <= row < table.n_rows):
+                    continue
+                cells = {
+                    name: table.get_cell(row, name) for name in column_names
+                }
+                try:
+                    repaired.set_cell(
+                        row, column,
+                        expression.evaluate(table.get_cell(row, column), cells),
+                    )
+                except Exception:  # noqa: BLE001 - user expression errors
+                    continue
+        merges: Dict[str, Dict[str, str]] = {}
+        for column in table.schema.categorical_names:
+            clusters = cluster_column(table, column)
+            mapping: Dict[str, str] = {}
+            for counts in clusters.values():
+                if len(counts) < 2:
+                    continue
+                majority, _ = counts.most_common(1)[0]
+                for variant in counts:
+                    if variant != majority:
+                        mapping[variant] = majority
+            if mapping:
+                merges[column] = mapping
+        for row, column in detections:
+            if column not in merges or not (0 <= row < table.n_rows):
+                continue
+            value = table.get_cell(row, column)
+            if is_missing(value):
+                continue
+            replacement = merges[column].get(str(value))
+            if replacement is not None:
+                repaired.set_cell(row, column, replacement)
+        return repaired
+
+
+class CleanLabRepair(RepairMethod):
+    """CleanLab's repair side (row 16): relabel flagged label cells.
+
+    Trains a classifier on the rows whose labels were *not* flagged and
+    overwrites flagged labels with its predictions -- confident learning's
+    prune-and-relearn loop collapsed to one pass.
+    """
+
+    name = "CleanLab"
+    category = GENERIC
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        label_column = context.label_column
+        table = context.dirty
+        if label_column is None or label_column not in table.schema:
+            return table.copy()
+        flagged_rows = sorted(
+            {row for row, column in detections if column == label_column}
+        )
+        if not flagged_rows:
+            return table.copy()
+        keep_rows = [i for i in range(table.n_rows) if i not in set(flagged_rows)]
+        encoder = TableEncoder()
+        features = encoder.fit_transform(table, exclude=[label_column])
+        label_encoder = LabelEncoder()
+        labels = label_encoder.fit_transform(table.column(label_column))
+        repaired = table.copy()
+        if len(keep_rows) < 10 or len(set(labels[keep_rows])) < 2:
+            return repaired
+        model = LogisticRegression(max_iter=150)
+        model.fit(features[keep_rows], labels[keep_rows])
+        predictions = model.predict(features[flagged_rows])
+        decoded = label_encoder.inverse_transform(predictions)
+        for row, value in zip(flagged_rows, decoded):
+            repaired.set_cell(row, label_column, value)
+        return repaired

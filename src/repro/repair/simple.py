@@ -1,0 +1,122 @@
+"""Baseline repairs: ground truth, delete, and standard imputation.
+
+Standard imputation replaces detected numeric cells with the column mean /
+median / mode and detected categorical cells with the column mode, computed
+over the *undetected* cells (Table 1 rows 1-5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.context import CleaningContext
+from repro.dataset.table import Cell, Table, is_missing
+from repro.repair.base import GENERIC, RepairMethod, blank_detected_cells
+
+
+class GroundTruthRepair(RepairMethod):
+    """Replaces detected cells with their ground-truth values (row 'GT').
+
+    Simulates an optimal repair method; REIN uses it to bound what any
+    repair could achieve given a detector's output.
+    """
+
+    name = "GT"
+    category = GENERIC
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        if context.clean is None:
+            raise RuntimeError("ground-truth repair requires the clean table")
+        repaired = context.dirty.copy()
+        for row, column in detections:
+            if column in repaired.schema and 0 <= row < repaired.n_rows:
+                repaired.set_cell(row, column, context.clean.get_cell(row, column))
+        return repaired
+
+
+class DeleteRepair(RepairMethod):
+    """Removes every row containing a detected cell (Table 1 row 2)."""
+
+    name = "Delete"
+    category = GENERIC
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]):
+        dirty_rows = {row for row, _ in detections}
+        kept = [i for i in range(context.dirty.n_rows) if i not in dirty_rows]
+        # kept_rows lets scenario evaluation map surviving rows back to the
+        # aligned ground-truth indices.
+        return context.dirty.select_rows(kept), {"kept_rows": kept}
+
+
+class _StatImputeRepair(RepairMethod):
+    """Shared machinery for mean/median/mode imputation."""
+
+    numeric_stat: str = "mean"
+
+    def _numeric_fill(self, values: np.ndarray) -> Optional[float]:
+        finite = values[~np.isnan(values)]
+        if len(finite) == 0:
+            return None
+        if self.numeric_stat == "mean":
+            return float(finite.mean())
+        if self.numeric_stat == "median":
+            return float(np.median(finite))
+        # Mode of a continuous column: most frequent rounded value.
+        counts = Counter(np.round(finite, 6).tolist())
+        return float(counts.most_common(1)[0][0])
+
+    @staticmethod
+    def _categorical_fill(column_values) -> Optional[str]:
+        counts = Counter(
+            str(v).strip() for v in column_values if not is_missing(v)
+        )
+        if not counts:
+            return None
+        return counts.most_common(1)[0][0]
+
+    def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        table = context.dirty
+        blanked = blank_detected_cells(table, detections)
+        repaired = blanked.copy()
+        # Statistics come from undetected cells only.
+        for column in table.column_names:
+            holes = [
+                i
+                for i in range(table.n_rows)
+                if is_missing(blanked.get_cell(i, column))
+            ]
+            if not holes:
+                continue
+            if table.schema.kind_of(column) == "numerical":
+                fill = self._numeric_fill(blanked.as_float(column))
+            else:
+                fill = self._categorical_fill(blanked.column(column))
+            if fill is None:
+                continue
+            for row in holes:
+                repaired.set_cell(row, column, fill)
+        return repaired
+
+
+class MeanModeImputeRepair(_StatImputeRepair):
+    """Mean for numeric cells, mode for categorical (Table 1 row 3)."""
+
+    name = "Impute-Mean"
+    numeric_stat = "mean"
+
+
+class MedianModeImputeRepair(_StatImputeRepair):
+    """Median for numeric cells, mode for categorical (row 4)."""
+
+    name = "Impute-Median"
+    numeric_stat = "median"
+
+
+class ModeModeImputeRepair(_StatImputeRepair):
+    """Mode for both numeric and categorical cells (row 5)."""
+
+    name = "Impute-Mode"
+    numeric_stat = "mode"

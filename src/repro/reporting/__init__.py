@@ -1,0 +1,15 @@
+"""Text renderers for the paper's tables and figure series.
+
+The original figures are matplotlib plots; the benchmark harness re-emits
+the same quantities as aligned text tables, bar rows, and series blocks so
+every table/figure of the paper has a regenerable textual counterpart.
+"""
+
+from repro.reporting.render import (
+    render_bars,
+    render_matrix,
+    render_series,
+    render_table,
+)
+
+__all__ = ["render_bars", "render_matrix", "render_series", "render_table"]

@@ -1,0 +1,100 @@
+"""Aligned text rendering helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def _format_cell(value: object, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned text table with a header rule."""
+    text_rows = [
+        [_format_cell(v, precision) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 40,
+    precision: int = 3,
+) -> str:
+    """Render a labeled horizontal bar chart (detection-count figures)."""
+    if not values:
+        return title or ""
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(width * abs(value) / peak)))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {_format_cell(float(value), precision)}"
+        )
+    return "\n".join(lines)
+
+
+def render_matrix(
+    names: Sequence[str],
+    matrix: Sequence[Sequence[float]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render a symmetric matrix (the IoU heatmaps of Figure 2)."""
+    headers = [""] + list(names)
+    rows = [
+        [name] + [matrix[i][j] for j in range(len(names))]
+        for i, name in enumerate(names)
+    ]
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render line-plot data as one column per series (Figure 3 style)."""
+    xs: List[float] = sorted(
+        {x for points in series.values() for x, _ in points}
+    )
+    lookup: Dict[str, Dict[float, float]] = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + [f"{name} ({y_label})" for name in series]
+    rows = []
+    for x in xs:
+        rows.append(
+            [x] + [lookup[name].get(x) for name in series]
+        )
+    return render_table(headers, rows, title=title, precision=precision)

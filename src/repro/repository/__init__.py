@@ -1,0 +1,11 @@
+"""Data repository: persistent storage for dataset versions and results.
+
+Figure 1's architecture keeps the ground truth, the dirty data, and every
+generated repaired version in a PostgreSQL repository; we provide the same
+component on SQLite (bundled with Python), plus a results store that the
+evaluation module writes experiment records into.
+"""
+
+from repro.repository.store import DataRepository, ResultsStore
+
+__all__ = ["DataRepository", "ResultsStore"]

@@ -1,0 +1,257 @@
+"""SQLite-backed stores for dataset versions and experiment results."""
+
+from __future__ import annotations
+
+import json
+import math
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table, is_missing
+
+GROUND_TRUTH = "ground_truth"
+DIRTY = "dirty"
+REPAIRED = "repaired"
+
+_VERSION_KINDS = (GROUND_TRUTH, DIRTY, REPAIRED)
+
+
+def _encode_cell(value: Any) -> Any:
+    if is_missing(value):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    return str(value)
+
+
+class DataRepository:
+    """Stores ground-truth / dirty / repaired versions of benchmark tables.
+
+    Versions are addressed by ``(dataset, kind, variant)``; the variant
+    distinguishes repaired versions produced by different cleaning
+    strategies (e.g. ``"RAHA+MISS-Mix"``).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS versions (
+                dataset TEXT NOT NULL,
+                kind TEXT NOT NULL,
+                variant TEXT NOT NULL DEFAULT '',
+                schema_json TEXT NOT NULL,
+                rows_json TEXT NOT NULL,
+                metadata_json TEXT NOT NULL DEFAULT '{}',
+                PRIMARY KEY (dataset, kind, variant)
+            )
+            """
+        )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "DataRepository":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def save_version(
+        self,
+        dataset: str,
+        kind: str,
+        table: Table,
+        variant: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Insert or replace one stored table version.
+
+        ``metadata`` persists provenance alongside the data (e.g. a Delete
+        repair's ``kept_rows``, or the detector/repair names that produced
+        a repaired variant).  It must be JSON-serializable.
+        """
+        if kind not in _VERSION_KINDS:
+            raise ValueError(f"kind must be one of {_VERSION_KINDS}")
+        schema_json = json.dumps(
+            [(c.name, c.kind) for c in table.schema.columns]
+        )
+        rows = [
+            [_encode_cell(v) for v in table.row(i)]
+            for i in range(table.n_rows)
+        ]
+        self._connection.execute(
+            "INSERT OR REPLACE INTO versions VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                dataset,
+                kind,
+                variant,
+                schema_json,
+                json.dumps(rows),
+                json.dumps(metadata or {}),
+            ),
+        )
+        self._connection.commit()
+
+    def load_version(
+        self, dataset: str, kind: str, variant: str = ""
+    ) -> Table:
+        """Load one stored table version; KeyError when absent."""
+        row = self._connection.execute(
+            "SELECT schema_json, rows_json FROM versions "
+            "WHERE dataset = ? AND kind = ? AND variant = ?",
+            (dataset, kind, variant),
+        ).fetchone()
+        if row is None:
+            raise KeyError(
+                f"no stored version ({dataset!r}, {kind!r}, {variant!r})"
+            )
+        schema = Schema.from_pairs(json.loads(row[0]))
+        return Table.from_rows(schema, json.loads(row[1]))
+
+    def load_metadata(
+        self, dataset: str, kind: str, variant: str = ""
+    ) -> Dict[str, Any]:
+        """Provenance metadata stored with a version; KeyError when absent."""
+        row = self._connection.execute(
+            "SELECT metadata_json FROM versions "
+            "WHERE dataset = ? AND kind = ? AND variant = ?",
+            (dataset, kind, variant),
+        ).fetchone()
+        if row is None:
+            raise KeyError(
+                f"no stored version ({dataset!r}, {kind!r}, {variant!r})"
+            )
+        return json.loads(row[0])
+
+    def list_versions(self, dataset: Optional[str] = None) -> List[Tuple[str, str, str]]:
+        """All stored ``(dataset, kind, variant)`` keys."""
+        if dataset is None:
+            cursor = self._connection.execute(
+                "SELECT dataset, kind, variant FROM versions ORDER BY 1, 2, 3"
+            )
+        else:
+            cursor = self._connection.execute(
+                "SELECT dataset, kind, variant FROM versions "
+                "WHERE dataset = ? ORDER BY 1, 2, 3",
+                (dataset,),
+            )
+        return [tuple(r) for r in cursor.fetchall()]
+
+    def delete_version(self, dataset: str, kind: str, variant: str = "") -> None:
+        self._connection.execute(
+            "DELETE FROM versions WHERE dataset = ? AND kind = ? AND variant = ?",
+            (dataset, kind, variant),
+        )
+        self._connection.commit()
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One experiment measurement."""
+
+    dataset: str
+    stage: str       # 'detection' | 'repair' | 'model'
+    method: str      # detector / repair / model name (or combo)
+    metric: str      # 'f1', 'rmse', 'runtime', ...
+    value: float
+    seed: int = 0
+    scenario: str = ""
+
+
+class ResultsStore:
+    """Experiment-result log with simple aggregation queries."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS results (
+                dataset TEXT NOT NULL,
+                stage TEXT NOT NULL,
+                method TEXT NOT NULL,
+                metric TEXT NOT NULL,
+                value REAL,
+                seed INTEGER NOT NULL DEFAULT 0,
+                scenario TEXT NOT NULL DEFAULT ''
+            )
+            """
+        )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def add(self, record: ResultRecord) -> None:
+        value = record.value
+        if value is not None and math.isnan(value):
+            value = None
+        self._connection.execute(
+            "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                record.dataset,
+                record.stage,
+                record.method,
+                record.metric,
+                value,
+                record.seed,
+                record.scenario,
+            ),
+        )
+        self._connection.commit()
+
+    def add_many(self, records: Iterable[ResultRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def values(
+        self,
+        dataset: Optional[str] = None,
+        stage: Optional[str] = None,
+        method: Optional[str] = None,
+        metric: Optional[str] = None,
+        scenario: Optional[str] = None,
+    ) -> List[float]:
+        """All values matching the given filters (None = any)."""
+        clauses, params = [], []
+        for field, value in (
+            ("dataset", dataset),
+            ("stage", stage),
+            ("method", method),
+            ("metric", metric),
+            ("scenario", scenario),
+        ):
+            if value is not None:
+                clauses.append(f"{field} = ?")
+                params.append(value)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        cursor = self._connection.execute(
+            f"SELECT value FROM results{where}", params
+        )
+        return [r[0] for r in cursor.fetchall() if r[0] is not None]
+
+    def mean_by_method(
+        self, dataset: str, stage: str, metric: str, scenario: str = ""
+    ) -> Dict[str, float]:
+        """Mean value per method for one (dataset, stage, metric)."""
+        cursor = self._connection.execute(
+            "SELECT method, AVG(value) FROM results "
+            "WHERE dataset = ? AND stage = ? AND metric = ? AND scenario = ? "
+            "AND value IS NOT NULL GROUP BY method",
+            (dataset, stage, metric, scenario),
+        )
+        return {method: value for method, value in cursor.fetchall()}
+
+    def count(self) -> int:
+        return int(
+            self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        )

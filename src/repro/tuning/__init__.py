@@ -1,0 +1,27 @@
+"""Hyperparameter optimisation (the paper uses Optuna; we provide an
+equivalent informed-search implementation).
+
+:class:`~repro.tuning.search.Study` runs trials over a declared
+:class:`~repro.tuning.search.SearchSpace` using either pure random search or
+a TPE-style adaptive sampler that focuses new samples near historically good
+configurations -- the same Bayesian-flavoured informed search role Optuna
+plays in REIN.
+"""
+
+from repro.tuning.search import (
+    Categorical,
+    Float,
+    Integer,
+    SearchSpace,
+    Study,
+    tune_estimator,
+)
+
+__all__ = [
+    "Categorical",
+    "Float",
+    "Integer",
+    "SearchSpace",
+    "Study",
+    "tune_estimator",
+]

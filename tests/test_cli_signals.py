@@ -1,0 +1,119 @@
+"""Tests for the CLI and the automatic signal generation helper."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark.signals import (
+    AutoSignals,
+    auto_signals,
+    infer_column_pattern,
+    infer_key_columns,
+)
+from repro.cli import main
+from repro.context import CleaningContext
+from repro.datagen import generate
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.detectors import NadeefDetector
+
+
+class TestAutoSignals:
+    def test_discovers_fds_on_beers(self):
+        dataset = generate("Beers", n_rows=200, seed=0)
+        signals = auto_signals(dataset.clean)
+        fd_strings = {str(fd) for fd in signals.fds}
+        assert any("city -> state" in s for s in fd_strings)
+
+    def test_patterns_cover_clean_flag_dirty(self):
+        dataset = generate("Beers", n_rows=200, seed=1)
+        signals = auto_signals(dataset.clean)
+        state_patterns = [p for p in signals.patterns if p.column == "state"]
+        assert state_patterns
+        # The inferred pattern accepts every clean value...
+        assert state_patterns[0].violations(dataset.clean) == set()
+        # ...and the dirty version has some violating cells (typos).
+        dirty_violations = state_patterns[0].violations(dataset.dirty)
+        true_errors = {
+            c for c in dirty_violations if c in dataset.error_cells
+        }
+        assert len(true_errors) >= len(dirty_violations) * 0.5
+
+    def test_key_columns(self):
+        schema = Schema.from_pairs([("id", CATEGORICAL), ("grp", CATEGORICAL)])
+        table = Table(
+            schema,
+            {
+                "id": [f"k{i}" for i in range(50)],
+                "grp": [f"g{i % 3}" for i in range(50)],
+            },
+        )
+        assert infer_key_columns(table) == ["id"]
+
+    def test_auto_signals_drive_nadeef(self):
+        dataset = generate("Beers", n_rows=200, seed=2)
+        signals = auto_signals(dataset.clean)
+        context = CleaningContext(
+            dirty=dataset.dirty,
+            fds=signals.fds,
+            patterns=signals.patterns,
+        )
+        detected = NadeefDetector().detect(context)
+        assert detected.n_detected > 0
+        # Auto-generated rules reach useful precision.
+        hits = len(set(detected.cells) & dataset.error_cells)
+        assert hits / detected.n_detected > 0.3
+
+    def test_free_text_column_gets_no_pattern(self):
+        rng = np.random.default_rng(0)
+        alphabet = "abcdefghijklmnop .,-"
+        schema = Schema.from_pairs([("txt", CATEGORICAL)])
+        table = Table(
+            schema,
+            {
+                "txt": [
+                    "".join(
+                        alphabet[int(rng.integers(len(alphabet)))]
+                        for _ in range(int(rng.integers(3, 25)))
+                    )
+                    for _ in range(60)
+                ]
+            },
+        )
+        assert infer_column_pattern(table, "txt") is None
+
+    def test_short_column_gets_no_pattern(self):
+        schema = Schema.from_pairs([("c", CATEGORICAL)])
+        table = Table(schema, {"c": ["x", "y"]})
+        assert infer_column_pattern(table, "c") is None
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Beers" in out and "Soccer" in out
+
+    def test_detect(self, capsys):
+        assert main(["detect", "Nasa", "--rows", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "detection" in out
+        assert "IoU" in out
+
+    def test_repair(self, capsys):
+        assert main(["repair", "Nasa", "--rows", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "repair grid" in out
+        assert "MVD+GT" in out or "MaxEntropy+GT" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "Nasa", "--rows", "150", "--model", "Ridge",
+                     "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Wilcoxon" in out
+        assert "S1" in out and "S4" in out
+
+    def test_model_no_task(self, capsys):
+        assert main(["model", "Soccer", "--rows", "100"]) == 2
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "NotADataset"])

@@ -1,0 +1,246 @@
+"""Tests for denial constraints, FDs, patterns, and FD discovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    ColumnPattern,
+    DenialConstraint,
+    FunctionalDependency,
+    Predicate,
+    discover_fds,
+)
+from repro.constraints.discovery import g3_error
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+
+
+@pytest.fixture
+def city_table():
+    schema = Schema.from_pairs(
+        [("zip", CATEGORICAL), ("city", CATEGORICAL), ("pop", NUMERICAL)]
+    )
+    return Table(
+        schema,
+        {
+            "zip": ["10115", "10115", "80331", "80331", "20095"],
+            "city": ["berlin", "berlin", "munich", "MUNICH-X", "hamburg"],
+            "pop": [3.6, 3.6, 1.5, 1.5, 1.8],
+        },
+    )
+
+
+class TestPredicate:
+    def test_constant_comparison(self):
+        p = Predicate("pop", ">", constant=2.0)
+        assert p.holds({"pop": 3.6})
+        assert not p.holds({"pop": 1.5})
+
+    def test_missing_never_holds(self):
+        p = Predicate("pop", ">", constant=2.0)
+        assert not p.holds({"pop": None})
+        assert not p.holds({"pop": ""})
+
+    def test_cross_tuple(self):
+        p = Predicate("zip", "==", "zip")
+        assert p.holds({"zip": "10115"}, {"zip": "10115"})
+        assert not p.holds({"zip": "10115"}, {"zip": "80331"})
+
+    def test_numeric_op_on_text_never_holds(self):
+        p = Predicate("pop", "<", constant=5)
+        assert not p.holds({"pop": "abc"})
+
+    def test_string_vs_numeric_equality(self):
+        p = Predicate("pop", "==", constant=3.6)
+        assert p.holds({"pop": "3.6"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "~", constant=1)
+        with pytest.raises(ValueError):
+            Predicate("a", "==")
+        with pytest.raises(ValueError):
+            Predicate("a", "==", right_attr="b", constant=1)
+        with pytest.raises(ValueError):
+            Predicate("a", "==", right_attr="b", right_tuple="t3")
+
+
+class TestDenialConstraint:
+    def test_unary_violations(self, city_table):
+        dc = DenialConstraint([Predicate("pop", ">", constant=3.0)])
+        cells = dc.violations(city_table)
+        assert cells == {(0, "pop"), (1, "pop")}
+
+    def test_binary_fd_style(self, city_table):
+        dc = DenialConstraint(
+            [Predicate("zip", "==", "zip"), Predicate("city", "!=", "city")],
+            binary=True,
+        )
+        cells = dc.violations(city_table)
+        rows = {r for r, _ in cells}
+        assert rows == {2, 3}
+
+    def test_binary_no_violations(self, city_table):
+        dc = DenialConstraint(
+            [Predicate("zip", "==", "zip"), Predicate("pop", "!=", "pop")],
+            binary=True,
+        )
+        assert dc.violations(city_table) == set()
+
+    def test_violating_row_pairs(self, city_table):
+        dc = DenialConstraint(
+            [Predicate("zip", "==", "zip"), Predicate("city", "!=", "city")],
+            binary=True,
+        )
+        assert dc.violating_row_pairs(city_table) == [(2, 3)]
+        unary = DenialConstraint([Predicate("pop", ">", constant=0)])
+        with pytest.raises(ValueError):
+            unary.violating_row_pairs(city_table)
+
+    def test_needs_predicates(self):
+        with pytest.raises(ValueError):
+            DenialConstraint([])
+
+    def test_conjunction_semantics(self, city_table):
+        dc = DenialConstraint(
+            [
+                Predicate("pop", ">", constant=1.0),
+                Predicate("city", "==", constant="hamburg"),
+            ]
+        )
+        cells = dc.violations(city_table)
+        assert {r for r, _ in cells} == {4}
+
+
+class TestFunctionalDependency:
+    def test_violations_flag_minority(self, city_table):
+        fd = FunctionalDependency(("zip",), "city")
+        cells = fd.violations(city_table)
+        # zip 80331 has 'munich' vs 'MUNICH-X' tie -> both flagged.
+        assert cells == {(2, "city"), (3, "city")}
+
+    def test_majority_repairs(self):
+        schema = Schema.from_pairs([("k", CATEGORICAL), ("v", CATEGORICAL)])
+        table = Table(
+            schema, {"k": ["a", "a", "a"], "v": ["x", "x", "WRONG"]}
+        )
+        fd = FunctionalDependency(("k",), "v")
+        assert fd.violations(table) == {(2, "v")}
+        assert fd.majority_repairs(table) == {(2, "v"): "x"}
+
+    def test_holds_on_clean(self, city_table):
+        fixed = city_table.copy()
+        fixed.set_cell(3, "city", "munich")
+        assert FunctionalDependency(("zip",), "city").holds_on(fixed)
+
+    def test_missing_lhs_skipped(self):
+        schema = Schema.from_pairs([("k", CATEGORICAL), ("v", CATEGORICAL)])
+        table = Table(schema, {"k": [None, None], "v": ["x", "y"]})
+        assert FunctionalDependency(("k",), "v").violations(table) == set()
+
+    def test_to_denial_constraint_equivalent(self, city_table):
+        fd = FunctionalDependency(("zip",), "city")
+        dc = fd.to_denial_constraint()
+        assert dc.binary
+        dc_rows = {r for r, _ in dc.violations(city_table)}
+        fd_rows = {r for r, _ in fd.violations(city_table)}
+        assert fd_rows <= dc_rows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency((), "x")
+        with pytest.raises(ValueError):
+            FunctionalDependency(("x",), "x")
+
+    def test_string_lhs_promoted(self):
+        fd = FunctionalDependency("zip", "city")
+        assert fd.lhs == ("zip",)
+        assert str(fd) == "zip -> city"
+
+
+class TestPatterns:
+    def test_violations(self, city_table):
+        pattern = ColumnPattern("zip", r"\d{5}")
+        dirty = city_table.copy()
+        dirty.set_cell(0, "zip", "1O115")  # letter O typo
+        assert pattern.violations(dirty) == {(0, "zip")}
+
+    def test_missing_values_pass(self, city_table):
+        dirty = city_table.copy()
+        dirty.set_cell(0, "zip", None)
+        assert ColumnPattern("zip", r"\d{5}").violations(dirty) == set()
+
+    def test_matches_helper(self):
+        pattern = ColumnPattern("x", r"[a-z]+")
+        assert pattern.matches("abc")
+        assert not pattern.matches("ABC")
+        assert pattern.matches(None)
+
+    def test_bad_regex_fails_fast(self):
+        with pytest.raises(Exception):
+            ColumnPattern("x", r"([")
+
+
+class TestDiscovery:
+    def test_g3_exact_fd(self, city_table):
+        fixed = city_table.copy()
+        fixed.set_cell(3, "city", "munich")
+        assert g3_error(fixed, ("zip",), "city") == 0.0
+
+    def test_g3_with_noise(self, city_table):
+        assert g3_error(city_table, ("zip",), "city") == pytest.approx(0.2)
+
+    def test_discovers_planted_fd(self):
+        rng = np.random.default_rng(0)
+        n = 200
+        zips = [f"{rng.integers(10, 20)}xxx" for _ in range(n)]
+        city_of = {z: f"city_{z[:2]}" for z in set(zips)}
+        schema = Schema.from_pairs(
+            [("zip", CATEGORICAL), ("city", CATEGORICAL), ("noise", CATEGORICAL)]
+        )
+        table = Table(
+            schema,
+            {
+                "zip": zips,
+                "city": [city_of[z] for z in zips],
+                "noise": [str(rng.integers(0, 50)) for _ in range(n)],
+            },
+        )
+        fds = discover_fds(table, max_lhs=1)
+        assert any(fd.lhs == ("zip",) and fd.rhs == "city" for fd in fds)
+        # noise is not determined by zip.
+        assert not any(fd.rhs == "noise" for fd in fds)
+
+    def test_minimality(self):
+        schema = Schema.from_pairs(
+            [("a", CATEGORICAL), ("b", CATEGORICAL), ("c", CATEGORICAL)]
+        )
+        rows = [("a%d" % (i % 4), "b%d" % (i % 4), "c%d" % (i % 5)) for i in range(40)]
+        table = Table.from_rows(schema, rows)
+        fds = discover_fds(table, max_lhs=2)
+        for fd in fds:
+            if fd.rhs == "b" and ("a",) != fd.lhs:
+                # a -> b holds, so no superset determinant for b is allowed.
+                assert "a" not in fd.lhs
+
+    def test_validation(self, city_table):
+        with pytest.raises(ValueError):
+            discover_fds(city_table, max_lhs=0)
+        with pytest.raises(ValueError):
+            discover_fds(city_table, noise_tolerance=1.0)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_g3_bounds_property(self, n_rows, seed):
+        rng = np.random.default_rng(seed)
+        schema = Schema.from_pairs([("a", CATEGORICAL), ("b", CATEGORICAL)])
+        table = Table(
+            schema,
+            {
+                "a": [str(rng.integers(0, 3)) for _ in range(n_rows)],
+                "b": [str(rng.integers(0, 3)) for _ in range(n_rows)],
+            },
+        )
+        error = g3_error(table, ("a",), "b")
+        assert 0.0 <= error < 1.0

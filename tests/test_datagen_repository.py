@@ -1,0 +1,166 @@
+"""Tests for the dataset generators and the SQLite repository."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import DATASET_NAMES, dataset_spec, generate, table4_rows
+from repro.repository import DataRepository, ResultsStore
+from repro.repository.store import DIRTY, GROUND_TRUTH, REPAIRED, ResultRecord
+
+
+class TestGenerators:
+    def test_fourteen_datasets(self):
+        assert len(DATASET_NAMES) == 14
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generate_small(self, name):
+        dataset = generate(name, n_rows=80, seed=0)
+        assert dataset.clean.n_rows == 80
+        assert dataset.dirty.n_rows == 80
+        assert dataset.clean.schema == dataset.dirty.schema
+        # Mask consistency: recorded error cells equal the actual diff.
+        assert dataset.error_cells == dataset.clean.diff_cells(dataset.dirty)
+        assert dataset.error_cells, f"{name} generated no errors"
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_schema_shape_matches_table4_mix(self, name):
+        dataset = generate(name, n_rows=60, seed=1)
+        schema = dataset.clean.schema
+        spec = dataset_spec(name)
+        assert dataset.task == spec.task
+        assert len(schema.numerical_names) >= 1
+        if dataset.task == "classification":
+            assert dataset.target in schema
+
+    def test_error_rate_tracks_table4(self):
+        # Error rates should be within a factor-2 band of Table 4's.
+        for name in ("Beers", "SmartFactory", "Water", "Citation"):
+            dataset = generate(name, n_rows=200, seed=2)
+            expected = dataset_spec(name).error_rate
+            assert 0.3 * expected <= dataset.error_rate() <= 2.0 * expected, (
+                name, dataset.error_rate(), expected
+            )
+
+    def test_reproducible(self):
+        a = generate("Beers", n_rows=100, seed=5)
+        b = generate("Beers", n_rows=100, seed=5)
+        assert a.dirty == b.dirty
+        assert a.error_cells == b.error_cells
+
+    def test_different_seeds_differ(self):
+        a = generate("Nasa", n_rows=100, seed=1)
+        b = generate("Nasa", n_rows=100, seed=2)
+        assert a.dirty != b.dirty
+
+    def test_beers_signals(self):
+        dataset = generate("Beers", n_rows=150, seed=3)
+        assert dataset.fds
+        assert dataset.patterns
+        assert dataset.knowledge_base is not None
+        # The FDs hold on the clean version.
+        for fd in dataset.fds:
+            assert fd.holds_on(dataset.clean), str(fd)
+
+    def test_citation_has_duplicates_and_mislabels(self):
+        dataset = generate("Citation", n_rows=150, seed=4)
+        assert "duplicate" in dataset.error_types
+        assert "mislabel" in dataset.error_types
+
+    def test_context_wiring(self):
+        dataset = generate("Beers", n_rows=100, seed=6)
+        ctx = dataset.context(seed=9)
+        assert ctx.dirty is dataset.dirty
+        assert ctx.clean is dataset.clean
+        assert ctx.fds == dataset.fds
+        assert ctx.seed == 9
+        blind = dataset.context(with_ground_truth=False)
+        assert blind.clean is None
+
+    def test_summary_row(self):
+        dataset = generate("Water", n_rows=100, seed=7)
+        row = dataset.summary_row()
+        assert row["dataset"] == "Water"
+        assert row["rows"] == 100
+        assert row["task"] == "clustering"
+
+    def test_table4_rows(self):
+        assert table4_rows("Adult") == 45223
+        assert table4_rows("Printer3D") == 50
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            generate("Nope")
+        with pytest.raises(ValueError):
+            generate("Beers", n_rows=5)
+
+
+class TestDataRepository:
+    def test_round_trip(self):
+        dataset = generate("Nasa", n_rows=60, seed=0)
+        with DataRepository() as repo:
+            repo.save_version("Nasa", GROUND_TRUTH, dataset.clean)
+            repo.save_version("Nasa", DIRTY, dataset.dirty)
+            loaded_clean = repo.load_version("Nasa", GROUND_TRUTH)
+            loaded_dirty = repo.load_version("Nasa", DIRTY)
+        assert loaded_clean.diff_cells(dataset.clean) == set()
+        assert loaded_dirty.diff_cells(dataset.dirty) == set()
+
+    def test_variants(self):
+        dataset = generate("Nasa", n_rows=40, seed=1)
+        with DataRepository() as repo:
+            repo.save_version("Nasa", REPAIRED, dataset.clean, variant="GT")
+            repo.save_version("Nasa", REPAIRED, dataset.dirty, variant="none")
+            versions = repo.list_versions("Nasa")
+            assert ("Nasa", REPAIRED, "GT") in versions
+            assert ("Nasa", REPAIRED, "none") in versions
+            repo.delete_version("Nasa", REPAIRED, "none")
+            assert len(repo.list_versions("Nasa")) == 1
+
+    def test_missing_version_raises(self):
+        with DataRepository() as repo:
+            with pytest.raises(KeyError):
+                repo.load_version("ghost", DIRTY)
+
+    def test_invalid_kind(self):
+        dataset = generate("Nasa", n_rows=40, seed=2)
+        with DataRepository() as repo:
+            with pytest.raises(ValueError):
+                repo.save_version("Nasa", "draft", dataset.clean)
+
+    def test_overwrite(self):
+        dataset = generate("Nasa", n_rows=40, seed=3)
+        with DataRepository() as repo:
+            repo.save_version("Nasa", DIRTY, dataset.dirty)
+            repo.save_version("Nasa", DIRTY, dataset.clean)  # replace
+            loaded = repo.load_version("Nasa", DIRTY)
+            assert loaded.diff_cells(dataset.clean) == set()
+
+
+class TestResultsStore:
+    def test_add_and_query(self):
+        with ResultsStore() as store:
+            store.add_many(
+                [
+                    ResultRecord("Beers", "detection", "RAHA", "f1", 0.9, seed=0),
+                    ResultRecord("Beers", "detection", "RAHA", "f1", 0.8, seed=1),
+                    ResultRecord("Beers", "detection", "SD", "f1", 0.4, seed=0),
+                ]
+            )
+            assert store.count() == 3
+            values = store.values(dataset="Beers", method="RAHA", metric="f1")
+            assert sorted(values) == [0.8, 0.9]
+            means = store.mean_by_method("Beers", "detection", "f1")
+            assert means["RAHA"] == pytest.approx(0.85)
+            assert means["SD"] == pytest.approx(0.4)
+
+    def test_nan_stored_as_null(self):
+        with ResultsStore() as store:
+            store.add(ResultRecord("X", "repair", "GT", "rmse", float("nan")))
+            assert store.values(dataset="X") == []
+
+    def test_scenario_filter(self):
+        with ResultsStore() as store:
+            store.add(ResultRecord("X", "model", "MLP", "f1", 0.7, scenario="S1"))
+            store.add(ResultRecord("X", "model", "MLP", "f1", 0.9, scenario="S4"))
+            assert store.values(scenario="S1") == [0.7]
+            assert store.values(scenario="S4") == [0.9]

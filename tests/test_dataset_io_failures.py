@@ -1,0 +1,128 @@
+"""Dataset save/load round trips, repository metadata, and failure
+injection into the benchmark runner."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark import run_detection_suite, run_repair_suite
+from repro.context import CleaningContext
+from repro.datagen import generate
+from repro.datagen.io import load_dataset, save_dataset
+from repro.detectors import KnowledgeBase, MVDetector, NadeefDetector
+from repro.detectors.base import Detector
+from repro.repair import GroundTruthRepair, RepairMethod
+from repro.repository import DataRepository
+from repro.repository.store import REPAIRED
+
+
+class TestDatasetRoundTrip:
+    @pytest.mark.parametrize("name", ["Beers", "Citation", "Nasa"])
+    def test_save_load_preserves_everything(self, tmp_path, name):
+        dataset = generate(name, n_rows=80, seed=4)
+        directory = str(tmp_path / name)
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+        assert loaded.name == dataset.name
+        assert loaded.task == dataset.task
+        assert loaded.target == dataset.target
+        assert loaded.key_columns == dataset.key_columns
+        assert loaded.clean.diff_cells(dataset.clean) == set()
+        assert loaded.dirty.diff_cells(dataset.dirty) == set()
+        assert loaded.error_cells == dataset.error_cells
+        assert loaded.cells_by_type.keys() == dataset.cells_by_type.keys()
+        assert [str(fd) for fd in loaded.fds] == [
+            str(fd) for fd in dataset.fds
+        ]
+        assert len(loaded.constraints) == len(dataset.constraints)
+        assert len(loaded.patterns) == len(dataset.patterns)
+
+    def test_knowledge_base_round_trip(self, tmp_path):
+        dataset = generate("Beers", n_rows=80, seed=5)
+        directory = str(tmp_path / "beers")
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+        assert isinstance(loaded.knowledge_base, KnowledgeBase)
+        assert loaded.knowledge_base.domains == dataset.knowledge_base.domains
+        assert (
+            loaded.knowledge_base.relations
+            == dataset.knowledge_base.relations
+        )
+        # A loaded dataset drives the same rule-based detection.
+        original = NadeefDetector().detect(dataset.context()).cells
+        reloaded = NadeefDetector().detect(loaded.context()).cells
+        assert original == reloaded
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(str(tmp_path / "ghost"))
+
+
+class TestRepositoryMetadata:
+    def test_metadata_round_trip(self):
+        dataset = generate("Nasa", n_rows=60, seed=6)
+        with DataRepository() as repo:
+            repo.save_version(
+                "Nasa", REPAIRED, dataset.clean, variant="MVD+Delete",
+                metadata={"kept_rows": [0, 2, 4], "detector": "MVD"},
+            )
+            metadata = repo.load_metadata("Nasa", REPAIRED, "MVD+Delete")
+            assert metadata["kept_rows"] == [0, 2, 4]
+            assert metadata["detector"] == "MVD"
+
+    def test_default_metadata_empty(self):
+        dataset = generate("Nasa", n_rows=60, seed=7)
+        with DataRepository() as repo:
+            repo.save_version("Nasa", REPAIRED, dataset.clean, variant="x")
+            assert repo.load_metadata("Nasa", REPAIRED, "x") == {}
+
+    def test_missing_metadata_raises(self):
+        with DataRepository() as repo:
+            with pytest.raises(KeyError):
+                repo.load_metadata("ghost", REPAIRED)
+
+
+class _ExplodingDetector(Detector):
+    name = "Exploder"
+    tackles = frozenset({"holistic"})
+
+    def _detect(self, context):
+        raise RuntimeError("synthetic detector crash")
+
+
+class _ExplodingRepair(RepairMethod):
+    name = "ExplodingRepair"
+
+    def _repair(self, context, detections):
+        raise ValueError("synthetic repair crash")
+
+
+class TestFailureInjection:
+    def test_detector_crash_contained(self):
+        dataset = generate("Nasa", n_rows=80, seed=8)
+        runs = run_detection_suite(
+            dataset, [_ExplodingDetector(), MVDetector()], seed=0
+        )
+        by_name = {r.detector: r for r in runs}
+        assert by_name["Exploder"].failed
+        assert "synthetic detector crash" in by_name["Exploder"].failure
+        assert not by_name["MVD"].failed
+        # A failed detector scores zero, it does not poison the suite.
+        assert by_name["Exploder"].scores.f1 == 0.0
+
+    def test_repair_crash_contained(self):
+        dataset = generate("Nasa", n_rows=80, seed=9)
+        runs = run_repair_suite(
+            dataset,
+            {"oracle": dataset.error_cells},
+            [_ExplodingRepair(), GroundTruthRepair()],
+            seed=0,
+        )
+        by_name = {r.repair: r for r in runs}
+        assert by_name["ExplodingRepair"].failed
+        assert not by_name["GT"].failed
+
+    def test_oracle_failure_mode(self):
+        dataset = generate("Nasa", n_rows=60, seed=10)
+        blind = dataset.context(with_ground_truth=False)
+        with pytest.raises(RuntimeError):
+            GroundTruthRepair().repair(blind, dataset.error_cells)

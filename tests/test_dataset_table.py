@@ -1,0 +1,261 @@
+"""Unit tests for the Table substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataset import CATEGORICAL, NUMERICAL, Column, Schema, Table
+from repro.dataset.table import (
+    coerce_float,
+    infer_schema,
+    is_missing,
+    values_equal,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_pairs(
+        [("id", NUMERICAL), ("city", CATEGORICAL), ("temp", NUMERICAL)]
+    )
+
+
+@pytest.fixture
+def table(schema):
+    return Table(
+        schema,
+        {
+            "id": [1.0, 2.0, 3.0, 4.0],
+            "city": ["berlin", "paris", None, "rome"],
+            "temp": [20.5, math.nan, 18.0, "hot"],
+        },
+    )
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([Column("a", NUMERICAL), Column("a", CATEGORICAL)])
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Column("a", "textual")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Column("", NUMERICAL)
+
+    def test_lookup_and_kinds(self, schema):
+        assert schema["city"].is_categorical
+        assert schema.kind_of("id") == NUMERICAL
+        assert schema.numerical_names == ["id", "temp"]
+        assert schema.categorical_names == ["city"]
+        assert "city" in schema
+        assert "missing" not in schema
+
+    def test_unknown_column_raises(self, schema):
+        with pytest.raises(KeyError):
+            schema["nope"]
+
+    def test_drop(self, schema):
+        assert schema.drop(["temp"]).names == ["id", "city"]
+        with pytest.raises(KeyError):
+            schema.drop(["nope"])
+
+    def test_equality_and_hash(self, schema):
+        clone = Schema.from_pairs(
+            [("id", NUMERICAL), ("city", CATEGORICAL), ("temp", NUMERICAL)]
+        )
+        assert schema == clone
+        assert hash(schema) == hash(clone)
+
+
+class TestMissingAndCoercion:
+    @pytest.mark.parametrize(
+        "value", [None, math.nan, "", "NA", "n/a", "NaN", "null", "?", " NULL "]
+    )
+    def test_missing_markers(self, value):
+        assert is_missing(value)
+
+    @pytest.mark.parametrize("value", [0, 0.0, "0", "99999", "x", False])
+    def test_non_missing(self, value):
+        assert not is_missing(value)
+
+    def test_coerce_float(self):
+        assert coerce_float("3.5") == 3.5
+        assert coerce_float(2) == 2.0
+        assert math.isnan(coerce_float("abc"))
+        assert math.isnan(coerce_float(None))
+
+    def test_values_equal_numeric_string(self):
+        assert values_equal("3.0", 3.0)
+        assert values_equal(None, math.nan)
+        assert not values_equal("3.0", 4.0)
+        assert not values_equal("abc", 3.0)
+        assert values_equal(" x ", "x")
+
+
+class TestTableBasics:
+    def test_shape(self, table):
+        assert table.shape == (4, 3)
+        assert table.n_rows == 4
+        assert table.column_names == ["id", "city", "temp"]
+
+    def test_mismatched_columns_rejected(self, schema):
+        with pytest.raises(ValueError, match="does not match schema"):
+            Table(schema, {"id": [1], "city": ["x"]})
+
+    def test_ragged_columns_rejected(self, schema):
+        with pytest.raises(ValueError, match="rows"):
+            Table(schema, {"id": [1, 2], "city": ["x"], "temp": [1.0, 2.0]})
+
+    def test_cell_access(self, table):
+        assert table.get_cell(0, "city") == "berlin"
+        table.set_cell(0, "city", "munich")
+        assert table.get_cell(0, "city") == "munich"
+
+    def test_row_bounds_checked(self, table):
+        with pytest.raises(IndexError):
+            table.get_cell(99, "city")
+        with pytest.raises(IndexError):
+            table.get_cell(-1, "city")
+
+    def test_from_rows_round_trip(self, schema, table):
+        rebuilt = Table.from_rows(schema, [table.row(i) for i in range(4)])
+        assert rebuilt == table
+
+    def test_from_rows_checks_width(self, schema):
+        with pytest.raises(ValueError, match="fields"):
+            Table.from_rows(schema, [(1, "x")])
+
+    def test_empty(self, schema):
+        empty = Table.empty(schema)
+        assert empty.n_rows == 0
+        assert empty.numeric_matrix().shape == (0, 2)
+
+    def test_unhashable(self, table):
+        with pytest.raises(TypeError):
+            hash(table)
+
+
+class TestNumericViews:
+    def test_as_float_handles_corruption(self, table):
+        temps = table.as_float("temp")
+        assert temps[0] == 20.5
+        assert math.isnan(temps[1])
+        assert math.isnan(temps[3])  # 'hot' is corrupted, not missing
+
+    def test_numeric_matrix(self, table):
+        matrix = table.numeric_matrix()
+        assert matrix.shape == (4, 2)
+        assert matrix[0, 0] == 1.0
+
+    def test_missing_mask_and_cells(self, table):
+        mask = table.missing_mask("city")
+        assert mask.tolist() == [False, False, True, False]
+        assert (2, "city") in table.missing_cells()
+        assert (1, "temp") in table.missing_cells()
+        # Corrupted-to-text is NOT explicitly missing.
+        assert (3, "temp") not in table.missing_cells()
+
+
+class TestStructuralOps:
+    def test_copy_is_deep(self, table):
+        clone = table.copy()
+        clone.set_cell(0, "city", "tokyo")
+        assert table.get_cell(0, "city") == "berlin"
+
+    def test_select_rows(self, table):
+        sub = table.select_rows([2, 0])
+        assert sub.n_rows == 2
+        assert sub.get_cell(1, "city") == "berlin"
+
+    def test_select_rows_bounds(self, table):
+        with pytest.raises(IndexError):
+            table.select_rows([7])
+
+    def test_drop_rows(self, table):
+        sub = table.drop_rows([0, 3])
+        assert sub.n_rows == 2
+        assert sub.get_cell(0, "city") == "paris"
+
+    def test_select_and_drop_columns(self, table):
+        sub = table.select_columns(["city"])
+        assert sub.column_names == ["city"]
+        sub2 = table.drop_columns(["temp"])
+        assert sub2.column_names == ["id", "city"]
+
+    def test_with_column(self, table):
+        out = table.with_column(Column("flag", CATEGORICAL), ["a"] * 4)
+        assert out.column_names[-1] == "flag"
+        with pytest.raises(ValueError):
+            table.with_column(Column("city", CATEGORICAL), ["x"] * 4)
+        with pytest.raises(ValueError):
+            table.with_column(Column("new", CATEGORICAL), ["x"])
+
+    def test_append_rows(self, table):
+        out = table.append_rows([(5.0, "oslo", 3.0)])
+        assert out.n_rows == 5
+        assert out.get_cell(4, "city") == "oslo"
+
+    def test_map_column(self, table):
+        out = table.map_column("city", lambda v: v.upper() if v else v)
+        assert out.get_cell(0, "city") == "BERLIN"
+        assert table.get_cell(0, "city") == "berlin"
+
+
+class TestDiff:
+    def test_diff_detects_changes(self, table):
+        other = table.copy()
+        other.set_cell(0, "temp", 99.0)
+        other.set_cell(2, "city", "lyon")
+        assert table.diff_cells(other) == {(0, "temp"), (2, "city")}
+
+    def test_diff_nan_and_none_equal(self, table):
+        other = table.copy()
+        other.set_cell(1, "temp", None)  # was NaN
+        assert table.diff_cells(other) == set()
+
+    def test_diff_requires_same_shape(self, table):
+        with pytest.raises(ValueError):
+            table.diff_cells(table.select_rows([0, 1]))
+
+    def test_equality(self, table):
+        assert table == table.copy()
+        other = table.copy()
+        other.set_cell(0, "id", 42.0)
+        assert table != other
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path, schema, table):
+        path = str(tmp_path / "t.csv")
+        table.to_csv(path)
+        loaded = Table.from_csv(path, schema)
+        assert loaded.n_rows == 4
+        # NaN temp became empty string became None: still "missing-equal".
+        assert table.diff_cells(loaded) == set()
+        # Corrupted numeric payload survives the round trip verbatim.
+        assert loaded.get_cell(3, "temp") == "hot"
+
+    def test_header_mismatch(self, tmp_path, schema, table):
+        path = str(tmp_path / "t.csv")
+        table.to_csv(path)
+        wrong = Schema.from_pairs([("a", NUMERICAL)])
+        with pytest.raises(ValueError, match="header"):
+            Table.from_csv(path, wrong)
+
+
+class TestInferSchema:
+    def test_infers_kinds(self):
+        schema = infer_schema(
+            {"a": [1, 2, None], "b": ["x", "2", "z"], "c": ["1", "2.5", ""]}
+        )
+        assert schema.kind_of("a") == NUMERICAL
+        assert schema.kind_of("b") == CATEGORICAL
+        assert schema.kind_of("c") == NUMERICAL
+
+    def test_all_missing_is_categorical(self):
+        schema = infer_schema({"a": [None, None]})
+        assert schema.kind_of("a") == CATEGORICAL

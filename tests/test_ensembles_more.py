@@ -1,0 +1,90 @@
+"""Focused tests for the ensemble detectors' aggregation mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.context import CleaningContext
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.detectors import MaxEntropyDetector, MinKDetector
+from repro.detectors.base import Detector
+
+
+class _FixedDetector(Detector):
+    """Test double returning a fixed cell set."""
+
+    tackles = frozenset({"holistic"})
+
+    def __init__(self, name, cells):
+        self.name = name
+        self._cells = set(cells)
+
+    def _detect(self, context):
+        return set(self._cells)
+
+
+@pytest.fixture
+def context():
+    schema = Schema.from_pairs([("x", NUMERICAL)])
+    table = Table(schema, {"x": [float(i) for i in range(10)]})
+    return CleaningContext(dirty=table)
+
+
+class TestMinKAggregation:
+    def test_vote_counting(self, context):
+        a = _FixedDetector("A", {(0, "x"), (1, "x")})
+        b = _FixedDetector("B", {(1, "x"), (2, "x")})
+        c = _FixedDetector("C", {(1, "x")})
+        detector = MinKDetector(k=2, base_detectors=[a, b, c], trusted=())
+        cells = detector.detect(context).cells
+        assert cells == {(1, "x")}
+
+    def test_k_one_is_union(self, context):
+        a = _FixedDetector("A", {(0, "x")})
+        b = _FixedDetector("B", {(5, "x")})
+        detector = MinKDetector(k=1, base_detectors=[a, b], trusted=())
+        assert detector.detect(context).cells == {(0, "x"), (5, "x")}
+
+    def test_trusted_bypasses_votes(self, context):
+        a = _FixedDetector("A", {(0, "x")})
+        b = _FixedDetector("B", {(5, "x")})
+        detector = MinKDetector(k=2, base_detectors=[a, b], trusted=("A",))
+        # A's cells survive despite having one vote; B's do not.
+        assert detector.detect(context).cells == {(0, "x")}
+
+    def test_threshold_capped_by_active_detectors(self, context):
+        a = _FixedDetector("A", {(3, "x")})
+        silent = _FixedDetector("B", set())
+        detector = MinKDetector(k=3, base_detectors=[a, silent], trusted=())
+        # Only one detector fired; demanding 3 votes would be vacuous, so
+        # the threshold caps at the number of active detectors.
+        assert detector.detect(context).cells == {(3, "x")}
+
+
+class TestMaxEntropyOrdering:
+    def test_informative_detector_selected_first(self, context):
+        big = _FixedDetector("Big", {(i, "x") for i in range(6)})
+        small = _FixedDetector("Small", {(0, "x")})
+        detector = MaxEntropyDetector(base_detectors=[small, big])
+        cells = detector.detect(context).cells
+        assert cells == {(i, "x") for i in range(6)}
+        assert detector.execution_order_[0] == "Big"
+
+    def test_stops_when_no_new_information(self, context):
+        a = _FixedDetector("A", {(0, "x"), (1, "x"), (2, "x")})
+        duplicate = _FixedDetector("Dup", {(0, "x"), (1, "x"), (2, "x")})
+        fresh = _FixedDetector("Fresh", {(9, "x")})
+        detector = MaxEntropyDetector(
+            base_detectors=[a, duplicate, fresh], min_new_fraction=0.05
+        )
+        cells = detector.detect(context).cells
+        # Fresh contributes new cells and is included; Dup adds nothing.
+        assert (9, "x") in cells
+        assert "Dup" not in detector.execution_order_ or (
+            detector.execution_order_.index("Dup")
+            > detector.execution_order_.index("Fresh")
+        )
+
+    def test_all_silent(self, context):
+        silent = [_FixedDetector(f"S{i}", set()) for i in range(3)]
+        detector = MaxEntropyDetector(base_detectors=silent)
+        assert detector.detect(context).cells == set()

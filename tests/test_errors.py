@@ -1,0 +1,299 @@
+"""Tests for the error-injection engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.dataset.table import coerce_float, is_missing
+from repro.errors import (
+    BartEngine,
+    CompositeInjector,
+    DuplicateInjector,
+    GaussianNoiseInjector,
+    ImplicitMissingInjector,
+    InconsistencyInjector,
+    MislabelInjector,
+    MissingValueInjector,
+    OutlierInjector,
+    SwapInjector,
+    TypoInjector,
+)
+from repro.errors import profile
+
+
+def make_clean_table(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_pairs(
+        [
+            ("amount", NUMERICAL),
+            ("score", NUMERICAL),
+            ("city", CATEGORICAL),
+            ("label", CATEGORICAL),
+        ]
+    )
+    cities = ["berlin", "munich", "hamburg", "cologne"]
+    return Table(
+        schema,
+        {
+            "amount": rng.normal(100.0, 10.0, size=n).tolist(),
+            "score": rng.uniform(0.0, 1.0, size=n).tolist(),
+            "city": [cities[int(rng.integers(4))] for _ in range(n)],
+            "label": [("yes" if rng.uniform() < 0.5 else "no") for _ in range(n)],
+        },
+    )
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestMaskConsistency:
+    """Every injector's mask must equal the actual clean-vs-dirty diff."""
+
+    @pytest.mark.parametrize(
+        "injector",
+        [
+            MissingValueInjector(),
+            ImplicitMissingInjector(),
+            OutlierInjector(degree=4.0),
+            GaussianNoiseInjector(),
+            TypoInjector(columns=["city"]),
+            SwapInjector(columns=["city", "amount"]),
+            InconsistencyInjector(),
+            DuplicateInjector(),
+            MislabelInjector("label"),
+        ],
+        ids=lambda i: type(i).__name__,
+    )
+    def test_mask_matches_diff(self, injector):
+        clean = make_clean_table(seed=1)
+        result = injector.inject(clean, 0.1, RNG(2))
+        diff = clean.diff_cells(result.dirty)
+        assert result.error_cells == diff
+        assert result.error_cells, f"{type(injector).__name__} injected nothing"
+
+    def test_rate_respected_cellwise(self):
+        clean = make_clean_table()
+        result = MissingValueInjector().inject(clean, 0.2, RNG(3))
+        expected = 0.2 * clean.n_rows * clean.n_columns
+        assert abs(len(result.error_cells) - expected) <= 2
+
+    def test_zero_rate_injects_nothing(self):
+        clean = make_clean_table()
+        result = OutlierInjector().inject(clean, 0.0, RNG(0))
+        assert result.error_cells == set()
+        assert result.dirty == clean
+
+    def test_invalid_rate(self):
+        clean = make_clean_table()
+        with pytest.raises(ValueError):
+            MissingValueInjector().inject(clean, 1.5, RNG(0))
+
+
+class TestIndividualInjectors:
+    def test_missing_cells_are_none(self):
+        clean = make_clean_table()
+        result = MissingValueInjector().inject(clean, 0.1, RNG(4))
+        for row, col in result.error_cells:
+            assert is_missing(result.dirty.get_cell(row, col))
+
+    def test_implicit_missing_not_flagged_as_missing(self):
+        clean = make_clean_table()
+        result = ImplicitMissingInjector().inject(clean, 0.1, RNG(5))
+        for row, col in result.error_cells:
+            assert not is_missing(result.dirty.get_cell(row, col))
+
+    def test_outlier_degree_controls_distance(self):
+        clean = make_clean_table()
+        near = OutlierInjector(columns=["amount"], degree=2.0).inject(
+            clean, 0.1, RNG(6)
+        )
+        far = OutlierInjector(columns=["amount"], degree=8.0).inject(
+            clean, 0.1, RNG(6)
+        )
+        values = clean.as_float("amount")
+        mean, std = values.mean(), values.std()
+
+        def mean_distance(result):
+            distances = [
+                abs(coerce_float(result.dirty.get_cell(r, c)) - mean) / std
+                for r, c in result.error_cells
+            ]
+            return np.mean(distances)
+
+        assert mean_distance(far) > mean_distance(near) + 3.0
+
+    def test_outlier_skips_categorical(self):
+        clean = make_clean_table()
+        result = OutlierInjector().inject(clean, 0.1, RNG(7))
+        assert all(c in ("amount", "score") for _, c in result.error_cells)
+
+    def test_typo_on_numeric_becomes_text(self):
+        clean = make_clean_table()
+        result = TypoInjector(columns=["amount"]).inject(clean, 0.2, RNG(8))
+        corrupted_to_text = sum(
+            1
+            for r, c in result.error_cells
+            if np.isnan(coerce_float(result.dirty.get_cell(r, c)))
+        )
+        assert corrupted_to_text > 0
+
+    def test_swap_preserves_multiset(self):
+        clean = make_clean_table()
+        result = SwapInjector(columns=["city"]).inject(clean, 0.2, RNG(9))
+        assert sorted(map(str, clean.column("city"))) == sorted(
+            map(str, result.dirty.column("city"))
+        )
+
+    def test_inconsistency_variants_same_entity(self):
+        clean = make_clean_table()
+        result = InconsistencyInjector(columns=["city"]).inject(clean, 0.2, RNG(10))
+        for row, col in result.error_cells:
+            original = str(clean.get_cell(row, col))
+            variant = str(result.dirty.get_cell(row, col))
+            # The variant shares a prefix with the original entity
+            # (case-insensitively), so clustering can recover it.
+            assert variant.lower()[:2] == original.lower()[:2]
+
+    def test_duplicates_create_key_collisions(self):
+        clean = make_clean_table()
+        injector = DuplicateInjector(fuzziness=0.0)
+        result = injector.inject(clean, 0.2, RNG(11))
+        rows = [tuple(map(str, result.dirty.row(i))) for i in range(result.dirty.n_rows)]
+        assert len(set(rows)) < len(rows)
+
+    def test_duplicate_rate_rows(self):
+        clean = make_clean_table(n=100)
+        result = DuplicateInjector(fuzziness=0.0).inject(clean, 0.1, RNG(12))
+        victim_rows = {r for r, _ in result.error_cells}
+        assert 5 <= len(victim_rows) <= 10
+
+    def test_mislabel_changes_only_label(self):
+        clean = make_clean_table()
+        result = MislabelInjector("label").inject(clean, 0.2, RNG(13))
+        assert all(c == "label" for _, c in result.error_cells)
+        assert len(result.error_cells) == pytest.approx(0.2 * clean.n_rows, abs=1)
+
+    def test_mislabel_unknown_column(self):
+        clean = make_clean_table()
+        with pytest.raises(KeyError):
+            MislabelInjector("nope").inject(clean, 0.1, RNG(0))
+
+    def test_mislabel_single_class_noop(self):
+        schema = Schema.from_pairs([("label", CATEGORICAL)])
+        table = Table(schema, {"label": ["x"] * 10})
+        result = MislabelInjector("label").inject(table, 0.5, RNG(0))
+        assert result.error_cells == set()
+
+    def test_injector_validation(self):
+        with pytest.raises(ValueError):
+            OutlierInjector(degree=0)
+        with pytest.raises(ValueError):
+            GaussianNoiseInjector(scale=0)
+        with pytest.raises(ValueError):
+            DuplicateInjector(fuzziness=2.0)
+        with pytest.raises(ValueError):
+            CompositeInjector([])
+
+
+class TestComposite:
+    def test_masks_disjoint_by_type(self):
+        clean = make_clean_table()
+        composite = CompositeInjector(
+            [MissingValueInjector(), OutlierInjector(), TypoInjector(columns=["city"])]
+        )
+        result = composite.inject(clean, 0.15, RNG(14))
+        types = [t for t, cells in result.cells_by_type.items() if cells]
+        assert len(types) >= 2
+        all_cells = [c for cells in result.cells_by_type.values() for c in cells]
+        assert len(all_cells) == len(set(all_cells))
+
+    def test_composite_mask_matches_diff(self):
+        clean = make_clean_table()
+        composite = CompositeInjector(
+            [MissingValueInjector(), GaussianNoiseInjector()]
+        )
+        result = composite.inject(clean, 0.1, RNG(15))
+        assert result.error_cells == clean.diff_cells(result.dirty)
+
+
+class TestInjectionResult:
+    def test_error_rate(self):
+        clean = make_clean_table(n=50)
+        result = MissingValueInjector().inject(clean, 0.1, RNG(16))
+        assert result.error_rate() == pytest.approx(0.1, abs=0.02)
+
+    def test_error_types(self):
+        clean = make_clean_table()
+        result = OutlierInjector().inject(clean, 0.1, RNG(17))
+        assert result.error_types == {profile.OUTLIER}
+
+
+class TestBart:
+    def _fd_constraint(self):
+        return FunctionalDependency(("city",), "label").to_denial_constraint()
+
+    def test_fd_violations_injected(self):
+        schema = Schema.from_pairs([("city", CATEGORICAL), ("label", CATEGORICAL)])
+        cities = ["a", "b", "c"] * 30
+        table = Table(
+            schema,
+            {"city": cities, "label": [f"L{c}" for c in cities]},
+        )
+        engine = BartEngine([self._fd_constraint()])
+        result = engine.inject(table, 0.1, RNG(18))
+        assert result.error_cells
+        # Every injected cell now participates in a real FD violation.
+        fd = FunctionalDependency(("city",), "label")
+        violating = fd.violations(result.dirty)
+        assert result.error_cells <= violating
+
+    def test_unary_range_violations(self):
+        clean = make_clean_table()
+        dc = DenialConstraint([Predicate("score", ">", constant=1.0)])
+        engine = BartEngine([dc], hardness=1.0)
+        result = engine.inject(clean, 0.05, RNG(19))
+        assert result.error_cells
+        for row, col in result.error_cells:
+            assert coerce_float(result.dirty.get_cell(row, col)) > 1.0
+
+    def test_hardness_controls_margin(self):
+        clean = make_clean_table()
+        dc = DenialConstraint([Predicate("score", ">", constant=1.0)])
+        easy = BartEngine([dc], hardness=1.0).inject(clean, 0.05, RNG(20))
+        hard = BartEngine([dc], hardness=0.0).inject(clean, 0.05, RNG(20))
+
+        def mean_excess(result):
+            return np.mean(
+                [
+                    coerce_float(result.dirty.get_cell(r, c)) - 1.0
+                    for r, c in result.error_cells
+                ]
+            )
+
+        assert mean_excess(easy) > mean_excess(hard)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BartEngine([])
+        with pytest.raises(ValueError):
+            BartEngine([self._fd_constraint()], hardness=2.0)
+        engine = BartEngine([self._fd_constraint()])
+        with pytest.raises(ValueError):
+            engine.inject(make_clean_table(), -0.1, RNG(0))
+
+
+@given(
+    rate=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_mask_always_matches_diff(rate, seed):
+    clean = make_clean_table(n=40, seed=seed % 7)
+    injector = CompositeInjector(
+        [MissingValueInjector(), OutlierInjector(), InconsistencyInjector()]
+    )
+    result = injector.inject(clean, rate, np.random.default_rng(seed))
+    assert result.error_cells == clean.diff_cells(result.dirty)

@@ -1,0 +1,127 @@
+"""The README's extension contract: new datasets, detectors, repair
+methods, and models plug in without touching framework code."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark import BenchmarkController, run_detection_suite, run_repair_suite
+from repro.context import CleaningContext
+from repro.datagen.benchmark_dataset import BenchmarkDataset
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.detectors.base import NON_LEARNING, Detector
+from repro.errors import MissingValueInjector, profile
+from repro.ml.model_zoo import ModelSpec
+from repro.repair import RepairMethod
+from repro.tuning import Integer, SearchSpace
+
+
+class EvenRowDetector(Detector):
+    """Toy custom detector: flags numeric cells on even rows."""
+
+    name = "EvenRows"
+    category = NON_LEARNING
+    tackles = frozenset({"holistic"})
+
+    def _detect(self, context):
+        table = context.dirty
+        return {
+            (i, column)
+            for column in table.schema.numerical_names
+            for i in range(0, table.n_rows, 2)
+        }
+
+
+class ConstantRepair(RepairMethod):
+    """Toy custom repair: sets every detected cell to a constant."""
+
+    name = "Constant42"
+
+    def _repair(self, context, detections):
+        repaired = context.dirty.copy()
+        for row, column in detections:
+            repaired.set_cell(row, column, 42.0)
+        return repaired
+
+
+def custom_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_pairs([("x", NUMERICAL), ("c", CATEGORICAL)])
+    clean = Table(
+        schema,
+        {
+            "x": rng.normal(size=30).tolist(),
+            "c": [f"v{int(rng.integers(2))}" for _ in range(30)],
+        },
+    )
+    result = MissingValueInjector().inject(clean, 0.1, rng)
+    return BenchmarkDataset(
+        name="Custom",
+        clean=clean,
+        dirty=result.dirty,
+        cells_by_type=result.cells_by_type,
+        task="classification",
+        target="c",
+    )
+
+
+class TestCustomDataset:
+    def test_flows_through_pipeline(self):
+        dataset = custom_dataset()
+        runs = run_detection_suite(dataset, [EvenRowDetector()])
+        assert runs[0].result.n_detected == 15
+        repair_runs = run_repair_suite(
+            dataset, {"EvenRows": set(runs[0].result.cells)}, [ConstantRepair()]
+        )
+        assert not repair_runs[0].failed
+        repaired = repair_runs[0].result.repaired
+        assert repaired.get_cell(0, "x") == 42.0
+
+    def test_controller_accepts_custom_pools(self):
+        dataset = custom_dataset()
+        controller = BenchmarkController(
+            detectors=[EvenRowDetector()], repairs=[ConstantRepair()]
+        )
+        plan = controller.experiment_plan(dataset)
+        assert plan["detectors"] == ["EvenRows"]
+        assert plan["repairs"] == ["Constant42"]
+
+
+class TestCustomModelSpec:
+    def test_registered_spec_tunes_and_builds(self):
+        from repro.ml.neighbors import KNNClassifier
+
+        spec = ModelSpec(
+            name="MyKNN",
+            task="classification",
+            factory=KNNClassifier,
+            space=SearchSpace({"n_neighbors": Integer(1, 9)}),
+        )
+        rng = np.random.default_rng(0)
+        params = spec.space.sample(rng)
+        model = spec.build(**params)
+        features = rng.normal(size=(40, 3))
+        labels = (features[:, 0] > 0).astype(int)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.7
+
+    def test_underscore_params_dropped_by_build(self):
+        from repro.ml.linear import LinearRegression
+
+        spec = ModelSpec(
+            name="OLS",
+            task="regression",
+            factory=LinearRegression,
+            space=SearchSpace({"_dummy": Integer(0, 1)}),
+        )
+        model = spec.build(_dummy=1)
+        assert isinstance(model, LinearRegression)
+
+
+class TestDetectionRestriction:
+    def test_restricted_to_columns(self):
+        dataset = custom_dataset()
+        run = run_detection_suite(dataset, [EvenRowDetector()])[0]
+        restricted = run.result.restricted_to_columns(["c"])
+        assert restricted.n_detected == 0
+        restricted_x = run.result.restricted_to_columns(["x"])
+        assert restricted_x.n_detected == run.result.n_detected

@@ -1,0 +1,146 @@
+"""Tests for the GREL expression engine and its OpenRefine integration."""
+
+import math
+
+import pytest
+
+from repro.context import CleaningContext
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.repair import OpenRefineRepair
+from repro.repair.grel import GrelError, GrelExpression, tokenize
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize('value.trim() + "x"')
+        assert [t.text for t in tokens] == [
+            "value", ".", "trim", "(", ")", "+", '"x"'
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(GrelError):
+            tokenize("value @ 2")
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "source,value,expected",
+        [
+            ("value.trim()", "  hi  ", "hi"),
+            ("value.toLowercase()", "ABC", "abc"),
+            ("value.toUppercase()", "abc", "ABC"),
+            ("value.toTitlecase()", "new york", "New York"),
+            ('value.replace("_", " ")', "a_b_c", "a b c"),
+            ("value.substring(1, 3)", "abcdef", "bc"),
+            ("value.length()", "abcd", 4),
+            ('value.startsWith("ab")', "abc", True),
+            ('value.endsWith("bc")', "abc", True),
+            ('value.contains("b")', "abc", True),
+            ('value.split("-")', "a-b", ["a", "b"]),
+            ("value.toNumber()", "3.5", 3.5),
+            ("value + 1", 2.0, 3.0),
+            ("value * 2 + 1", 3.0, 7.0),
+            ("(value + 1) * 2", 3.0, 8.0),
+            ("value - 1 - 1", 5.0, 3.0),
+            ("value / 2", 5.0, 2.5),
+            ("-value", 4.0, -4.0),
+            ('"a" + "b"', None, "ab"),
+            ("value == 3", 3.0, True),
+            ("value != 3", 3.0, False),
+            ("value > 2", 3.0, True),
+            ("value <= 3", 3.0, True),
+            ('if(value > 2, "big", "small")', 5.0, "big"),
+            ('if(isBlank(value), "unknown", value)', None, "unknown"),
+            ('if(isBlank(value), "unknown", value)', "x", "x"),
+            ('coalesce(value, "fallback")', None, "fallback"),
+            ('coalesce(value, "fallback")', "real", "real"),
+            ('concat("a", value, "c")', "b", "abc"),
+        ],
+    )
+    def test_expression(self, source, value, expected):
+        result = GrelExpression(source).evaluate(value)
+        assert result == expected
+
+    def test_chained_methods(self):
+        expr = GrelExpression('value.trim().toLowercase().replace("_", " ")')
+        assert expr.evaluate("  NEW_YORK ") == "new york"
+
+    def test_cells_access(self):
+        expr = GrelExpression('cells["city"].value + ", " + cells["state"].value')
+        result = expr.evaluate(None, cells={"city": "austin", "state": "TX"})
+        assert result == "austin, TX"
+
+    def test_numeric_string_addition_prefers_string_when_string_literal(self):
+        assert GrelExpression('value + "!"').evaluate(3.0) == "3.0!"
+
+    def test_string_comparison(self):
+        assert GrelExpression('value < "b"').evaluate("a") is True
+
+    def test_escaped_quotes(self):
+        assert GrelExpression('"say \\"hi\\""').evaluate(None) == 'say "hi"'
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "value.",               # dangling dot
+            "value.unknownMethod()",
+            "unknownFunction(1)",
+            "value +",              # incomplete
+            "(value",               # unbalanced
+            "value 2",              # trailing input
+            "ghostVariable",
+            'value / "abc"',
+            "value / 0",
+        ],
+    )
+    def test_raises_grel_error(self, source):
+        expr_error = False
+        try:
+            GrelExpression(source).evaluate(1.0)
+        except GrelError:
+            expr_error = True
+        assert expr_error
+
+    def test_unknown_column(self):
+        expr = GrelExpression('cells["ghost"].value')
+        with pytest.raises(GrelError):
+            expr.evaluate(None, cells={"real": 1})
+
+
+class TestTableIntegration:
+    def _table(self):
+        schema = Schema.from_pairs([("city", CATEGORICAL), ("n", NUMERICAL)])
+        return Table(
+            schema,
+            {"city": [" Berlin ", "MUNICH", "hamburg"], "n": [1.0, 2.0, 3.0]},
+        )
+
+    def test_apply_to_column(self):
+        table = self._table()
+        expr = GrelExpression("value.trim().toLowercase()")
+        out = expr.apply_to_column(table, "city")
+        assert list(out.column("city")) == ["berlin", "munich", "hamburg"]
+        # Original untouched.
+        assert table.get_cell(0, "city") == " Berlin "
+
+    def test_openrefine_repair_with_grel_transforms(self):
+        table = self._table()
+        ctx = CleaningContext(dirty=table)
+        repair = OpenRefineRepair(
+            transforms={"city": "value.trim().toLowercase()"}
+        )
+        detections = {(0, "city"), (1, "city")}
+        repaired = repair.repair(ctx, detections).repaired
+        assert repaired.get_cell(0, "city") == "berlin"
+        assert repaired.get_cell(1, "city") == "munich"
+        # Undetected cells are left alone.
+        assert repaired.get_cell(2, "city") == "hamburg"
+
+    def test_bad_transform_is_skipped_not_fatal(self):
+        table = self._table()
+        ctx = CleaningContext(dirty=table)
+        repair = OpenRefineRepair(transforms={"city": 'cells["ghost"].value'})
+        repaired = repair.repair(ctx, {(0, "city")}).repaired
+        assert repaired.get_cell(0, "city") == " Berlin "

@@ -1,0 +1,268 @@
+"""Tests for detection, repair, model, and statistical metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.metrics import (
+    classification_report,
+    detection_scores,
+    f1_score,
+    iou,
+    iou_matrix,
+    precision_recall_f1,
+    repair_rmse,
+    repair_scores_categorical,
+    rmse,
+    silhouette_score,
+    wilcoxon_signed_rank,
+)
+
+
+class TestDetectionScores:
+    def test_perfect_detection(self):
+        errors = {(0, "a"), (1, "b")}
+        scores = detection_scores(errors, errors)
+        assert scores.precision == scores.recall == scores.f1 == 1.0
+        assert scores.true_positives == 2
+
+    def test_partial_detection(self):
+        scores = detection_scores({(0, "a"), (5, "x")}, {(0, "a"), (1, "b")})
+        assert scores.precision == 0.5
+        assert scores.recall == 0.5
+        assert scores.f1 == 0.5
+        assert scores.false_positives == 1
+        assert scores.false_negatives == 1
+
+    def test_empty_detection(self):
+        scores = detection_scores(set(), {(0, "a")})
+        assert scores.precision == 0.0 and scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_no_actual_errors(self):
+        scores = detection_scores({(0, "a")}, set())
+        assert scores.recall == 0.0
+        assert scores.detected == 1
+
+
+class TestIoU:
+    def test_identical(self):
+        cells = {(0, "a"), (1, "a")}
+        assert iou(cells, cells) == 1.0
+
+    def test_disjoint(self):
+        assert iou({(0, "a")}, {(1, "a")}) == 0.0
+
+    def test_half_overlap(self):
+        assert iou({(0, "a"), (1, "a")}, {(1, "a"), (2, "a")}) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert iou(set(), set()) == 1.0
+
+    def test_matrix_symmetric_unit_diagonal(self):
+        detections = {
+            "d1": {(0, "a"), (1, "a")},
+            "d2": {(1, "a"), (2, "a")},
+        }
+        actual = {(0, "a"), (1, "a"), (2, "a")}
+        names, matrix = iou_matrix(detections, actual)
+        assert names == ["d1", "d2"]
+        assert matrix[0][0] == matrix[1][1] == 1.0
+        assert matrix[0][1] == matrix[1][0]
+
+    def test_matrix_tp_only_filters_false_positives(self):
+        detections = {"d1": {(0, "a"), (9, "z")}, "d2": {(0, "a"), (8, "z")}}
+        actual = {(0, "a")}
+        _, matrix = iou_matrix(detections, actual, true_positives_only=True)
+        assert matrix[0][1] == 1.0  # FPs at (9,z)/(8,z) are ignored
+
+
+def _repair_fixture():
+    schema = Schema.from_pairs([("cat", CATEGORICAL), ("num", NUMERICAL)])
+    clean = Table(schema, {"cat": ["a", "b", "c", "d"], "num": [1.0, 2.0, 3.0, 4.0]})
+    dirty = Table(schema, {"cat": ["x", "b", "y", "d"], "num": [1.0, 99.0, 3.0, "typo"]})
+    return schema, clean, dirty
+
+
+class TestRepairScores:
+    def test_perfect_repair(self):
+        _, clean, dirty = _repair_fixture()
+        errors = dirty.diff_cells(clean)
+        scores = repair_scores_categorical(dirty, clean.copy(), clean, errors)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+
+    def test_no_repair(self):
+        _, clean, dirty = _repair_fixture()
+        errors = dirty.diff_cells(clean)
+        scores = repair_scores_categorical(dirty, dirty.copy(), clean, errors)
+        assert scores.repaired == 0
+        assert scores.f1 == 0.0
+
+    def test_wrong_repair_hurts_precision(self):
+        _, clean, dirty = _repair_fixture()
+        errors = dirty.diff_cells(clean)
+        repaired = dirty.copy()
+        repaired.set_cell(0, "cat", "a")   # correct
+        repaired.set_cell(2, "cat", "zzz") # wrong
+        scores = repair_scores_categorical(dirty, repaired, clean, errors)
+        assert scores.precision == 0.5
+        assert scores.correctly_repaired == 1
+
+    def test_rmse_ignores_unrepaired_text(self):
+        _, clean, dirty = _repair_fixture()
+        value = repair_rmse(dirty, clean, normalize=False)
+        # Only row 1 differs numerically (99 vs 2); the 'typo' cell is
+        # filtered out, leaving 3 valid cells in the denominator.
+        assert value == pytest.approx(math.sqrt(97.0**2 / 3.0))
+
+    def test_rmse_zero_when_repaired_perfectly(self):
+        _, clean, _ = _repair_fixture()
+        assert repair_rmse(clean.copy(), clean) == 0.0
+
+    def test_rmse_no_numeric_columns(self):
+        schema = Schema.from_pairs([("c", CATEGORICAL)])
+        t = Table(schema, {"c": ["a"]})
+        assert repair_rmse(t, t) == 0.0
+
+
+class TestClassificationMetrics:
+    def test_perfect(self):
+        report = classification_report([0, 1, 2], [0, 1, 2])
+        assert report["f1"] == 1.0 and report["accuracy"] == 1.0
+
+    def test_macro_vs_micro(self):
+        y_true = [0, 0, 0, 1]
+        y_pred = [0, 0, 0, 0]
+        _, _, macro = precision_recall_f1(y_true, y_pred, "macro")
+        _, _, micro = precision_recall_f1(y_true, y_pred, "micro")
+        assert micro == 0.75
+        assert macro < micro  # the missed minority class drags macro down
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([1], [1, 2])
+        with pytest.raises(ValueError):
+            precision_recall_f1([], [])
+        with pytest.raises(ValueError):
+            precision_recall_f1([1], [1], average="weighted")
+
+    def test_rmse(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(math.sqrt(12.5))
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_string_labels(self):
+        assert f1_score(["a", "b"], ["a", "b"]) == 1.0
+
+
+class TestSilhouette:
+    def test_well_separated(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(10, 0.1, (20, 2))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, size=40)
+        assert abs(silhouette_score(points, labels)) < 0.3
+
+    def test_single_cluster_returns_zero(self):
+        points = np.random.default_rng(2).normal(size=(10, 2))
+        assert silhouette_score(points, np.zeros(10, dtype=int)) == 0.0
+
+    def test_noise_excluded(self):
+        points = np.vstack([np.zeros((5, 2)), np.ones((5, 2)) * 10, [[100, 100]]])
+        labels = np.array([0] * 5 + [1] * 5 + [-1])
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), [0, 1])
+
+
+class TestWilcoxon:
+    def test_identical_samples_not_significant(self):
+        result = wilcoxon_signed_rank([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value == 1.0
+        assert not result.reject_null()
+
+    def test_clearly_different_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.9, 0.01, size=30)
+        b = rng.normal(0.5, 0.01, size=30)
+        result = wilcoxon_signed_rank(a, b)
+        assert result.reject_null(0.05)
+        assert result.p_value < 0.001
+
+    def test_small_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.7, 0.05, size=10)
+        b = a + rng.normal(0.0, 0.05, size=10)
+        result = wilcoxon_signed_rank(a, b)
+        assert result.p_value > 0.01
+
+    def test_matches_scipy_large_sample(self):
+        from scipy import stats
+
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 1.0, size=40)
+        b = a + rng.normal(0.3, 1.0, size=40)
+        ours = wilcoxon_signed_rank(a, b)
+        theirs = stats.wilcoxon(a, b, correction=True, method="approx")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_matches_scipy_exact_small_sample(self):
+        from scipy import stats
+
+        a = [0.82, 0.79, 0.85, 0.88, 0.70, 0.91, 0.80]
+        b = [0.75, 0.80, 0.78, 0.81, 0.69, 0.84, 0.77]
+        ours = wilcoxon_signed_rank(a, b)
+        theirs = stats.wilcoxon(a, b, method="exact")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([], [])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_p_value_in_unit_interval(self, values):
+        shifted = [v + 0.1 for v in values]
+        result = wilcoxon_signed_rank(values, shifted)
+        assert 0.0 <= result.p_value <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, pairs):
+        a = [p[0] for p in pairs]
+        b = [p[1] for p in pairs]
+        forward = wilcoxon_signed_rank(a, b)
+        backward = wilcoxon_signed_rank(b, a)
+        assert forward.p_value == pytest.approx(backward.p_value, abs=1e-9)

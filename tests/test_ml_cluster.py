@@ -1,0 +1,153 @@
+"""Tests for clustering models and the isolation forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AffinityPropagation,
+    AgglomerativeClustering,
+    Birch,
+    GaussianMixture,
+    IsolationForest,
+    KMeans,
+    Optics,
+)
+
+
+def make_three_blobs(n_per=40, seed=0, spread=0.4):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
+    points = np.vstack(
+        [c + rng.normal(0, spread, size=(n_per, 2)) for c in centers]
+    )
+    truth = np.repeat(np.arange(3), n_per)
+    return points, truth
+
+
+def cluster_purity(labels, truth):
+    """Fraction of points in clusters dominated by a single true label."""
+    total = 0
+    for cluster in np.unique(labels):
+        if cluster == -1:
+            continue
+        members = truth[labels == cluster]
+        total += np.bincount(members).max()
+    return total / len(truth)
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        KMeans(n_clusters=3, seed=1),
+        GaussianMixture(n_components=3, seed=1),
+        AgglomerativeClustering(n_clusters=3),
+        Birch(n_clusters=3, threshold=2.0),
+    ],
+    ids=lambda m: type(m).__name__,
+)
+def test_clusterers_recover_blobs(model):
+    points, truth = make_three_blobs(seed=2)
+    labels = model.fit_predict(points)
+    assert len(labels) == len(points)
+    assert cluster_purity(labels, truth) > 0.95
+
+
+def test_affinity_propagation_finds_clusters():
+    points, truth = make_three_blobs(n_per=20, seed=3)
+    model = AffinityPropagation().fit(points)
+    assert cluster_purity(model.labels_, truth) > 0.95
+    # Exemplars are actual data points.
+    assert all(0 <= e < len(points) for e in model.exemplars_)
+
+
+def test_optics_separates_dense_blobs():
+    points, truth = make_three_blobs(n_per=30, seed=4, spread=0.3)
+    model = Optics(min_samples=5).fit(points)
+    clustered = model.labels_ >= 0
+    assert clustered.mean() > 0.8
+    assert cluster_purity(model.labels_[clustered], truth[clustered]) > 0.9
+
+
+def test_optics_marks_far_noise():
+    points, _ = make_three_blobs(n_per=30, seed=5, spread=0.3)
+    noisy = np.vstack([points, [[100.0, -100.0]]])
+    model = Optics(min_samples=5, eps=2.0).fit(noisy)
+    assert model.labels_[-1] == -1
+
+
+def test_kmeans_predict_consistent_with_fit():
+    points, _ = make_three_blobs(seed=6)
+    model = KMeans(n_clusters=3, seed=0).fit(points)
+    assert np.array_equal(model.predict(points), model.labels_)
+    assert model.inertia_ < np.inf
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+
+def test_gmm_proba_rows_sum_to_one():
+    points, _ = make_three_blobs(seed=7)
+    model = GaussianMixture(n_components=3, seed=0).fit(points)
+    proba = model.predict_proba(points[:5])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_gmm_separated_components_have_distinct_means():
+    points, _ = make_three_blobs(seed=8)
+    model = GaussianMixture(n_components=3, seed=0).fit(points)
+    distances = np.linalg.norm(
+        model.means_[:, None, :] - model.means_[None, :, :], axis=2
+    )
+    off_diagonal = distances[~np.eye(3, dtype=bool)]
+    assert off_diagonal.min() > 3.0
+
+
+def test_agglomerative_linkages():
+    points, truth = make_three_blobs(n_per=15, seed=9)
+    for linkage in ("average", "single", "complete"):
+        model = AgglomerativeClustering(3, linkage=linkage).fit(points)
+        assert cluster_purity(model.labels_, truth) > 0.9
+    with pytest.raises(ValueError):
+        AgglomerativeClustering(3, linkage="ward")
+
+
+def test_birch_threshold_controls_entries():
+    points, _ = make_three_blobs(seed=10)
+    coarse = Birch(n_clusters=3, threshold=5.0).fit(points)
+    fine = Birch(n_clusters=3, threshold=0.1).fit(points)
+    assert len(fine.subcluster_centers_) > len(coarse.subcluster_centers_)
+    with pytest.raises(ValueError):
+        Birch(threshold=0.0)
+
+
+class TestIsolationForest:
+    def test_flags_planted_outliers(self):
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(0, 1, size=(200, 3))
+        outliers = rng.normal(0, 1, size=(10, 3)) + 12.0
+        data = np.vstack([inliers, outliers])
+        forest = IsolationForest(n_estimators=50, contamination=0.05, seed=1)
+        forest.fit(data)
+        scores = forest.score_samples(data)
+        # Outliers should dominate the top-10 anomaly scores.
+        top = np.argsort(scores)[-10:]
+        assert len(set(top) & set(range(200, 210))) >= 8
+
+    def test_predict_convention(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 2))
+        forest = IsolationForest(n_estimators=20, seed=0).fit(data)
+        predictions = forest.predict(data)
+        assert set(np.unique(predictions)) <= {-1, 1}
+
+    def test_contamination_validation(self):
+        with pytest.raises(ValueError):
+            IsolationForest(contamination=0.9)
+
+    def test_needs_features(self):
+        with pytest.raises(ValueError):
+            IsolationForest().fit(np.zeros((10, 0)))

@@ -1,0 +1,234 @@
+"""Tests for the supervised model pool: every model must learn separable
+patterns well above chance and obey the fit/predict contract."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    AdaBoostRegressor,
+    BayesianRidgeRegressor,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GaussianNB,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    KNNClassifier,
+    KNNRegressor,
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    MLPClassifier,
+    MLPRegressor,
+    MultinomialNB,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    RansacRegressor,
+    RidgeClassifier,
+    RidgeRegressor,
+    SGDClassifier,
+    clone,
+)
+from repro.ml.base import check_arrays
+
+
+def make_blobs(n=150, seed=0, n_classes=3):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 5, size=(n_classes, 4))
+    labels = rng.integers(0, n_classes, size=n)
+    features = centers[labels] + rng.normal(0, 0.6, size=(n, 4))
+    return features, labels
+
+
+def make_linear_regression(n=150, seed=0, noise=0.1):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(0, 1, size=(n, 3))
+    coefs = np.array([2.0, -1.0, 0.5])
+    targets = features @ coefs + 3.0 + rng.normal(0, noise, size=n)
+    return features, targets
+
+
+CLASSIFIERS = [
+    LogisticRegression(),
+    SGDClassifier(loss="hinge", seed=1),
+    SGDClassifier(loss="log", seed=1),
+    LinearSVC(),
+    RidgeClassifier(),
+    DecisionTreeClassifier(max_depth=8),
+    RandomForestClassifier(n_estimators=15, max_depth=8),
+    AdaBoostClassifier(n_estimators=15, max_depth=2),
+    GradientBoostingClassifier(n_estimators=15),
+    KNNClassifier(n_neighbors=5),
+    GaussianNB(),
+    MultinomialNB(),
+    MLPClassifier(hidden=(16,), epochs=40, seed=2),
+]
+
+REGRESSORS = [
+    LinearRegression(),
+    RidgeRegressor(alpha=0.1),
+    BayesianRidgeRegressor(),
+    RansacRegressor(),
+    DecisionTreeRegressor(max_depth=8),
+    RandomForestRegressor(n_estimators=15, max_depth=8),
+    AdaBoostRegressor(n_estimators=15),
+    GradientBoostingRegressor(n_estimators=40),
+    KNNRegressor(n_neighbors=5),
+    MLPRegressor(hidden=(32,), epochs=150, seed=2),
+]
+
+
+@pytest.mark.parametrize("model", CLASSIFIERS, ids=lambda m: type(m).__name__ + "-" + getattr(m, "loss", ""))
+def test_classifier_learns_blobs(model):
+    features, labels = make_blobs(seed=4)
+    model = clone(model)
+    model.fit(features[:100], labels[:100])
+    accuracy = model.score(features[100:], labels[100:])
+    assert accuracy > 0.8, f"{type(model).__name__} accuracy {accuracy}"
+
+
+@pytest.mark.parametrize("model", CLASSIFIERS, ids=lambda m: type(m).__name__ + "-" + getattr(m, "loss", ""))
+def test_classifier_binary(model):
+    features, labels = make_blobs(seed=5, n_classes=2)
+    model = clone(model)
+    model.fit(features[:100], labels[:100])
+    predictions = model.predict(features[100:])
+    assert set(np.unique(predictions)) <= {0, 1}
+    assert model.score(features[100:], labels[100:]) > 0.8
+
+
+def test_classifier_preserves_original_label_values():
+    features, labels = make_blobs(seed=6, n_classes=2)
+    string_labels = np.array(["neg", "pos"])[labels]
+    model = LogisticRegression().fit(features, string_labels)
+    predictions = model.predict(features)
+    assert set(predictions) <= {"neg", "pos"}
+
+
+def test_classifier_single_class_degenerate():
+    features = np.random.default_rng(0).normal(size=(20, 3))
+    labels = np.zeros(20, dtype=int)
+    model = DecisionTreeClassifier().fit(features, labels)
+    assert (model.predict(features) == 0).all()
+
+
+@pytest.mark.parametrize("model", REGRESSORS, ids=lambda m: type(m).__name__)
+def test_regressor_fits_linear_signal(model):
+    features, targets = make_linear_regression(seed=7)
+    model = clone(model)
+    model.fit(features[:100], targets[:100])
+    r2 = model.score(features[100:], targets[100:])
+    assert r2 > 0.7, f"{type(model).__name__} R^2 {r2}"
+
+
+def test_linear_regression_exact_on_noiseless():
+    features, targets = make_linear_regression(noise=0.0)
+    model = LinearRegression().fit(features, targets)
+    assert np.allclose(model.predict(features), targets, atol=1e-8)
+
+
+def test_ridge_shrinks_coefficients():
+    features, targets = make_linear_regression(noise=0.0)
+    small = RidgeRegressor(alpha=0.01).fit(features, targets)
+    large = RidgeRegressor(alpha=1000.0).fit(features, targets)
+    assert np.linalg.norm(large.coef_[:-1]) < np.linalg.norm(small.coef_[:-1])
+
+
+def test_ransac_ignores_outliers():
+    features, targets = make_linear_regression(n=120, noise=0.05)
+    corrupted = targets.copy()
+    corrupted[:15] += 100.0  # gross outliers
+    robust = RansacRegressor(max_trials=50, seed=1).fit(features, corrupted)
+    plain = LinearRegression().fit(features, corrupted)
+    clean_r2_robust = robust.score(features[15:], targets[15:])
+    clean_r2_plain = plain.score(features[15:], targets[15:])
+    assert clean_r2_robust > clean_r2_plain
+    assert clean_r2_robust > 0.9
+
+
+def test_predict_before_fit_raises():
+    features, _ = make_blobs(n=10)
+    for model in (LogisticRegression(), DecisionTreeRegressor(), KNNClassifier()):
+        with pytest.raises(RuntimeError):
+            model.predict(features)
+
+
+def test_check_arrays_rejects_nan_and_bad_shapes():
+    with pytest.raises(ValueError, match="NaN"):
+        check_arrays(np.array([[1.0, np.nan]]))
+    with pytest.raises(ValueError, match="2-D"):
+        check_arrays(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError, match="targets"):
+        check_arrays(np.ones((3, 2)), np.ones(2))
+
+
+def test_clone_resets_fitted_state():
+    features, labels = make_blobs(n=60)
+    model = RandomForestClassifier(n_estimators=3).fit(features, labels)
+    fresh = clone(model)
+    assert fresh.trees_ is None
+    assert fresh.n_estimators == 3
+
+
+def test_get_set_params():
+    model = RidgeRegressor(alpha=2.0)
+    assert model.get_params() == {"alpha": 2.0}
+    model.set_params(alpha=5.0)
+    assert model.alpha == 5.0
+    with pytest.raises(ValueError):
+        model.set_params(bogus=1)
+
+
+def test_predict_proba_rows_sum_to_one():
+    features, labels = make_blobs(seed=8)
+    for model in (
+        LogisticRegression(),
+        RandomForestClassifier(n_estimators=5),
+        GaussianNB(),
+        KNNClassifier(),
+        MLPClassifier(epochs=10),
+        GradientBoostingClassifier(n_estimators=5),
+    ):
+        model.fit(features, labels)
+        proba = model.predict_proba(features[:10])
+        assert proba.shape == (10, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+
+def test_tree_depth_limit_respected():
+    features, labels = make_blobs(n=200, seed=9)
+    tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+    assert tree.depth <= 2
+
+
+def test_tree_min_samples_leaf():
+    features, targets = make_linear_regression(n=50)
+    tree = DecisionTreeRegressor(min_samples_leaf=20).fit(features, targets)
+    # With leaves of >= 20 of 50 samples the tree is at most depth 2-ish;
+    # check it produces at most a handful of distinct predictions.
+    assert len(np.unique(tree.predict(features))) <= 4
+
+
+def test_hyperparameter_validation():
+    with pytest.raises(ValueError):
+        RidgeRegressor(alpha=-1.0)
+    with pytest.raises(ValueError):
+        SGDClassifier(loss="absolute")
+    with pytest.raises(ValueError):
+        LinearSVC(C=0)
+    with pytest.raises(ValueError):
+        KNNClassifier(n_neighbors=0)
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_estimators=0)
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(subsample=0.0)
+    with pytest.raises(ValueError):
+        MultinomialNB(alpha=0.0)
+
+
+def test_seed_reproducibility():
+    features, labels = make_blobs(seed=11)
+    a = RandomForestClassifier(n_estimators=5, seed=3).fit(features, labels)
+    b = RandomForestClassifier(n_estimators=5, seed=3).fit(features, labels)
+    assert np.array_equal(a.predict(features), b.predict(features))

@@ -1,0 +1,91 @@
+"""Tests for the noise-aware learning extensions (Section 6.5 suggestion 3)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression
+from repro.ml.noise_aware import LabelSmoothingClassifier, PruneAndRetrainClassifier
+
+
+def noisy_classification(n=300, flip=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 4))
+    clean_labels = (features[:, 0] + 0.5 * features[:, 1] > 0).astype(int)
+    noisy = clean_labels.copy()
+    flips = rng.choice(n, size=int(flip * n), replace=False)
+    noisy[flips] = 1 - noisy[flips]
+    return features, clean_labels, noisy
+
+
+class TestLabelSmoothing:
+    def test_learns(self):
+        features, clean, noisy = noisy_classification(flip=0.0, seed=1)
+        model = LabelSmoothingClassifier(epsilon=0.1)
+        model.fit(features[:200], noisy[:200])
+        assert model.score(features[200:], clean[200:]) > 0.85
+
+    def test_epsilon_zero_matches_logistic(self):
+        features, clean, _ = noisy_classification(flip=0.0, seed=2)
+        smooth = LabelSmoothingClassifier(epsilon=0.0).fit(features, clean)
+        plain = LogisticRegression().fit(features, clean)
+        agreement = np.mean(smooth.predict(features) == plain.predict(features))
+        assert agreement > 0.97
+
+    def test_probabilities_tempered(self):
+        features, clean, _ = noisy_classification(flip=0.0, seed=3)
+        confident = LabelSmoothingClassifier(epsilon=0.0).fit(features, clean)
+        tempered = LabelSmoothingClassifier(epsilon=0.4).fit(features, clean)
+        p_confident = confident.predict_proba(features).max(axis=1).mean()
+        p_tempered = tempered.predict_proba(features).max(axis=1).mean()
+        assert p_tempered < p_confident
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelSmoothingClassifier(epsilon=1.0)
+
+
+class TestPruneAndRetrain:
+    def test_prunes_flipped_labels(self):
+        features, clean, noisy = noisy_classification(flip=0.2, seed=4)
+        model = PruneAndRetrainClassifier(seed=0)
+        model.fit(features[:220], noisy[:220])
+        assert model.kept_fraction_ < 1.0
+        assert model.score(features[220:], clean[220:]) > 0.8
+
+    def test_beats_plain_model_under_noise(self):
+        scores_robust, scores_plain = [], []
+        for seed in range(3):
+            features, clean, noisy = noisy_classification(flip=0.3, seed=seed)
+            robust = PruneAndRetrainClassifier(seed=seed)
+            robust.fit(features[:220], noisy[:220])
+            plain = LogisticRegression()
+            plain.fit(features[:220], noisy[:220])
+            scores_robust.append(robust.score(features[220:], clean[220:]))
+            scores_plain.append(plain.score(features[220:], clean[220:]))
+        assert np.mean(scores_robust) >= np.mean(scores_plain) - 0.02
+
+    def test_small_sample_fallback(self):
+        features, clean, _ = noisy_classification(n=6, flip=0.0, seed=5)
+        model = PruneAndRetrainClassifier(n_folds=4)
+        model.fit(features, clean)
+        assert model.kept_fraction_ == 1.0
+        assert len(model.predict(features)) == 6
+
+    def test_never_prunes_class_away(self):
+        rng = np.random.default_rng(6)
+        features = rng.normal(size=(60, 2))
+        labels = np.array([0] * 55 + [1] * 5)
+        model = PruneAndRetrainClassifier(seed=0).fit(features, labels)
+        # Both classes must survive to prediction time.
+        assert set(model.classes_) == {0, 1}
+
+    def test_proba_shape(self):
+        features, clean, noisy = noisy_classification(seed=7)
+        model = PruneAndRetrainClassifier(seed=0).fit(features, noisy)
+        proba = model.predict_proba(features[:10])
+        assert proba.shape == (10, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PruneAndRetrainClassifier(n_folds=1)

@@ -1,0 +1,117 @@
+"""Tests for the data profiler (Metanome analogue)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.profiling import (
+    discover_inclusion_dependencies,
+    profile_table,
+)
+from repro.profiling.profiler import profile_column
+
+
+@pytest.fixture
+def table():
+    schema = Schema.from_pairs(
+        [
+            ("id", NUMERICAL),
+            ("amount", NUMERICAL),
+            ("city", CATEGORICAL),
+            ("city_copy", CATEGORICAL),
+        ]
+    )
+    rng = np.random.default_rng(0)
+    cities = ["berlin", "munich", "hamburg"]
+    chosen = [cities[int(rng.integers(3))] for _ in range(50)]
+    return Table(
+        schema,
+        {
+            "id": [float(i) for i in range(50)],
+            "amount": [10.0 * i for i in range(49)] + [None],
+            "city": chosen,
+            "city_copy": chosen[:25] + ["berlin"] * 25,
+        },
+    )
+
+
+class TestColumnProfile:
+    def test_numeric_statistics(self, table):
+        profile = profile_column(table, "amount")
+        assert profile.n_missing == 1
+        assert profile.null_ratio == pytest.approx(1 / 50)
+        assert profile.min_value == 0.0
+        assert profile.max_value == 480.0
+        assert profile.quantiles["q50"] == pytest.approx(240.0)
+        assert profile.inferred_kind == "numerical"
+
+    def test_candidate_key(self, table):
+        assert profile_column(table, "id").is_candidate_key
+        assert not profile_column(table, "city").is_candidate_key
+
+    def test_shape_conformity(self, table):
+        dirty = table.copy()
+        dirty.set_cell(0, "city", "b3rl1n")
+        profile = profile_column(dirty, "city")
+        assert profile.dominant_shape is not None
+        assert profile.shape_conformity < 1.0
+
+    def test_entropy(self):
+        schema = Schema.from_pairs([("c", CATEGORICAL)])
+        uniform = Table(schema, {"c": ["a", "b", "c", "d"]})
+        constant = Table(schema, {"c": ["a", "a", "a", "a"]})
+        assert profile_column(uniform, "c").entropy == pytest.approx(2.0)
+        assert profile_column(constant, "c").entropy == 0.0
+
+    def test_inferred_kind_on_corrupted_numeric(self, table):
+        dirty = table.copy()
+        dirty.set_cell(0, "amount", "oops")
+        profile = profile_column(dirty, "amount")
+        assert profile.declared_kind == "numerical"
+        assert profile.inferred_kind == "categorical"
+
+    def test_empty_column(self):
+        schema = Schema.from_pairs([("c", CATEGORICAL)])
+        profile = profile_column(Table(schema, {"c": [None, None]}), "c")
+        assert profile.null_ratio == 1.0
+        assert profile.n_distinct == 0
+        assert profile.entropy == 0.0
+
+
+class TestTableProfile:
+    def test_candidate_keys(self, table):
+        profile = profile_table(table)
+        assert "id" in profile.candidate_keys
+        assert "city" not in profile.candidate_keys
+        assert profile.n_rows == 50
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            profile_table(table).column("ghost")
+
+
+class TestInclusionDependencies:
+    def test_subset_detected(self, table):
+        findings = discover_inclusion_dependencies(table)
+        # city_copy's values are a subset of city's (both directions hold
+        # only if the sets are equal).
+        assert ("city_copy", "city") in findings
+
+    def test_self_not_reported(self, table):
+        findings = discover_inclusion_dependencies(table)
+        assert all(a != b for a, b in findings)
+
+    def test_approximate_coverage(self):
+        schema = Schema.from_pairs([("a", CATEGORICAL), ("b", CATEGORICAL)])
+        t = Table(
+            schema,
+            {"a": ["x", "y", "z", "OUTLIER"], "b": ["x", "y", "z", "w"]},
+        )
+        assert ("a", "b") not in discover_inclusion_dependencies(t, 1.0)
+        assert ("a", "b") in discover_inclusion_dependencies(t, 0.7)
+
+    def test_validation(self, table):
+        with pytest.raises(ValueError):
+            discover_inclusion_dependencies(table, min_coverage=0.0)

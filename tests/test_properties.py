@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.dataset.encoding import TableEncoder
+from repro.dataset.splits import train_test_split
+from repro.dataset.table import coerce_float, values_equal
+from repro.metrics import detection_scores, iou
+from repro.metrics.model import precision_recall_f1, silhouette_score
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+cell_value = st.one_of(
+    st.none(),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(
+        alphabet="abcxyz019 ._-", min_size=0, max_size=8
+    ),
+)
+
+
+@st.composite
+def small_tables(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=12))
+    n_numeric = draw(st.integers(min_value=0, max_value=3))
+    n_categorical = draw(st.integers(min_value=0, max_value=3))
+    assume(n_numeric + n_categorical >= 1)
+    pairs = [(f"n{i}", NUMERICAL) for i in range(n_numeric)] + [
+        (f"c{i}", CATEGORICAL) for i in range(n_categorical)
+    ]
+    schema = Schema.from_pairs(pairs)
+    columns = {
+        name: draw(
+            st.lists(cell_value, min_size=n_rows, max_size=n_rows)
+        )
+        for name, _ in pairs
+    }
+    return Table(schema, columns)
+
+
+# ----------------------------------------------------------------------
+# Table invariants
+# ----------------------------------------------------------------------
+@given(small_tables())
+@settings(max_examples=60, deadline=None)
+def test_diff_with_self_is_empty(table):
+    assert table.diff_cells(table) == set()
+    assert table.diff_cells(table.copy()) == set()
+
+
+@given(small_tables())
+@settings(max_examples=60, deadline=None)
+def test_diff_is_symmetric(table):
+    other = table.copy()
+    rng = np.random.default_rng(0)
+    # Perturb a few cells.
+    for _ in range(min(3, table.n_rows)):
+        row = int(rng.integers(table.n_rows))
+        col = table.column_names[int(rng.integers(table.n_columns))]
+        other.set_cell(row, col, "perturbed-value-xyz")
+    assert table.diff_cells(other) == other.diff_cells(table)
+
+
+@given(small_tables())
+@settings(max_examples=40, deadline=None)
+def test_csv_round_trip_preserves_cells(table):
+    import os
+    import tempfile
+
+    fd, path = tempfile.mkstemp(suffix=".csv")
+    os.close(fd)
+    try:
+        table.to_csv(path)
+        loaded = Table.from_csv(path, table.schema)
+    finally:
+        os.unlink(path)
+    assert loaded.n_rows == table.n_rows
+    assert table.diff_cells(loaded) == set()
+
+
+@given(small_tables())
+@settings(max_examples=60, deadline=None)
+def test_select_rows_preserves_content(table):
+    indices = list(range(table.n_rows))[::-1]
+    sub = table.select_rows(indices)
+    for new_pos, original in enumerate(indices):
+        for col in table.column_names:
+            assert values_equal(
+                sub.get_cell(new_pos, col), table.get_cell(original, col)
+            )
+
+
+@given(cell_value)
+@settings(max_examples=200, deadline=None)
+def test_values_equal_reflexive(value):
+    assert values_equal(value, value)
+
+
+@given(cell_value, cell_value)
+@settings(max_examples=200, deadline=None)
+def test_values_equal_symmetric(a, b):
+    assert values_equal(a, b) == values_equal(b, a)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+@settings(max_examples=100, deadline=None)
+def test_coerce_float_round_trips_finite_numbers(value):
+    assert coerce_float(value) == float(value)
+    assert coerce_float(repr(float(value))) == pytest.approx(
+        float(value), rel=1e-12, abs=1e-300
+    )
+
+
+# ----------------------------------------------------------------------
+# Encoding invariants
+# ----------------------------------------------------------------------
+@given(small_tables())
+@settings(max_examples=40, deadline=None)
+def test_encoder_output_is_finite_and_stable_width(table):
+    encoder = TableEncoder()
+    features = encoder.fit_transform(table)
+    assert features.shape == (table.n_rows, encoder.n_features)
+    assert np.isfinite(features).all()
+    again = encoder.transform(table)
+    assert np.array_equal(features, again)
+
+
+# ----------------------------------------------------------------------
+# Metric invariants
+# ----------------------------------------------------------------------
+cells = st.sets(
+    st.tuples(st.integers(0, 30), st.sampled_from(["a", "b", "c"])),
+    max_size=25,
+)
+
+
+@given(cells, cells)
+@settings(max_examples=100, deadline=None)
+def test_detection_scores_bounds(detected, actual):
+    scores = detection_scores(detected, actual)
+    assert 0.0 <= scores.precision <= 1.0
+    assert 0.0 <= scores.recall <= 1.0
+    assert 0.0 <= scores.f1 <= 1.0
+    assert scores.true_positives + scores.false_positives == len(detected)
+    assert scores.true_positives + scores.false_negatives == len(actual)
+    if scores.precision and scores.recall:
+        harmonic = (
+            2 * scores.precision * scores.recall
+            / (scores.precision + scores.recall)
+        )
+        assert scores.f1 == pytest.approx(harmonic)
+
+
+@given(cells, cells)
+@settings(max_examples=100, deadline=None)
+def test_iou_bounds_and_symmetry(a, b):
+    value = iou(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == iou(b, a)
+    assert iou(a, a) == 1.0
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=2, max_size=40),
+    st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_f1_perfect_only_when_equal(labels, seed):
+    rng = np.random.default_rng(seed)
+    predictions = list(labels)
+    _, _, f1_same = precision_recall_f1(labels, predictions)
+    assert f1_same == 1.0
+    # Corrupt one prediction (if another label value exists).
+    if len(set(labels)) > 1:
+        i = int(rng.integers(len(predictions)))
+        others = [v for v in set(labels) if v != predictions[i]]
+        predictions[i] = others[0]
+        _, _, f1_off = precision_recall_f1(labels, predictions)
+        assert f1_off < 1.0
+
+
+@given(st.integers(10, 200), st.floats(0.05, 0.5), st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_split_partition_property(n, fraction, seed):
+    train, test = train_test_split(n, fraction, seed=seed)
+    assert len(train) + len(test) == n
+    assert set(train).isdisjoint(test)
+    assert len(test) >= 1 and len(train) >= 1
+
+
+@given(st.integers(2, 5), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_silhouette_bounds(n_clusters, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(30, 3))
+    labels = rng.integers(0, n_clusters, size=30)
+    value = silhouette_score(points, labels)
+    assert -1.0 <= value <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Injection invariants (beyond the mask==diff property in test_errors)
+# ----------------------------------------------------------------------
+@given(
+    st.floats(0.0, 0.3),
+    st.integers(0, 10_000),
+    st.sampled_from(["missing", "outlier", "inconsistency"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_injection_never_changes_shape(rate, seed, kind):
+    from repro.errors import (
+        InconsistencyInjector,
+        MissingValueInjector,
+        OutlierInjector,
+    )
+
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_pairs([("x", NUMERICAL), ("c", CATEGORICAL)])
+    table = Table(
+        schema,
+        {
+            "x": rng.normal(size=20).tolist(),
+            "c": [f"v{int(rng.integers(3))}" for _ in range(20)],
+        },
+    )
+    injector = {
+        "missing": MissingValueInjector(),
+        "outlier": OutlierInjector(),
+        "inconsistency": InconsistencyInjector(),
+    }[kind]
+    result = injector.inject(table, rate, rng)
+    assert result.dirty.shape == table.shape
+    assert result.dirty.schema == table.schema

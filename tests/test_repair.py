@@ -1,0 +1,430 @@
+"""Tests for all 19 repair methods."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.context import CleaningContext
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.dataset.table import is_missing, values_equal
+from repro.errors import (
+    CompositeInjector,
+    InconsistencyInjector,
+    MislabelInjector,
+    MissingValueInjector,
+    OutlierInjector,
+)
+from repro.metrics import repair_rmse, repair_scores_categorical
+from repro.repair import (
+    ActiveCleanRepair,
+    BaranRepair,
+    BayesMissRepair,
+    BoostCleanRepair,
+    CleanLabRepair,
+    CPCleanRepair,
+    DataWigMixRepair,
+    DeleteRepair,
+    DTMissRepair,
+    GroundTruthRepair,
+    HoloCleanRepair,
+    KNNMissRepair,
+    MeanModeImputeRepair,
+    MedianModeImputeRepair,
+    MissDataWigRepair,
+    MissForestMixRepair,
+    MissForestSepRepair,
+    ModeModeImputeRepair,
+    OpenRefineRepair,
+    all_repair_methods,
+    repair_registry,
+)
+from repro.repair.base import blank_detected_cells
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def correlated_table(n=150, seed=0):
+    """Numeric columns correlated with city so imputers have signal."""
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_pairs(
+        [
+            ("amount", NUMERICAL),
+            ("size", NUMERICAL),
+            ("city", CATEGORICAL),
+            ("country", CATEGORICAL),
+            ("label", CATEGORICAL),
+        ]
+    )
+    cities = ["berlin", "munich", "paris", "lyon"]
+    country_of = {
+        "berlin": "germany", "munich": "germany",
+        "paris": "france", "lyon": "france",
+    }
+    base_amount = {"berlin": 50.0, "munich": 80.0, "paris": 110.0, "lyon": 140.0}
+    chosen = [cities[int(rng.integers(4))] for _ in range(n)]
+    amounts = [base_amount[c] + rng.normal(0, 3) for c in chosen]
+    return Table(
+        schema,
+        {
+            "amount": amounts,
+            "size": [a * 2.0 + rng.normal(0, 1) for a in amounts],
+            "city": chosen,
+            "country": [country_of[c] for c in chosen],
+            "label": ["big" if a > 95 else "small" for a in amounts],
+        },
+    )
+
+
+def dirty_context(seed=0, rate=0.08):
+    clean = correlated_table(seed=seed)
+    # Attribute errors only: corrupting the label column would add a third
+    # "missing" class, which (per Section 6.5) breaks BoostClean/CPClean --
+    # that failure mode gets its own dedicated tests.
+    feature_columns = ["amount", "size", "city", "country"]
+    injector = CompositeInjector(
+        [
+            MissingValueInjector(columns=feature_columns),
+            OutlierInjector(columns=feature_columns, degree=5.0),
+        ]
+    )
+    result = injector.inject(clean, rate, RNG(seed + 1))
+    ctx = CleaningContext(
+        dirty=result.dirty,
+        clean=clean,
+        fds=[FunctionalDependency(("city",), "country")],
+        label_column="label",
+        task="classification",
+        seed=seed,
+    )
+    return ctx, result
+
+
+class TestGroundTruthRepair:
+    def test_restores_detected_cells(self):
+        ctx, result = dirty_context()
+        repaired = GroundTruthRepair().repair(ctx, result.error_cells).repaired
+        assert repaired.diff_cells(ctx.clean) == set()
+
+    def test_partial_detection_partial_repair(self):
+        ctx, result = dirty_context(seed=1)
+        some = set(list(result.error_cells)[: len(result.error_cells) // 2])
+        repaired = GroundTruthRepair().repair(ctx, some).repaired
+        remaining = repaired.diff_cells(ctx.clean)
+        assert remaining == result.error_cells - some
+
+    def test_needs_clean(self):
+        ctx, result = dirty_context(seed=2)
+        ctx.clean = None
+        with pytest.raises(RuntimeError):
+            GroundTruthRepair().repair(ctx, result.error_cells)
+
+
+class TestDeleteRepair:
+    def test_removes_dirty_rows(self):
+        ctx, result = dirty_context(seed=3)
+        repaired = DeleteRepair().repair(ctx, result.error_cells).repaired
+        dirty_rows = {r for r, _ in result.error_cells}
+        assert repaired.n_rows == ctx.dirty.n_rows - len(dirty_rows)
+
+    def test_no_detections_no_change(self):
+        ctx, _ = dirty_context(seed=4)
+        repaired = DeleteRepair().repair(ctx, set()).repaired
+        assert repaired.n_rows == ctx.dirty.n_rows
+
+
+class TestStatImputers:
+    @pytest.mark.parametrize(
+        "method",
+        [MeanModeImputeRepair(), MedianModeImputeRepair(), ModeModeImputeRepair()],
+        ids=lambda m: m.name,
+    )
+    def test_fills_all_detected_cells(self, method):
+        ctx, result = dirty_context(seed=5)
+        repaired = method.repair(ctx, result.error_cells).repaired
+        for row, column in result.error_cells:
+            assert not is_missing(repaired.get_cell(row, column))
+
+    def test_mean_beats_dirty_rmse(self):
+        ctx, result = dirty_context(seed=6)
+        repaired = MeanModeImputeRepair().repair(ctx, result.error_cells).repaired
+        assert repair_rmse(repaired, ctx.clean) < repair_rmse(ctx.dirty, ctx.clean)
+
+    def test_stats_exclude_detected_cells(self):
+        schema = Schema.from_pairs([("x", NUMERICAL)])
+        table = Table(schema, {"x": [1.0, 1.0, 1.0, 1000.0]})
+        ctx = CleaningContext(dirty=table)
+        repaired = MeanModeImputeRepair().repair(ctx, {(3, "x")}).repaired
+        assert repaired.get_cell(3, "x") == pytest.approx(1.0)
+
+
+class TestMLImputers:
+    @pytest.mark.parametrize(
+        "method",
+        [
+            MissForestMixRepair(),
+            MissForestSepRepair(),
+            DataWigMixRepair(),
+            MissDataWigRepair(),
+            DTMissRepair(),
+            BayesMissRepair(),
+            KNNMissRepair(),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_beats_dirty_rmse(self, method):
+        ctx, result = dirty_context(seed=7)
+        repaired = method.repair(ctx, result.error_cells).repaired
+        assert repair_rmse(repaired, ctx.clean) < repair_rmse(ctx.dirty, ctx.clean)
+
+    def test_missforest_beats_mean_on_correlated_data(self):
+        ctx, result = dirty_context(seed=8)
+        numeric_cells = {
+            c for c in result.error_cells
+            if ctx.dirty.schema.kind_of(c[1]) == "numerical"
+        }
+        forest = MissForestMixRepair().repair(ctx, numeric_cells).repaired
+        mean = MeanModeImputeRepair().repair(ctx, numeric_cells).repaired
+        assert repair_rmse(forest, ctx.clean) < repair_rmse(mean, ctx.clean)
+
+    def test_categorical_holes_filled(self):
+        ctx, result = dirty_context(seed=9)
+        repaired = MissForestMixRepair().repair(ctx, result.error_cells).repaired
+        for row, column in result.error_cells:
+            assert not is_missing(repaired.get_cell(row, column))
+
+    def test_mode_validation(self):
+        from repro.repair import MLImputeRepair
+
+        with pytest.raises(ValueError):
+            MLImputeRepair(lambda: None, lambda: None, mode="joint")
+        with pytest.raises(ValueError):
+            MLImputeRepair(lambda: None, lambda: None, n_iterations=0)
+
+
+class TestHoloCleanRepair:
+    def test_fd_violation_repaired_to_majority(self):
+        clean = correlated_table(seed=10)
+        dirty = clean.copy()
+        dirty.set_cell(0, "country", "spain")
+        ctx = CleaningContext(
+            dirty=dirty, fds=[FunctionalDependency(("city",), "country")]
+        )
+        repaired = HoloCleanRepair().repair(ctx, {(0, "country")}).repaired
+        assert values_equal(
+            repaired.get_cell(0, "country"), clean.get_cell(0, "country")
+        )
+
+    def test_scores_on_categorical_attributes(self):
+        ctx, result = dirty_context(seed=11)
+        repaired = HoloCleanRepair().repair(ctx, result.error_cells).repaired
+        scores = repair_scores_categorical(
+            ctx.dirty, repaired, ctx.clean, result.error_cells
+        )
+        assert scores.f1 > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoloCleanRepair(max_candidates=1)
+        with pytest.raises(ValueError):
+            HoloCleanRepair(max_training_cells=5)
+
+    def test_weight_learning_not_worse_than_fixed(self):
+        from repro.datagen import generate
+
+        dataset = generate("Beers", n_rows=300, seed=3)
+        ctx = dataset.context(seed=3)
+        fixed = HoloCleanRepair(learn_weights=False)
+        learned = HoloCleanRepair(learn_weights=True)
+        f1 = {}
+        for name, method in (("fixed", fixed), ("learned", learned)):
+            repaired = method.repair(ctx, dataset.error_cells).repaired
+            f1[name] = repair_scores_categorical(
+                dataset.dirty, repaired, dataset.clean, dataset.error_cells
+            ).f1
+        # The holdout gate guarantees learned >= fixed up to sampling noise.
+        assert f1["learned"] >= f1["fixed"] - 0.05
+        assert learned.learned_weights_ is not None
+
+    def test_weight_learning_fallback_on_tiny_data(self):
+        schema = Schema.from_pairs([("c", CATEGORICAL)])
+        table = Table(schema, {"c": ["a", "b", "a"]})
+        ctx = CleaningContext(dirty=table)
+        method = HoloCleanRepair(learn_weights=True)
+        method.repair(ctx, {(0, "c")})
+        assert np.array_equal(
+            method.learned_weights_, HoloCleanRepair._FALLBACK_WEIGHTS
+        )
+
+
+class TestOpenRefineRepair:
+    def test_merges_format_variants(self):
+        clean = correlated_table(seed=12)
+        result = InconsistencyInjector(columns=["city"]).inject(
+            clean, 0.1, RNG(13)
+        )
+        ctx = CleaningContext(dirty=result.dirty, clean=clean)
+        repaired = OpenRefineRepair().repair(ctx, result.error_cells).repaired
+        scores = repair_scores_categorical(
+            result.dirty, repaired, clean, result.error_cells
+        )
+        assert scores.precision > 0.8
+        assert scores.recall > 0.4
+
+
+class TestBaran:
+    def test_repairs_mixed_errors(self):
+        ctx, result = dirty_context(seed=14)
+        repaired = BaranRepair(label_budget=15).repair(
+            ctx, result.error_cells
+        ).repaired
+        scores = repair_scores_categorical(
+            ctx.dirty, repaired, ctx.clean, result.error_cells
+        )
+        assert scores.f1 > 0.5
+        assert repair_rmse(repaired, ctx.clean) < repair_rmse(ctx.dirty, ctx.clean)
+
+    def test_value_model_transfers_learned_transformations(self):
+        clean = correlated_table(seed=15)
+        clean.set_cell(0, "city", "berlin")
+        clean.set_cell(0, "country", "germany")
+        clean.set_cell(1, "city", "munich")
+        clean.set_cell(1, "country", "germany")
+        dirty = clean.copy()
+        dirty.set_cell(0, "city", "BERLIN")
+        dirty.set_cell(1, "city", "MUNICH")
+        ctx = CleaningContext(dirty=dirty, clean=clean, seed=0)
+        # Budget 1: one cell is oracle-labeled; the other must be fixed by
+        # the lowercase transformation learned from that single example
+        # (seeded redundantly via the revision corpus).
+        repaired = BaranRepair(
+            label_budget=1, revision_corpus=[("PARIS", "paris")]
+        ).repair(ctx, {(0, "city"), (1, "city")}).repaired
+        assert repaired.get_cell(0, "city") == "berlin"
+        assert repaired.get_cell(1, "city") == "munich"
+
+    def test_learn_transformations_unit(self):
+        from repro.repair.baran import _learn_transformations
+
+        lower = dict(_learn_transformations("ABC", "abc"))
+        assert "lowercase" in lower
+        assert lower["lowercase"]("XYZ") == "xyz"
+        drop = _learn_transformations("berlinn", "berlin")
+        assert any(fn("munichh") == "munich" for _, fn in drop if fn("munichh"))
+        sub = dict(_learn_transformations("b3rlin", "berlin"))
+        assert any(
+            fn("munich3") == "muniche"
+            for fn in sub.values()
+            if fn("munich3")
+        )
+
+    def test_needs_oracle(self):
+        ctx, result = dirty_context(seed=16)
+        ctx.clean = None
+        with pytest.raises(RuntimeError):
+            BaranRepair().repair(ctx, result.error_cells)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaranRepair(label_budget=0)
+
+
+class TestCleanLabRepair:
+    def test_relabels_flagged_cells(self):
+        clean = correlated_table(seed=17)
+        result = MislabelInjector("label").inject(clean, 0.1, RNG(18))
+        ctx = CleaningContext(
+            dirty=result.dirty, clean=clean, label_column="label"
+        )
+        repaired = CleanLabRepair().repair(ctx, result.error_cells).repaired
+        scores = repair_scores_categorical(
+            result.dirty, repaired, clean, result.error_cells,
+            columns=["label"],
+        )
+        assert scores.f1 > 0.8
+
+    def test_no_label_column_noop(self):
+        ctx, result = dirty_context(seed=19)
+        ctx.label_column = None
+        repaired = CleanLabRepair().repair(ctx, result.error_cells).repaired
+        assert repaired == ctx.dirty
+
+
+class TestMLOriented:
+    def test_activeclean_beats_dirty_model(self):
+        ctx, result = dirty_context(seed=20, rate=0.12)
+        fitted = ActiveCleanRepair(n_iterations=4).fit(ctx, result.error_cells)
+        f1_clean_test = fitted.model.f1(ctx.clean)
+        assert f1_clean_test > 0.7
+        assert fitted.metadata["records_cleaned"] > 0
+
+    def test_activeclean_fails_without_clean_partition(self):
+        ctx, _ = dirty_context(seed=21)
+        all_label_cells = {(i, "label") for i in range(ctx.dirty.n_rows)}
+        with pytest.raises(RuntimeError, match="partition"):
+            ActiveCleanRepair().fit(ctx, all_label_cells)
+
+    def test_boostclean_learns(self):
+        ctx, result = dirty_context(seed=22)
+        fitted = BoostCleanRepair(n_rounds=3).fit(ctx, result.error_cells)
+        assert fitted.model.f1(ctx.clean) > 0.7
+        assert fitted.metadata["learners"]
+
+    def test_boostclean_rejects_multiclass(self):
+        clean = correlated_table(seed=23)
+        multi = clean.copy()
+        for i in range(0, multi.n_rows, 3):
+            multi.set_cell(i, "label", "medium")
+        ctx = CleaningContext(dirty=multi, label_column="label")
+        with pytest.raises(ValueError, match="binary"):
+            BoostCleanRepair().fit(ctx, set())
+
+    def test_cpclean_cleans_until_certain(self):
+        ctx, result = dirty_context(seed=24)
+        fitted = CPCleanRepair(max_cleaned=40).fit(ctx, result.error_cells)
+        history = fitted.metadata["certainty_history"]
+        assert history[-1] >= history[0]
+        assert fitted.model.f1(ctx.clean) > 0.6
+
+    def test_cpclean_rejects_multiclass(self):
+        clean = correlated_table(seed=25)
+        multi = clean.copy()
+        for i in range(0, multi.n_rows, 3):
+            multi.set_cell(i, "label", "medium")
+        ctx = CleaningContext(dirty=multi, clean=multi, label_column="label")
+        with pytest.raises(ValueError, match="binary"):
+            CPCleanRepair().fit(ctx, set())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActiveCleanRepair(n_iterations=0)
+        with pytest.raises(ValueError):
+            BoostCleanRepair(n_rounds=0)
+        with pytest.raises(ValueError):
+            CPCleanRepair(n_neighbors=0)
+
+
+class TestRegistryAndHelpers:
+    def test_nineteen_methods(self):
+        methods = all_repair_methods()
+        assert len(methods) == 19
+        names = [m.name for m in methods]
+        assert len(set(names)) == 19
+
+    def test_categories(self):
+        from repro.repair import GENERIC, ML_ORIENTED
+
+        registry = repair_registry()
+        assert registry["GT"].category == GENERIC
+        assert registry["ActiveClean"].category == ML_ORIENTED
+        ml_count = sum(
+            1 for m in registry.values() if m.category == ML_ORIENTED
+        )
+        assert ml_count == 3
+
+    def test_blank_detected_cells(self):
+        ctx, result = dirty_context(seed=26)
+        blanked = blank_detected_cells(ctx.dirty, result.error_cells)
+        for row, column in result.error_cells:
+            assert is_missing(blanked.get_cell(row, column))
+        # Out-of-range detections are ignored, not fatal.
+        blank_detected_cells(ctx.dirty, {(10**6, "amount"), (0, "ghost")})

@@ -1,0 +1,63 @@
+"""Tests for the text renderers."""
+
+import math
+
+import pytest
+
+from repro.reporting import render_bars, render_matrix, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["name", "f1"], [["RAHA", 0.98], ["SD", 0.4]], title="Fig 2a"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig 2a"
+        assert "RAHA" in lines[3]
+        assert "0.980" in out
+
+    def test_nan_and_none(self):
+        out = render_table(["a"], [[float("nan")], [None]])
+        assert "nan" in out
+        assert "-" in out
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_precision(self):
+        out = render_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in out
+
+
+class TestRenderBars:
+    def test_bar_lengths_scale(self):
+        out = render_bars({"big": 10.0, "small": 1.0}, width=20)
+        big_line = next(l for l in out.splitlines() if l.startswith("big"))
+        small_line = next(l for l in out.splitlines() if l.startswith("small"))
+        assert big_line.count("#") == 20
+        assert small_line.count("#") == 2
+
+    def test_empty(self):
+        assert render_bars({}, title="t") == "t"
+
+
+class TestRenderMatrix:
+    def test_square(self):
+        out = render_matrix(["a", "b"], [[1.0, 0.5], [0.5, 1.0]])
+        assert "1.00" in out and "0.50" in out
+
+
+class TestRenderSeries:
+    def test_merged_x_axis(self):
+        out = render_series(
+            {"RAHA": [(0.1, 0.5), (0.2, 0.7)], "SD": [(0.2, 0.3)]},
+            x_label="error_rate",
+            y_label="f1",
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("error_rate")
+        # x=0.1 row has a '-' for SD which has no point there.
+        row_01 = next(l for l in lines if l.startswith("0.100"))
+        assert "-" in row_01

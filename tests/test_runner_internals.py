@@ -1,0 +1,112 @@
+"""Tests for runner helpers and AutoML preprocessing operators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchmark.runner import _aligned_rows, estimate_n_clusters
+from repro.datagen import generate
+from repro.dataset import NUMERICAL, Schema, Table
+from repro.ml.automl import _IdentityOp, _PCAOp, _VarianceSelectOp, _make_preprocessor
+
+
+class TestAlignedRows:
+    def _tables(self):
+        schema = Schema.from_pairs([("x", NUMERICAL)])
+        clean = Table(schema, {"x": [1.0, 2.0, 3.0, 4.0]})
+        return schema, clean
+
+    def test_same_length_identity_mapping(self):
+        schema, clean = self._tables()
+        variant = clean.copy()
+        mapping = _aligned_rows(variant, clean, kept_rows=None)
+        assert mapping == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_kept_rows_mapping(self):
+        schema, clean = self._tables()
+        variant = clean.select_rows([0, 2])
+        mapping = _aligned_rows(variant, clean, kept_rows=[0, 2])
+        assert mapping == {0: 0, 2: 1}
+
+    def test_unaligned_without_kept_rows(self):
+        schema, clean = self._tables()
+        variant = clean.select_rows([0, 2])
+        assert _aligned_rows(variant, clean, kept_rows=None) is None
+
+    def test_wrong_length_kept_rows(self):
+        schema, clean = self._tables()
+        variant = clean.select_rows([0, 2])
+        assert _aligned_rows(variant, clean, kept_rows=[0]) is None
+
+
+class TestEstimateK:
+    def test_two_clusters(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack(
+            [rng.normal(0, 0.3, (25, 2)), rng.normal(8, 0.3, (25, 2))]
+        )
+        assert estimate_n_clusters(points, k_max=5) == 2
+
+    def test_k_max_respected(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(30, 2))
+        assert 2 <= estimate_n_clusters(points, k_max=4) <= 4
+
+    def test_tiny_sample(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [8.0, 8.0], [9.0, 9.0]])
+        k = estimate_n_clusters(points, k_max=8)
+        assert 2 <= k <= 3
+
+
+class TestAutoMLPreprocessors:
+    def _features(self):
+        rng = np.random.default_rng(2)
+        return rng.normal(size=(40, 6))
+
+    def test_identity(self):
+        features = self._features()
+        op = _IdentityOp().fit(features)
+        assert np.array_equal(op.transform(features), features)
+
+    def test_pca_reduces_dimensions(self):
+        features = self._features()
+        op = _PCAOp(n_components=3).fit(features)
+        out = op.transform(features)
+        assert out.shape == (40, 3)
+        # Components are orthonormal: transformed covariance is diagonal.
+        covariance = np.cov(out.T)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 0.2
+
+    def test_pca_caps_components(self):
+        features = self._features()[:, :2]
+        op = _PCAOp(n_components=10).fit(features)
+        assert op.transform(features).shape[1] == 2
+
+    def test_variance_select_keeps_top_k(self):
+        features = self._features()
+        features[:, 3] *= 100.0  # dominant variance
+        op = _VarianceSelectOp(k=1).fit(features)
+        out = op.transform(features)
+        assert out.shape == (40, 1)
+        assert np.allclose(out[:, 0], features[:, 3])
+
+    def test_factory(self):
+        rng = np.random.default_rng(3)
+        for kind in ("identity", "pca", "variance_select"):
+            op = _make_preprocessor(kind, rng, 6)
+            assert op is not None
+        with pytest.raises(ValueError):
+            _make_preprocessor("fourier", rng, 6)
+
+
+class TestScenarioSampling:
+    def test_clustering_sample_rows(self):
+        from repro.benchmark import run_scenario
+
+        dataset = generate("Water", n_rows=220, seed=5)
+        value = run_scenario(
+            "S4", dataset.dirty, dataset, "KMeans", seed=0, sample_rows=80
+        )
+        assert -1.0 <= value <= 1.0

@@ -1,0 +1,127 @@
+"""Tests for the Magellan-style similarity feature library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.detectors.similarity import (
+    character_ngrams,
+    jaccard_ngram,
+    jaccard_tokens,
+    levenshtein,
+    levenshtein_ratio,
+    monge_elkan,
+    numeric_similarity,
+    overlap_coefficient,
+    pair_feature_names,
+    record_pair_features,
+)
+
+short_text = st.text(alphabet="abcxyz ", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("abc", "xabc", 1),
+            ("kitten", "sitting", 3),
+            ("", "abc", 3),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_cutoff(self):
+        assert levenshtein("aaaaaaaa", "bbbbbbbb", cutoff=2) == 3
+
+    @given(short_text, short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestStringSimilarities:
+    @pytest.mark.parametrize(
+        "fn",
+        [jaccard_ngram, jaccard_tokens, overlap_coefficient,
+         levenshtein_ratio, monge_elkan],
+        ids=lambda f: f.__name__,
+    )
+    def test_identity_is_one(self, fn):
+        assert fn("hello world", "hello world") == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "fn",
+        [jaccard_ngram, jaccard_tokens, overlap_coefficient,
+         levenshtein_ratio, monge_elkan],
+        ids=lambda f: f.__name__,
+    )
+    @given(a=short_text, b=short_text)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, fn, a, b):
+        assert 0.0 <= fn(a, b) <= 1.0
+
+    def test_ngrams(self):
+        grams = character_ngrams("ab", 3)
+        assert "  a" in grams
+
+    def test_token_reorder_invariance(self):
+        assert jaccard_tokens("new york", "york new") == 1.0
+        assert overlap_coefficient("new york city", "new york") == 1.0
+
+    def test_monge_elkan_partial(self):
+        assert monge_elkan("john smith", "jon smith") > 0.8
+        assert monge_elkan("john smith", "zzz qqq") < 0.3
+
+
+class TestNumericSimilarity:
+    def test_equality(self):
+        assert numeric_similarity(5.0, 5.0, 2.0) == 1.0
+
+    def test_one_scale_away_is_zero(self):
+        assert numeric_similarity(0.0, 2.0, 2.0) == 0.0
+
+    def test_zero_scale(self):
+        assert numeric_similarity(1.0, 1.0, 0.0) == 1.0
+        assert numeric_similarity(1.0, 2.0, 0.0) == 0.0
+
+
+class TestRecordPairFeatures:
+    def _table(self):
+        schema = Schema.from_pairs([("x", NUMERICAL), ("name", CATEGORICAL)])
+        return Table(
+            schema,
+            {"x": [1.0, 1.0, 9.0], "name": ["acme corp", "acme corp", "zzz"]},
+        )
+
+    def test_feature_names_align_with_vector(self):
+        table = self._table()
+        names = pair_feature_names(table)
+        features = record_pair_features(table, 0, 1, {"x": 1.0})
+        assert len(names) == len(features)
+        assert names[0] == "x:numeric"
+
+    def test_duplicates_score_high(self):
+        table = self._table()
+        same = record_pair_features(table, 0, 1, {"x": 1.0})
+        different = record_pair_features(table, 0, 2, {"x": 1.0})
+        assert same.mean() > 0.99
+        assert different.mean() < 0.5
+
+    def test_missing_is_neutral(self):
+        schema = Schema.from_pairs([("c", CATEGORICAL)])
+        table = Table(schema, {"c": ["a", None]})
+        features = record_pair_features(table, 0, 1, {})
+        assert np.allclose(features, 0.5)

@@ -1,0 +1,66 @@
+"""Deeper tests for the Wilcoxon implementation: ranks, ties, and the
+exact/approximate boundary."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.metrics.stats import _signed_ranks, wilcoxon_signed_rank
+
+
+class TestSignedRanks:
+    def test_simple_ranking(self):
+        ranks = _signed_ranks(np.array([0.5, -2.0, 1.0]))
+        # |values| sorted: 0.5 < 1.0 < 2.0 -> ranks 1, 3, 2.
+        assert ranks.tolist() == [1.0, 3.0, 2.0]
+
+    def test_tied_magnitudes_share_mean_rank(self):
+        ranks = _signed_ranks(np.array([1.0, -1.0, 2.0]))
+        assert ranks[0] == ranks[1] == 1.5
+        assert ranks[2] == 3.0
+
+    def test_all_tied(self):
+        ranks = _signed_ranks(np.array([3.0, -3.0, 3.0, -3.0]))
+        assert np.allclose(ranks, 2.5)
+
+
+class TestExactApproxBoundary:
+    def test_exact_below_threshold(self):
+        # 8 non-zero pairs -> exact enumeration path.
+        a = [1.0, 2, 3, 4, 5, 6, 7, 8]
+        b = [0.5, 1, 2, 3, 4, 5, 6, 7]
+        ours = wilcoxon_signed_rank(a, b, exact_threshold=12)
+        theirs = scipy_stats.wilcoxon(a, b, method="exact")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_forced_approximation_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 10)
+        b = a + rng.normal(0.8, 0.3, 10)
+        exact = wilcoxon_signed_rank(a, b, exact_threshold=12)
+        approx = wilcoxon_signed_rank(a, b, exact_threshold=0)
+        assert approx.p_value == pytest.approx(exact.p_value, abs=0.03)
+
+    def test_tie_correction_reduces_variance(self):
+        # Many tied differences exercise the tie-correction term; result
+        # must stay a valid probability and match scipy's approx method.
+        a = [1.0] * 20 + [3.0] * 20
+        b = [0.0] * 20 + [1.0] * 20
+        ours = wilcoxon_signed_rank(a, b, exact_threshold=0)
+        theirs = scipy_stats.wilcoxon(
+            a, b, correction=True, method="approx"
+        )
+        assert 0.0 <= ours.p_value <= 1.0
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_n_effective_excludes_zero_differences(self):
+        result = wilcoxon_signed_rank([1.0, 2.0, 3.0], [1.0, 2.0, 5.0])
+        assert result.n_effective == 1
+
+    def test_reject_null_threshold(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(1.0, 0.01, 30)
+        b = rng.normal(0.0, 0.01, 30)
+        result = wilcoxon_signed_rank(a, b)
+        assert result.reject_null(0.05)
+        assert not result.reject_null(1e-12)
