@@ -10,7 +10,8 @@ The package mirrors the architecture of the REIN benchmark (EDBT 2023):
 - :mod:`repro.ml`          classification / regression / clustering / AutoML
 - :mod:`repro.tuning`      hyperparameter search (Optuna analogue)
 - :mod:`repro.metrics`     detection / repair / model metrics + Wilcoxon test
-- :mod:`repro.repository`  SQLite data-version and results stores
+- :mod:`repro.repository`  SQLite data-version, results, and checkpoint stores
+- :mod:`repro.resilience`  execution guards, failure taxonomy, chaos harness
 - :mod:`repro.benchmark`   controller, scenarios S1-S5, experiment runner
 - :mod:`repro.datagen`     synthetic analogues of the 14 benchmark datasets
 - :mod:`repro.reporting`   text renderers for the paper's tables and figures

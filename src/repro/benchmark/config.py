@@ -28,6 +28,8 @@ from repro.detectors import detector_registry
 from repro.ml.model_zoo import get_spec
 from repro.repair import RepairMethod, repair_registry
 from repro.reporting import render_table
+from repro.resilience.failures import FailureRecord
+from repro.resilience.policy import ResiliencePolicy
 
 
 @dataclass
@@ -128,23 +130,92 @@ class ExperimentReport:
             headers, rows, title=f"{self.config.dataset}: modeling",
         )
 
-    def render(self) -> str:
-        return "\n\n".join(
-            [self.detection_table(), self.repair_table(), self.model_table()]
+    def failure_records(self) -> List[FailureRecord]:
+        """Every categorized failure the experiment produced, in order."""
+        records: List[FailureRecord] = []
+        for run in self.detection_runs:
+            if run.failure_record is not None:
+                records.append(run.failure_record)
+        for run in self.repair_runs:
+            if run.failure_record is not None:
+                records.append(run.failure_record)
+        for evaluation in self.evaluations:
+            for name in sorted(evaluation.failures):
+                for seed in sorted(evaluation.failures[name]):
+                    records.append(evaluation.failures[name][seed])
+        return records
+
+    def failures_table(self) -> str:
+        """One row per failure: stage, method, category, reason."""
+        rows = [
+            [r.stage, r.method, r.category,
+             "quarantined" if r.quarantined else f"retries={r.retries}",
+             r.describe()]
+            for r in self.failure_records()
+        ]
+        return render_table(
+            ["stage", "method", "category", "note", "reason"], rows,
+            title=f"{self.config.dataset}: failures",
         )
 
+    def render(self) -> str:
+        sections = [
+            self.detection_table(), self.repair_table(), self.model_table()
+        ]
+        if self.failure_records():
+            sections.append(self.failures_table())
+        return "\n\n".join(sections)
 
-def run_experiment(config: ExperimentConfig) -> ExperimentReport:
-    """Execute one declared experiment end to end."""
+
+def run_experiment(
+    config: ExperimentConfig,
+    policy: Optional[ResiliencePolicy] = None,
+) -> ExperimentReport:
+    """Execute one declared experiment end to end.
+
+    ``policy`` activates the resilience layer: per-stage deadlines,
+    transient retries, circuit-breaker quarantine shared across the whole
+    experiment, and SQLite checkpoints keyed by a content-addressed run
+    id (same config -> same run) so an interrupted experiment resumes by
+    skipping completed units.
+    """
+    policy = policy or ResiliencePolicy()
     dataset = generate(config.dataset, n_rows=config.n_rows, seed=config.seed)
-    controller = BenchmarkController()
+    breaker = policy.make_breaker()
+    checkpoint = policy.open_checkpoint("experiment", config.to_json())
+    controller = BenchmarkController(breaker=breaker)
+    guard_kwargs = dict(
+        deadline_seconds=policy.deadline_seconds,
+        retry=policy.retry,
+        breaker=breaker,
+        checkpoint=checkpoint,
+        clock=policy.clock,
+        sleep=policy.sleep,
+    )
+    try:
+        return _run_experiment_stages(
+            config, dataset, controller, guard_kwargs, policy
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
+
+def _run_experiment_stages(
+    config: ExperimentConfig,
+    dataset,
+    controller: BenchmarkController,
+    guard_kwargs: Dict,
+    policy: ResiliencePolicy,
+) -> ExperimentReport:
     if config.detectors is None:
         detectors = controller.applicable_detectors(dataset)
     else:
         registry = detector_registry()
         detectors = [registry[name] for name in config.detectors]
-    detection_runs = run_detection_suite(dataset, detectors, seed=config.seed)
+    detection_runs = run_detection_suite(
+        dataset, detectors, seed=config.seed, **guard_kwargs
+    )
 
     if config.repairs is None:
         repairs = [
@@ -165,7 +236,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentReport:
         for r in detection_runs
         if not r.failed and r.result.n_detected > 0
     }
-    repair_runs = run_repair_suite(dataset, detections, repairs, seed=config.seed)
+    repair_runs = run_repair_suite(
+        dataset, detections, repairs, seed=config.seed, **guard_kwargs
+    )
 
     evaluations: List[ScenarioEvaluation] = []
     if dataset.task is not None and config.models:
@@ -189,6 +262,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentReport:
                         scenario_names=tuple(config.scenarios),
                         n_seeds=config.n_seeds,
                         kept_rows=kept,
+                        deadline_seconds=policy.deadline_seconds,
+                        retry=policy.retry,
+                        checkpoint=guard_kwargs.get("checkpoint"),
+                        clock=policy.clock,
+                        sleep=policy.sleep,
                     )
                 )
     return ExperimentReport(config, detection_runs, repair_runs, evaluations)

@@ -18,6 +18,7 @@ from repro.detectors import all_detectors
 from repro.detectors.base import Detector
 from repro.errors import profile
 from repro.repair import MLOrientedRepair, RepairMethod, all_repair_methods
+from repro.resilience.guards import CircuitBreaker
 
 #: Which error types each *specialised* detector can possibly find.  The
 #: controller skips a specialised detector when the dataset's profile has
@@ -37,6 +38,7 @@ class BenchmarkController:
         detectors: Optional[Sequence[Detector]] = None,
         repairs: Optional[Sequence[Union[RepairMethod, MLOrientedRepair]]] = None,
         picket_max_rows: int = 5000,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.detectors = (
             list(detectors) if detectors is not None else all_detectors()
@@ -45,6 +47,16 @@ class BenchmarkController:
             list(repairs) if repairs is not None else all_repair_methods()
         )
         self.picket_max_rows = picket_max_rows
+        #: Shared circuit breaker: methods it has quarantined (after K
+        #: consecutive failures in the running suite) are pruned up front,
+        #: exactly like the design-time capability boundaries below.
+        self.breaker = breaker
+
+    def quarantined_methods(self) -> Dict[str, str]:
+        """Quarantined method name -> recorded reason (empty w/o breaker)."""
+        if self.breaker is None:
+            return {}
+        return self.breaker.quarantined
 
     # ------------------------------------------------------------------
     # Detector pruning
@@ -72,6 +84,9 @@ class BenchmarkController:
     ) -> bool:
         name = detector.name
         error_types = dataset.error_types
+        # Runtime quarantine (circuit breaker tripped earlier in the run).
+        if self.breaker is not None and self.breaker.is_quarantined(name):
+            return False
         # Signal requirements.
         if name == "KATARA" and dataset.knowledge_base is None:
             return False
@@ -129,6 +144,8 @@ class BenchmarkController:
         dataset: BenchmarkDataset,
     ) -> bool:
         name = method.name
+        if self.breaker is not None and self.breaker.is_quarantined(name):
+            return False
         if name == "CleanLab":
             return (
                 dataset.task == "classification"
@@ -162,4 +179,5 @@ class BenchmarkController:
         return {
             "detectors": [d.name for d in self.applicable_detectors(dataset)],
             "repairs": [r.name for r in self.applicable_repairs(dataset)],
+            "quarantined": sorted(self.quarantined_methods()),
         }

@@ -13,9 +13,22 @@ Provides the three experiment stages as composable functions --
 
 from __future__ import annotations
 
+import json
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -31,6 +44,18 @@ from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
 from repro.benchmark.scenarios import Scenario, scenario as get_scenario
 from repro.ml.model_zoo import build_model, get_spec
 from repro.repair.base import MLOrientedRepair, RepairMethod, RepairResult
+from repro.resilience.checkpoint import (
+    SuiteCheckpoint,
+    scores_from_payload,
+    scores_to_payload,
+    table_from_payload,
+    table_to_payload,
+    unit_key,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.failures import FailureRecord
+from repro.resilience.guards import CircuitBreaker, RetryPolicy, guarded_call
+from repro.resilience.validation import validate_repair_result
 
 
 # ----------------------------------------------------------------------
@@ -38,45 +63,140 @@ from repro.repair.base import MLOrientedRepair, RepairMethod, RepairResult
 # ----------------------------------------------------------------------
 @dataclass
 class DetectionRun:
-    """One detector's output and its scores on one dataset."""
+    """One detector's output and its scores on one dataset.
+
+    ``failure_record`` carries the structured taxonomy entry for failed
+    runs; ``failed``/``failure`` keep the legacy flag/string view of it.
+    """
 
     detector: str
     result: DetectionResult
     scores: DetectionScores
     failed: bool = False
     failure: str = ""
+    failure_record: Optional[FailureRecord] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Canonical JSON payload for checkpointing."""
+        return {
+            "detector": self.detector,
+            "cells": sorted([int(r), str(c)] for r, c in self.result.cells),
+            "runtime_seconds": self.result.runtime_seconds,
+            "scores": scores_to_payload(self.scores),
+            "failure_record": (
+                self.failure_record.to_payload()
+                if self.failure_record is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "DetectionRun":
+        record = (
+            FailureRecord.from_payload(payload["failure_record"])
+            if payload["failure_record"] is not None
+            else None
+        )
+        result = DetectionResult(
+            payload["detector"],
+            frozenset((int(r), str(c)) for r, c in payload["cells"]),
+            payload["runtime_seconds"],
+        )
+        return cls(
+            payload["detector"],
+            result,
+            scores_from_payload(payload["scores"]),
+            failed=record is not None,
+            failure=record.describe() if record is not None else "",
+            failure_record=record,
+        )
+
+
+def _failed_detection_run(
+    dataset: BenchmarkDataset, record: FailureRecord
+) -> DetectionRun:
+    """Book a detection failure with honest elapsed runtime.
+
+    Crashed tools used to report ``runtime=0.0``, which under-reported
+    them in Figure-2-style runtime panels; the guard's elapsed time (up
+    to and including the failing attempt) is the honest figure.
+    """
+    empty = DetectionResult(
+        record.method, frozenset(), record.elapsed_seconds
+    )
+    return DetectionRun(
+        record.method,
+        empty,
+        detection_scores(set(), dataset.error_cells),
+        failed=True,
+        failure=record.describe(),
+        failure_record=record,
+    )
 
 
 def run_detection_suite(
     dataset: BenchmarkDataset,
     detectors: Sequence[Detector],
     seed: int = 0,
+    deadline_seconds: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    checkpoint: Optional[SuiteCheckpoint] = None,
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> List[DetectionRun]:
     """Run each detector on the dataset; failures are recorded, not fatal.
 
     Detectors that crash (e.g. Picket's memory boundary) appear in the
-    output flagged ``failed`` -- the paper likewise reports tools that
-    "stopped working" at certain sizes rather than hiding them.
+    output flagged ``failed`` with a categorized ``failure_record`` --
+    the paper likewise reports tools that "stopped working" at certain
+    sizes rather than hiding them.  Each detector runs under
+    :func:`~repro.resilience.guards.guarded_call` with an optional
+    per-detector wall-clock ``deadline_seconds`` budget, transient-retry
+    policy, and circuit ``breaker`` whose quarantined methods are skipped
+    with a recorded reason.  With a ``checkpoint``, completed detectors
+    are loaded from the store instead of re-executed.
     """
-    context = dataset.context(seed=seed)
     runs: List[DetectionRun] = []
     for detector in detectors:
-        try:
-            result = detector.detect(context)
-        except (MemoryError, ValueError, RuntimeError, np.linalg.LinAlgError) as exc:
-            empty = DetectionResult(detector.name, frozenset(), 0.0)
-            runs.append(
-                DetectionRun(
-                    detector.name,
-                    empty,
-                    detection_scores(set(), dataset.error_cells),
-                    failed=True,
-                    failure=f"{type(exc).__name__}: {exc}",
-                )
+        key = unit_key(
+            "detection", dataset.name, detector=detector.name, seed=seed
+        )
+        if checkpoint is not None:
+            cached = checkpoint.get(key)
+            if cached is not None:
+                runs.append(DetectionRun.from_payload(cached))
+                continue
+        deadline = (
+            Deadline(deadline_seconds, clock=clock or time.monotonic)
+            if deadline_seconds is not None
+            else None
+        )
+        context = dataset.context(seed=seed, deadline=deadline, clock=clock)
+        guarded = guarded_call(
+            lambda: detector.detect(context),
+            method=detector.name,
+            stage="detection",
+            deadline=deadline,
+            retry=retry,
+            breaker=breaker,
+            clock=clock,
+            sleep=sleep,
+            dataset=dataset.name,
+            seed=seed,
+        )
+        if guarded.ok:
+            result = guarded.value
+            run = DetectionRun(
+                detector.name,
+                result,
+                detection_scores(result.cells, dataset.error_cells),
             )
-            continue
-        scores = detection_scores(result.cells, dataset.error_cells)
-        runs.append(DetectionRun(detector.name, result, scores))
+        else:
+            run = _failed_detection_run(dataset, guarded.failure)
+        runs.append(run)
+        if checkpoint is not None:
+            checkpoint.put(key, run.to_payload())
     return runs
 
 
@@ -106,10 +226,92 @@ class RepairRun:
     numerical_rmse: float = math.nan
     failed: bool = False
     failure: str = ""
+    failure_record: Optional[FailureRecord] = None
 
     @property
     def strategy(self) -> str:
         return f"{self.detector}+{self.repair}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Canonical JSON payload for checkpointing."""
+        result_payload = None
+        if self.result is not None:
+            result_payload = {
+                "method": self.result.method,
+                "repaired": table_to_payload(self.result.repaired),
+                "runtime_seconds": self.result.runtime_seconds,
+                "metadata": _jsonable_metadata(self.result.metadata),
+            }
+        return {
+            "detector": self.detector,
+            "repair": self.repair,
+            "result": result_payload,
+            "categorical_f1": self.categorical_f1,
+            "categorical_precision": self.categorical_precision,
+            "categorical_recall": self.categorical_recall,
+            "numerical_rmse": self.numerical_rmse,
+            "failure_record": (
+                self.failure_record.to_payload()
+                if self.failure_record is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RepairRun":
+        record = (
+            FailureRecord.from_payload(payload["failure_record"])
+            if payload["failure_record"] is not None
+            else None
+        )
+        result = None
+        if payload["result"] is not None:
+            result = RepairResult(
+                payload["result"]["method"],
+                table_from_payload(payload["result"]["repaired"]),
+                payload["result"]["runtime_seconds"],
+                payload["result"]["metadata"],
+            )
+        return cls(
+            payload["detector"],
+            payload["repair"],
+            result,
+            categorical_f1=payload["categorical_f1"],
+            categorical_precision=payload["categorical_precision"],
+            categorical_recall=payload["categorical_recall"],
+            numerical_rmse=payload["numerical_rmse"],
+            failed=record is not None,
+            failure=record.describe() if record is not None else "",
+            failure_record=record,
+        )
+
+
+def _jsonable_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    """Keep only JSON-round-trippable metadata entries (checkpointing)."""
+    kept: Dict[str, Any] = {}
+    for key, value in metadata.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        kept[key] = value
+    return kept
+
+
+def _score_repair_run(run: RepairRun, dataset: BenchmarkDataset) -> None:
+    """Fill in the categorical / numerical repair scores in place."""
+    assert run.result is not None
+    repaired = run.result.repaired
+    if repaired.n_rows == dataset.clean.n_rows:
+        if dataset.clean.schema.categorical_names:
+            scores = repair_scores_categorical(
+                dataset.dirty, repaired, dataset.clean, dataset.error_cells
+            )
+            run.categorical_f1 = scores.f1
+            run.categorical_precision = scores.precision
+            run.categorical_recall = scores.recall
+        if dataset.clean.schema.numerical_names:
+            run.numerical_rmse = repair_rmse(repaired, dataset.clean)
 
 
 def run_repair_suite(
@@ -117,38 +319,82 @@ def run_repair_suite(
     detections_by_detector: Dict[str, Set[Cell]],
     repairs: Sequence[RepairMethod],
     seed: int = 0,
+    deadline_seconds: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    checkpoint: Optional[SuiteCheckpoint] = None,
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> List[RepairRun]:
-    """Score every (detector, repair) combination on the dataset."""
-    context = dataset.context(seed=seed)
+    """Score every (detector, repair) combination on the dataset.
+
+    Each combination runs under the same guards as the detection suite
+    (deadline / retry / quarantine / checkpoint).  Repair outputs are
+    additionally structure-validated: a misaligned or NaN-flooded table
+    books a ``data``-category failure instead of being scored.
+    """
     runs: List[RepairRun] = []
     for detector_name, cells in sorted(detections_by_detector.items()):
         for method in repairs:
-            try:
+            key = unit_key(
+                "repair",
+                dataset.name,
+                detector=detector_name,
+                repair=method.name,
+                seed=seed,
+            )
+            if checkpoint is not None:
+                cached = checkpoint.get(key)
+                if cached is not None:
+                    runs.append(RepairRun.from_payload(cached))
+                    continue
+            deadline = (
+                Deadline(deadline_seconds, clock=clock or time.monotonic)
+                if deadline_seconds is not None
+                else None
+            )
+            context = dataset.context(
+                seed=seed, deadline=deadline, clock=clock
+            )
+
+            def attempt(
+                method: RepairMethod = method,
+                context=context,
+                cells: Set[Cell] = cells,
+            ) -> RepairResult:
                 result = method.repair(context, cells)
-            except (MemoryError, ValueError, RuntimeError,
-                    np.linalg.LinAlgError) as exc:
-                runs.append(
-                    RepairRun(
-                        detector_name, method.name, None,
-                        failed=True, failure=f"{type(exc).__name__}: {exc}",
-                    )
+                validate_repair_result(result, dataset.dirty, cells)
+                return result
+
+            guarded = guarded_call(
+                attempt,
+                method=method.name,
+                stage="repair",
+                deadline=deadline,
+                retry=retry,
+                breaker=breaker,
+                clock=clock,
+                sleep=sleep,
+                dataset=dataset.name,
+                detector=detector_name,
+                seed=seed,
+            )
+            if guarded.ok:
+                run = RepairRun(detector_name, method.name, guarded.value)
+                _score_repair_run(run, dataset)
+            else:
+                record = guarded.failure
+                run = RepairRun(
+                    detector_name,
+                    method.name,
+                    None,
+                    failed=True,
+                    failure=record.describe(),
+                    failure_record=record,
                 )
-                continue
-            run = RepairRun(detector_name, method.name, result)
-            repaired = result.repaired
-            if repaired.n_rows == dataset.clean.n_rows:
-                categorical = dataset.clean.schema.categorical_names
-                if categorical:
-                    scores = repair_scores_categorical(
-                        dataset.dirty, repaired, dataset.clean,
-                        dataset.error_cells,
-                    )
-                    run.categorical_f1 = scores.f1
-                    run.categorical_precision = scores.precision
-                    run.categorical_recall = scores.recall
-                if dataset.clean.schema.numerical_names:
-                    run.numerical_rmse = repair_rmse(repaired, dataset.clean)
             runs.append(run)
+            if checkpoint is not None:
+                checkpoint.put(key, run.to_payload())
     return runs
 
 
@@ -310,12 +556,18 @@ def _tuned_model(
 
 @dataclass
 class ScenarioEvaluation:
-    """Per-scenario score lists for one (variant, model) pair."""
+    """Per-scenario score lists for one (variant, model) pair.
+
+    ``failures`` explains every NaN score: it maps scenario name to
+    ``{seed: FailureRecord}`` for the seeds whose run raised, so reports
+    can say *why* a score is missing instead of showing an anonymous NaN.
+    """
 
     dataset: str
     variant: str
     model: str
     scores: Dict[str, List[float]] = field(default_factory=dict)
+    failures: Dict[str, Dict[int, FailureRecord]] = field(default_factory=dict)
 
     def mean(self, scenario_name: str) -> float:
         values = [v for v in self.scores.get(scenario_name, []) if not math.isnan(v)]
@@ -329,6 +581,28 @@ class ScenarioEvaluation:
         """Wilcoxon signed-rank A/B test between two scenarios."""
         return wilcoxon_signed_rank(self.scores[first], self.scores[second])
 
+    def record_failure(
+        self, scenario_name: str, seed: int, record: FailureRecord
+    ) -> None:
+        self.failures.setdefault(scenario_name, {})[seed] = record
+
+    def failure_reason(self, scenario_name: str, seed: int) -> str:
+        """Human-readable reason a (scenario, seed) score is missing."""
+        record = self.failures.get(scenario_name, {}).get(seed)
+        return record.describe() if record is not None else ""
+
+    def failure_summary(self) -> List[str]:
+        """One line per failed (scenario, seed) run, sorted."""
+        lines = []
+        for name in sorted(self.failures):
+            for seed in sorted(self.failures[name]):
+                record = self.failures[name][seed]
+                lines.append(
+                    f"{name} seed={seed}: [{record.category}] "
+                    f"{record.describe()}"
+                )
+        return lines
+
 
 def evaluate_scenarios(
     dataset: BenchmarkDataset,
@@ -339,19 +613,82 @@ def evaluate_scenarios(
     n_seeds: int = 5,
     kept_rows: Optional[Sequence[int]] = None,
     sample_rows: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[SuiteCheckpoint] = None,
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> ScenarioEvaluation:
-    """Repeat scenario runs over seeds (the paper repeats 10x)."""
+    """Repeat scenario runs over seeds (the paper repeats 10x).
+
+    A crashed (scenario, seed) run still contributes NaN to the score
+    list -- but the reason is recorded as a categorized
+    :class:`FailureRecord` in ``evaluation.failures`` instead of being
+    silently swallowed.  With a ``checkpoint``, completed (scenario,
+    seed) units are loaded from the store instead of re-executed.
+    """
     evaluation = ScenarioEvaluation(dataset.name, variant_name, model_name)
     for name in scenario_names:
-        scores = []
+        scores: List[float] = []
         for seed in range(n_seeds):
-            try:
-                value = run_scenario(
+            key = unit_key(
+                "model",
+                dataset.name,
+                repair=variant_name,
+                model=model_name,
+                scenario=name,
+                seed=seed,
+            )
+            if checkpoint is not None:
+                cached = checkpoint.get(key)
+                if cached is not None:
+                    scores.append(cached["value"])
+                    if cached["failure_record"] is not None:
+                        evaluation.record_failure(
+                            name,
+                            seed,
+                            FailureRecord.from_payload(
+                                cached["failure_record"]
+                            ),
+                        )
+                    continue
+            deadline = (
+                Deadline(deadline_seconds, clock=clock or time.monotonic)
+                if deadline_seconds is not None
+                else None
+            )
+            guarded = guarded_call(
+                lambda: run_scenario(
                     name, variant_table, dataset, model_name,
                     seed=seed, kept_rows=kept_rows, sample_rows=sample_rows,
-                )
-            except (ValueError, RuntimeError, np.linalg.LinAlgError):
+                ),
+                method=f"{variant_name}:{model_name}",
+                stage="model",
+                deadline=deadline,
+                retry=retry,
+                clock=clock,
+                sleep=sleep,
+                dataset=dataset.name,
+                scenario=name,
+                seed=seed,
+            )
+            if guarded.ok:
+                value = guarded.value
+            else:
                 value = math.nan
+                evaluation.record_failure(name, seed, guarded.failure)
             scores.append(value)
+            if checkpoint is not None:
+                checkpoint.put(
+                    key,
+                    {
+                        "value": value,
+                        "failure_record": (
+                            guarded.failure.to_payload()
+                            if guarded.failure is not None
+                            else None
+                        ),
+                    },
+                )
         evaluation.scores[name] = scores
     return evaluation

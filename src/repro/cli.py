@@ -2,14 +2,25 @@
 
 Usage::
 
-    python -m repro detect  <dataset> [--rows N] [--seed S]
-    python -m repro repair  <dataset> [--rows N] [--seed S]
+    python -m repro detect  <dataset> [--rows N] [--seed S] [resilience]
+    python -m repro repair  <dataset> [--rows N] [--seed S] [resilience]
     python -m repro model   <dataset> [--rows N] [--seed S] [--model NAME]
     python -m repro list
 
 ``detect`` prints the Figure 2-style accuracy/IoU/runtime panels, ``repair``
 the Figure 4/5-style detector x repair grid, and ``model`` the Figure
 7-style S1-vs-S4 comparison with the Wilcoxon decision.
+
+Resilience flags (available on every stage command):
+
+- ``--budget SECONDS``: per-method wall-clock deadline, cooperatively
+  enforced; a tool that exceeds it is booked as a capability failure.
+- ``--store PATH``: SQLite checkpoint database; every completed
+  (dataset, method, scenario, seed) unit is persisted there.
+- ``--resume``: skip units already completed in ``--store`` (an
+  interrupted run continues where it stopped); without it the run's
+  prior checkpoints are cleared first.
+- ``--retries N``: attempts for transient failures (default 1 = none).
 """
 
 from __future__ import annotations
@@ -28,6 +39,24 @@ from repro.benchmark import (
 )
 from repro.datagen import DATASET_NAMES, dataset_spec, generate
 from repro.reporting import render_matrix, render_table
+from repro.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    SuiteCheckpoint,
+    run_id_for,
+)
+
+
+def _positive_seconds(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"budget must be a positive number of seconds, got {text!r}"
+        )
+    return value
+
+
+_positive_seconds.__name__ = "seconds"  # argparse uses this in error text
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,11 +70,61 @@ def _build_parser() -> argparse.ArgumentParser:
         stage.add_argument("dataset", choices=sorted(DATASET_NAMES))
         stage.add_argument("--rows", type=int, default=400)
         stage.add_argument("--seed", type=int, default=0)
+        stage.add_argument(
+            "--budget", type=_positive_seconds, default=None,
+            metavar="SECONDS",
+            help="per-method wall-clock deadline (capability failure "
+                 "when exceeded)",
+        )
+        stage.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="SQLite checkpoint database for resumable runs",
+        )
+        stage.add_argument(
+            "--resume", action="store_true",
+            help="skip units already completed in --store",
+        )
+        stage.add_argument(
+            "--retries", type=int, default=1, metavar="N",
+            help="attempts for transient failures (default 1 = no retry)",
+        )
         if command == "model":
             stage.add_argument("--model", default="DT")
             stage.add_argument("--seeds", type=int, default=4)
     sub.add_parser("list")
     return parser
+
+
+def _open_checkpoint(args: argparse.Namespace) -> Optional[SuiteCheckpoint]:
+    """Build the checkpoint view the resilience flags describe."""
+    if args.store is None:
+        return None
+    run_id = run_id_for(args.command, args.dataset, args.rows, args.seed)
+    return SuiteCheckpoint.open(args.store, run_id, resume=args.resume)
+
+
+def _guard_kwargs(args: argparse.Namespace) -> dict:
+    retry = (
+        RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    )
+    return {
+        "deadline_seconds": args.budget,
+        "retry": retry,
+        "breaker": CircuitBreaker(threshold=3),
+        "checkpoint": _open_checkpoint(args),
+    }
+
+
+def _print_failures(runs) -> None:
+    failed = [r for r in runs if r.failed]
+    if failed:
+        lines = []
+        for run in failed:
+            record = run.failure_record
+            label = run.detector if not hasattr(run, "repair") else run.strategy
+            category = record.category if record is not None else "?"
+            lines.append(f"  {label} [{category}] {run.failure}")
+        print("\nfailures:\n" + "\n".join(lines))
 
 
 def _cmd_list() -> int:
@@ -64,9 +143,17 @@ def _cmd_list() -> int:
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
-    controller = BenchmarkController()
+    guards = _guard_kwargs(args)
+    checkpoint = guards["checkpoint"]
+    controller = BenchmarkController(breaker=guards["breaker"])
     applicable = controller.applicable_detectors(dataset)
-    runs = run_detection_suite(dataset, applicable, seed=args.seed)
+    try:
+        runs = run_detection_suite(
+            dataset, applicable, seed=args.seed, **guards
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     active = [r for r in runs if not r.failed and r.result.n_detected > 0]
     rows = [
         [r.detector, r.result.n_detected, r.scores.precision,
@@ -81,9 +168,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     names, matrix = detection_iou(active, dataset)
     print()
     print(render_matrix(names, matrix, title="IoU over true positives"))
-    failed = [r for r in runs if r.failed]
-    if failed:
-        print("\nfailed: " + ", ".join(f"{r.detector} ({r.failure})" for r in failed))
+    _print_failures(runs)
     return 0
 
 
@@ -96,24 +181,37 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     )
 
     dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
-    detection_runs = run_detection_suite(
-        dataset, [MVDetector(), MaxEntropyDetector()], seed=args.seed
-    )
-    detections = {
-        r.detector: set(r.result.cells)
-        for r in detection_runs
-        if not r.failed and r.result.n_detected
-    }
-    repair_runs = run_repair_suite(
-        dataset,
-        detections,
-        [GroundTruthRepair(), MeanModeImputeRepair(), MissForestMixRepair()],
-        seed=args.seed,
-    )
+    guards = _guard_kwargs(args)
+    checkpoint = guards["checkpoint"]
+    try:
+        detection_runs = run_detection_suite(
+            dataset, [MVDetector(), MaxEntropyDetector()], seed=args.seed,
+            **guards,
+        )
+        detections = {
+            r.detector: set(r.result.cells)
+            for r in detection_runs
+            if not r.failed and r.result.n_detected
+        }
+        repair_runs = run_repair_suite(
+            dataset,
+            detections,
+            [GroundTruthRepair(), MeanModeImputeRepair(), MissForestMixRepair()],
+            seed=args.seed,
+            **guards,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     rows = []
     for run in repair_runs:
         if run.failed:
-            rows.append([run.strategy, None, None, "FAILED"])
+            category = (
+                run.failure_record.category
+                if run.failure_record is not None
+                else "?"
+            )
+            rows.append([run.strategy, None, None, f"FAILED ({category})"])
         else:
             rows.append(
                 [run.strategy, run.categorical_f1, run.numerical_rmse, ""]
@@ -121,6 +219,7 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     print(render_table(
         ["strategy", "categorical_f1", "numerical_rmse", "note"], rows,
         title=f"{dataset.name}: repair grid"))
+    _print_failures(repair_runs)
     return 0
 
 
@@ -129,10 +228,18 @@ def _cmd_model(args: argparse.Namespace) -> int:
     if dataset.task is None:
         print(f"{dataset.name} has no associated ML task", file=sys.stderr)
         return 2
-    evaluation = evaluate_scenarios(
-        dataset, dataset.dirty, "dirty", args.model,
-        scenario_names=("S1", "S4"), n_seeds=args.seeds,
-    )
+    guards = _guard_kwargs(args)
+    checkpoint = guards["checkpoint"]
+    try:
+        evaluation = evaluate_scenarios(
+            dataset, dataset.dirty, "dirty", args.model,
+            scenario_names=("S1", "S4"), n_seeds=args.seeds,
+            deadline_seconds=guards["deadline_seconds"],
+            retry=guards["retry"], checkpoint=checkpoint,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     ab = evaluation.ab_test("S1", "S4")
     print(render_table(
         ["scenario", "mean", "std"],
@@ -144,6 +251,11 @@ def _cmd_model(args: argparse.Namespace) -> int:
               f"({dataset.task})"))
     verdict = "DIFFERENT" if ab.reject_null() else "equivalent"
     print(f"\nWilcoxon signed-rank p={ab.p_value:.4f} -> scenarios {verdict}")
+    failure_lines = evaluation.failure_summary()
+    if failure_lines:
+        print("\nmissing scores explained:")
+        for line in failure_lines:
+            print(f"  {line}")
     return 0
 
 

@@ -9,7 +9,7 @@ an oracle that simulates a human annotator using the ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from repro.constraints.dc import DenialConstraint
 from repro.constraints.fd import FunctionalDependency
 from repro.constraints.patterns import ColumnPattern
 from repro.dataset.table import Cell, Table, values_equal
+
+if TYPE_CHECKING:  # avoid a context <-> resilience import cycle
+    from repro.resilience.deadline import Deadline
 
 
 @dataclass
@@ -36,6 +39,11 @@ class CleaningContext:
         label_column: the class attribute for mislabel detection.
         task: associated ML task (classification/regression/clustering).
         seed: RNG seed for stochastic tools.
+        deadline: optional wall-clock budget for the current stage; long
+            loops should call :meth:`check_deadline` so runaway passes
+            surface as ``DeadlineExceeded`` instead of wedging the suite.
+        clock: optional timing source used by the detector/repair base
+            classes (chaos tests inject a fake clock for determinism).
     """
 
     dirty: Table
@@ -48,9 +56,16 @@ class CleaningContext:
     label_column: Optional[str] = None
     task: Optional[str] = None
     seed: int = 0
+    deadline: Optional["Deadline"] = None
+    clock: Optional[Callable[[], float]] = None
 
     def rng(self, salt: int = 0) -> np.random.Generator:
         return np.random.default_rng(self.seed + salt)
+
+    def check_deadline(self, label: str = "") -> None:
+        """Cooperative deadline check; no-op without a deadline."""
+        if self.deadline is not None:
+            self.deadline.check(label)
 
     @property
     def has_ground_truth(self) -> bool:

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.fd import FunctionalDependency
 from repro.constraints.patterns import ColumnPattern
 from repro.context import CleaningContext
 from repro.dataset.table import Cell, Table
+
+if TYPE_CHECKING:  # avoid a datagen <-> resilience import cycle
+    from repro.resilience.deadline import Deadline
 
 
 @dataclass
@@ -48,8 +51,18 @@ class BenchmarkDataset:
         total = self.dirty.n_rows * self.dirty.n_columns
         return len(self.error_cells) / total if total else 0.0
 
-    def context(self, seed: int = 0, with_ground_truth: bool = True) -> CleaningContext:
-        """Build the cleaning context detectors/repairs consume."""
+    def context(
+        self,
+        seed: int = 0,
+        with_ground_truth: bool = True,
+        deadline: Optional["Deadline"] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> CleaningContext:
+        """Build the cleaning context detectors/repairs consume.
+
+        ``deadline``/``clock`` thread the resilience layer's wall-clock
+        budget and (test-injectable) timing source into the tools.
+        """
         return CleaningContext(
             dirty=self.dirty,
             clean=self.clean if with_ground_truth else None,
@@ -61,6 +74,8 @@ class BenchmarkDataset:
             label_column=self.target if self.task == "classification" else None,
             task=self.task,
             seed=seed,
+            deadline=deadline,
+            clock=clock,
         )
 
     def summary_row(self) -> Dict[str, object]:

@@ -58,10 +58,18 @@ class Detector:
     tackles: FrozenSet[str] = frozenset()
 
     def detect(self, context: CleaningContext) -> DetectionResult:
-        """Run detection, timing the full pass over the dataset."""
-        started = time.perf_counter()
+        """Run detection, timing the full pass over the dataset.
+
+        Checks the context deadline before starting; long-running
+        subclasses should additionally call ``context.check_deadline()``
+        inside their hot loops so the suite's wall-clock budget is
+        enforced cooperatively.
+        """
+        context.check_deadline(f"{self.name}.detect")
+        clock = context.clock or time.perf_counter
+        started = clock()
         cells = self._detect(context)
-        elapsed = time.perf_counter() - started
+        elapsed = clock() - started
         return DetectionResult(self.name, frozenset(cells), elapsed)
 
     def _detect(self, context: CleaningContext) -> Set[Cell]:

@@ -41,9 +41,11 @@ class RepairMethod:
     def repair(
         self, context: CleaningContext, detections: Iterable[Cell]
     ) -> RepairResult:
-        started = time.perf_counter()
+        context.check_deadline(f"{self.name}.repair")
+        clock = context.clock or time.perf_counter
+        started = clock()
         output = self._repair(context, set(detections))
-        elapsed = time.perf_counter() - started
+        elapsed = clock() - started
         if isinstance(output, tuple):
             repaired, metadata = output
         else:
@@ -77,9 +79,11 @@ class MLOrientedRepair:
     def fit(
         self, context: CleaningContext, detections: Iterable[Cell]
     ) -> ModelRepairResult:
-        started = time.perf_counter()
+        context.check_deadline(f"{self.name}.fit")
+        clock = context.clock or time.perf_counter
+        started = clock()
         model, metadata = self._fit(context, set(detections))
-        elapsed = time.perf_counter() - started
+        elapsed = clock() - started
         return ModelRepairResult(self.name, model, elapsed, metadata)
 
     def _fit(self, context: CleaningContext, detections: Set[Cell]):

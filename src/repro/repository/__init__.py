@@ -6,6 +6,16 @@ component on SQLite (bundled with Python), plus a results store that the
 evaluation module writes experiment records into.
 """
 
-from repro.repository.store import DataRepository, ResultsStore
+from repro.repository.store import (
+    CheckpointStore,
+    DataRepository,
+    ResultRecord,
+    ResultsStore,
+)
 
-__all__ = ["DataRepository", "ResultsStore"]
+__all__ = [
+    "CheckpointStore",
+    "DataRepository",
+    "ResultRecord",
+    "ResultsStore",
+]

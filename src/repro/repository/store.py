@@ -255,3 +255,83 @@ class ResultsStore:
         return int(
             self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
         )
+
+
+class CheckpointStore:
+    """Per-unit experiment checkpoints enabling resumable suite runs.
+
+    Each completed unit of work -- one (dataset, stage, detector, repair,
+    scenario, seed) combination -- is stored as a canonical JSON payload
+    keyed by ``(run_id, unit)``.  An interrupted suite re-run with the
+    same run id loads finished units from here and executes only the
+    remainder, reproducing the uninterrupted results exactly.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS checkpoints (
+                run_id TEXT NOT NULL,
+                unit TEXT NOT NULL,
+                payload_json TEXT NOT NULL,
+                PRIMARY KEY (run_id, unit)
+            )
+            """
+        )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def put(self, run_id: str, unit: str, payload: Dict[str, Any]) -> None:
+        """Insert or replace one completed unit's payload."""
+        self._connection.execute(
+            "INSERT OR REPLACE INTO checkpoints VALUES (?, ?, ?)",
+            (run_id, unit, json.dumps(payload, sort_keys=True)),
+        )
+        self._connection.commit()
+
+    def get(self, run_id: str, unit: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for one unit, or None when not yet done."""
+        row = self._connection.execute(
+            "SELECT payload_json FROM checkpoints "
+            "WHERE run_id = ? AND unit = ?",
+            (run_id, unit),
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def units(self, run_id: str) -> List[str]:
+        """All completed unit keys for one run, sorted."""
+        cursor = self._connection.execute(
+            "SELECT unit FROM checkpoints WHERE run_id = ? ORDER BY unit",
+            (run_id,),
+        )
+        return [r[0] for r in cursor.fetchall()]
+
+    def clear_run(self, run_id: str) -> None:
+        """Drop every checkpoint of one run (fresh, non-resumed start)."""
+        self._connection.execute(
+            "DELETE FROM checkpoints WHERE run_id = ?", (run_id,)
+        )
+        self._connection.commit()
+
+    def count(self, run_id: Optional[str] = None) -> int:
+        if run_id is None:
+            cursor = self._connection.execute(
+                "SELECT COUNT(*) FROM checkpoints"
+            )
+        else:
+            cursor = self._connection.execute(
+                "SELECT COUNT(*) FROM checkpoints WHERE run_id = ?",
+                (run_id,),
+            )
+        return int(cursor.fetchone()[0])

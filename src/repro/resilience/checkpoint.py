@@ -1,0 +1,136 @@
+"""Checkpointed, resumable benchmark runs.
+
+Every unit of suite work -- one (dataset, stage, detector, repair,
+model, scenario, seed) combination -- gets a canonical string key and a
+JSON payload stored in the SQLite
+:class:`~repro.repository.store.CheckpointStore`.  A suite launched with
+the same run id skips completed units by loading their payloads, so an
+interrupted run resumes exactly where it stopped and reproduces the
+uninterrupted results.
+
+Run ids are content-addressed (:func:`run_id_for` hashes the experiment
+configuration), which makes "same config -> same run" automatic and
+guards against resuming into a different experiment's checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table, is_missing
+from repro.metrics.detection import DetectionScores
+from repro.repository.store import CheckpointStore
+
+
+def unit_key(
+    stage: str,
+    dataset: str,
+    detector: str = "",
+    repair: str = "",
+    model: str = "",
+    scenario: str = "",
+    seed: int = 0,
+) -> str:
+    """Canonical key for one unit of suite work."""
+    parts = (stage, dataset, detector, repair, model, scenario, str(seed))
+    for part in parts:
+        if "/" in part:
+            raise ValueError(f"unit key component may not contain '/': {part!r}")
+    return "/".join(parts)
+
+
+def run_id_for(*parts: Any) -> str:
+    """Content-addressed run id from any JSON-serializable parts."""
+    text = json.dumps([str(p) for p in parts], sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Table / scores payload helpers (shared by the runner's serializers)
+# ----------------------------------------------------------------------
+def _encode_cell_value(value: Any) -> Any:
+    if is_missing(value):
+        return None
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (bool, int, float)):
+        return value
+    return str(value)
+
+
+def table_to_payload(table: Table) -> Dict[str, Any]:
+    return {
+        "schema": [[c.name, c.kind] for c in table.schema.columns],
+        "rows": [
+            [_encode_cell_value(v) for v in table.row(i)]
+            for i in range(table.n_rows)
+        ],
+    }
+
+
+def table_from_payload(payload: Dict[str, Any]) -> Table:
+    schema = Schema.from_pairs([tuple(pair) for pair in payload["schema"]])
+    return Table.from_rows(schema, payload["rows"])
+
+
+def scores_to_payload(scores: DetectionScores) -> Dict[str, Any]:
+    return {
+        "precision": scores.precision,
+        "recall": scores.recall,
+        "f1": scores.f1,
+        "true_positives": scores.true_positives,
+        "false_positives": scores.false_positives,
+        "false_negatives": scores.false_negatives,
+    }
+
+
+def scores_from_payload(payload: Dict[str, Any]) -> DetectionScores:
+    return DetectionScores(**payload)
+
+
+class SuiteCheckpoint:
+    """One run's view over a :class:`CheckpointStore`.
+
+    The runner asks :meth:`get` before executing a unit and :meth:`put`
+    after; everything else (connection lifetime, fresh-vs-resume) is the
+    caller's policy.
+    """
+
+    def __init__(self, store: CheckpointStore, run_id: str) -> None:
+        self.store = store
+        self.run_id = run_id
+
+    @classmethod
+    def open(
+        cls, path: str, run_id: str, resume: bool = True
+    ) -> "SuiteCheckpoint":
+        """Open (and on ``resume=False`` reset) a run's checkpoints."""
+        store = CheckpointStore(path)
+        if not resume:
+            store.clear_run(run_id)
+        return cls(store, run_id)
+
+    def get(self, unit: str) -> Optional[Dict[str, Any]]:
+        return self.store.get(self.run_id, unit)
+
+    def put(self, unit: str, payload: Dict[str, Any]) -> None:
+        self.store.put(self.run_id, unit, payload)
+
+    def completed_units(self) -> List[str]:
+        return self.store.units(self.run_id)
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "SuiteCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

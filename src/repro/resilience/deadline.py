@@ -1,0 +1,74 @@
+"""Cooperative wall-clock budgets for detector / repair execution.
+
+A :class:`Deadline` carries a monotonic-clock budget.  The benchmark
+runner creates one per guarded stage and hands it to the tool through the
+:class:`~repro.context.CleaningContext`; well-behaved tools call
+:meth:`Deadline.check` inside their hot loops so a runaway pass surfaces
+as a :class:`DeadlineExceeded` instead of wedging the whole suite.  The
+clock is injectable so tests can exhaust a budget without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised when a stage exhausts its wall-clock budget."""
+
+
+class Deadline:
+    """A monotonic wall-clock budget, cooperatively enforced.
+
+    ``budget_seconds=None`` builds an unlimited deadline whose
+    :meth:`check` never raises -- callers can thread it unconditionally.
+    """
+
+    def __init__(
+        self,
+        budget_seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive or None")
+        self.budget_seconds = budget_seconds
+        self._clock = clock
+        self._started = clock()
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` when unlimited)."""
+        if self.budget_seconds is None:
+            return float("inf")
+        return self.budget_seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        if self.expired():
+            where = f" in {label}" if label else ""
+            raise DeadlineExceeded(
+                f"wall-clock budget of {self.budget_seconds:.3f}s "
+                f"exhausted{where} (elapsed {self.elapsed():.3f}s)"
+            )
+
+    def restarted(self) -> "Deadline":
+        """A fresh deadline with the same budget, starting now."""
+        return Deadline(self.budget_seconds, self._clock)
+
+    def __repr__(self) -> str:
+        if self.budget_seconds is None:
+            return "Deadline(unlimited)"
+        return (
+            f"Deadline(budget={self.budget_seconds:.3f}s, "
+            f"remaining={self.remaining():.3f}s)"
+        )

@@ -1,0 +1,157 @@
+"""Structured failure taxonomy for benchmark execution.
+
+REIN's Section 6.5 catalogues the ways cleaning tools break in the field
+(RAHA/ED2 crash on duplicate-bearing data, Picket past a size boundary).
+Instead of stringly-typed ``failed``/``failure`` pairs, every failure in
+the suite becomes a :class:`FailureRecord` with one of four categories:
+
+- ``transient``  -- retryable flake (I/O hiccup, injected chaos); the
+  retry policy may re-attempt these.
+- ``capability`` -- the tool hit a known boundary (memory, deadline,
+  recursion); retrying is pointless, quarantine may apply.
+- ``data``       -- the tool choked on the data itself or produced a
+  corrupt output (misaligned table, NaN flood, shape errors).
+- ``bug``        -- anything else: an unexpected exception class, i.e.
+  a defect in the tool or the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.resilience.deadline import DeadlineExceeded
+
+TRANSIENT = "transient"
+CAPABILITY = "capability"
+DATA = "data"
+BUG = "bug"
+
+CATEGORIES = (TRANSIENT, CAPABILITY, DATA, BUG)
+
+
+class TransientError(RuntimeError):
+    """A failure the caller may retry (used by chaos injection and any
+    tool that wants to signal a recoverable flake)."""
+
+
+class CorruptOutputError(ValueError):
+    """A tool returned structurally unusable output (misaligned table,
+    NaN-flooded columns, schema drift)."""
+
+
+#: Exception classes mapped to taxonomy categories.  Order matters:
+#: the first matching entry wins, so subclasses precede their parents.
+_CLASSIFICATION = (
+    (TransientError, TRANSIENT),
+    ((ConnectionError, TimeoutError, InterruptedError), TRANSIENT),
+    ((MemoryError, RecursionError, DeadlineExceeded), CAPABILITY),
+    (CorruptOutputError, DATA),
+    (
+        (
+            ValueError,
+            KeyError,
+            IndexError,
+            ZeroDivisionError,
+            ArithmeticError,
+            np.linalg.LinAlgError,
+        ),
+        DATA,
+    ),
+)
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an exception to its taxonomy category (default ``bug``)."""
+    for types, category in _CLASSIFICATION:
+        if isinstance(exc, types):
+            return category
+    return BUG
+
+
+@dataclass
+class FailureRecord:
+    """One categorized benchmark failure.
+
+    ``describe()`` keeps the legacy ``"ExcType: message"`` shape so
+    existing reports and tests that grep the failure string still work.
+    """
+
+    method: str
+    stage: str            # 'detection' | 'repair' | 'model'
+    category: str         # transient | capability | data | bug
+    error_type: str       # exception class name ('' for quarantine skips)
+    message: str
+    elapsed_seconds: float = 0.0
+    retries: int = 0
+    quarantined: bool = False
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(
+                f"category must be one of {CATEGORIES}, got {self.category!r}"
+            )
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        method: str,
+        stage: str,
+        elapsed_seconds: float = 0.0,
+        retries: int = 0,
+        **context: Any,
+    ) -> "FailureRecord":
+        return cls(
+            method=method,
+            stage=stage,
+            category=classify_exception(exc),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            elapsed_seconds=elapsed_seconds,
+            retries=retries,
+            context=dict(context),
+        )
+
+    @classmethod
+    def quarantine_skip(
+        cls, method: str, stage: str, reason: str, **context: Any
+    ) -> "FailureRecord":
+        """A method skipped because its circuit breaker is open."""
+        return cls(
+            method=method,
+            stage=stage,
+            category=CAPABILITY,
+            error_type="Quarantined",
+            message=reason,
+            quarantined=True,
+            context=dict(context),
+        )
+
+    def describe(self) -> str:
+        """Legacy one-line failure string (``"MemoryError: ..."``)."""
+        if self.error_type:
+            return f"{self.error_type}: {self.message}"
+        return self.message
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        if math.isnan(payload["elapsed_seconds"]):
+            payload["elapsed_seconds"] = 0.0
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FailureRecord":
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureRecord":
+        return cls.from_payload(json.loads(text))

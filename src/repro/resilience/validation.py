@@ -1,0 +1,66 @@
+"""Structural validation of repair outputs.
+
+A repair that *returns* is not necessarily a repair that *worked*: REIN
+observed tools emitting misaligned tables or flooding columns with NaN.
+:func:`validate_repair_result` turns those silent corruptions into
+:class:`~repro.resilience.failures.CorruptOutputError` (``data`` category)
+so the runner books them as failures instead of scoring garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.dataset.table import Cell, Table
+from repro.repair.base import RepairResult
+from repro.resilience.failures import CorruptOutputError
+
+
+def validate_repair_result(
+    result: RepairResult,
+    dirty: Table,
+    detections: Optional[Iterable[Cell]] = None,
+) -> None:
+    """Raise :class:`CorruptOutputError` on structurally unusable output.
+
+    Checks, in order:
+
+    - schema drift: the repaired table must keep the dirty table's columns;
+    - misalignment: a shorter/longer table is only acceptable when the
+      method declares ``kept_rows`` provenance (the Delete repair does);
+    - NaN flood: a numerical column that had values in the dirty table
+      must not come back entirely missing -- unless *every* cell of the
+      column was in ``detections``, in which case blanking them all is a
+      (degenerate but) faithful execution of the instructions the repair
+      was given.
+    """
+    repaired = result.repaired
+    dirty_names = dirty.schema.names
+    if repaired.schema.names != dirty_names:
+        raise CorruptOutputError(
+            f"schema drift: expected columns {dirty_names}, "
+            f"got {repaired.schema.names}"
+        )
+    if repaired.n_rows != dirty.n_rows:
+        kept = result.metadata.get("kept_rows")
+        if kept is None or len(kept) != repaired.n_rows:
+            raise CorruptOutputError(
+                f"misaligned output: {repaired.n_rows} rows for a "
+                f"{dirty.n_rows}-row input without kept_rows provenance"
+            )
+    detected: Set[Cell] = set(detections or ())
+    for name in repaired.schema.numerical_names:
+        column = repaired.as_float(name)
+        if not len(column) or not np.all(np.isnan(column)):
+            continue
+        original = dirty.as_float(name)
+        if not len(original) or np.all(np.isnan(original)):
+            continue
+        if all((row, name) in detected for row in range(dirty.n_rows)):
+            continue
+        raise CorruptOutputError(
+            f"NaN flood: numerical column {name!r} came back "
+            "entirely missing"
+        )

@@ -1,0 +1,54 @@
+"""Repo hygiene checks enforced as part of tier-1."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_exceptions  # noqa: E402
+
+
+def test_no_broad_exception_handlers_outside_sanctioned_sites():
+    violations = check_exceptions.check_tree(REPO_ROOT / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_lint_flags_broad_handler(tmp_path):
+    bad = tmp_path / "repro" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    violations = check_exceptions.check_tree(tmp_path)
+    assert len(violations) == 1
+    assert "bad.py:3" in violations[0]
+
+
+def test_lint_flags_bare_except(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+    violations = check_exceptions.check_tree(tmp_path)
+    assert len(violations) == 1
+    assert "bare except" in violations[0]
+
+
+def test_lint_honours_allowlist(tmp_path):
+    site = tmp_path / "repro" / "resilience" / "guards.py"
+    site.parent.mkdir(parents=True)
+    site.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    assert check_exceptions.check_tree(tmp_path) == []
+
+
+def test_lint_cli_exit_codes(tmp_path, capsys):
+    assert check_exceptions.main(["prog", str(tmp_path)]) == 0
+    (tmp_path / "bad.py").write_text(
+        "try:\n    pass\nexcept Exception:\n    pass\n"
+    )
+    assert check_exceptions.main(["prog", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:3" in out
+
+
+def test_lint_rejects_missing_directory(tmp_path):
+    assert check_exceptions.main(["prog", str(tmp_path / "nope")]) == 2
