@@ -191,6 +191,7 @@ def run_experiment(
         checkpoint=checkpoint,
         clock=policy.clock,
         sleep=policy.sleep,
+        executor=policy.make_executor(),
     )
     try:
         return _run_experiment_stages(
@@ -267,6 +268,7 @@ def _run_experiment_stages(
                         checkpoint=guard_kwargs.get("checkpoint"),
                         clock=policy.clock,
                         sleep=policy.sleep,
+                        executor=guard_kwargs.get("executor"),
                     )
                 )
     return ExperimentReport(config, detection_runs, repair_runs, evaluations)

@@ -9,6 +9,14 @@ Provides the three experiment stages as composable functions --
 - :func:`evaluate_scenarios`: ML models trained/tested on the version
   pairs of Table 3's scenarios, repeated over seeds, with the Wilcoxon
   A/B decision between any two scenarios (Figure 7).
+
+Each suite is expressed as an :class:`~repro.parallel.ExecutionPlan` over
+independent units (the same units the checkpoint layer keys by) and run
+through :func:`~repro.parallel.execute_plan` -- serially by default, or
+sharded across worker processes when an ``executor`` is supplied.  The
+driver merges completed units in canonical order and replays
+circuit-breaker bookkeeping there, so results are identical for any
+executor and any completion order.
 """
 
 from __future__ import annotations
@@ -43,7 +51,10 @@ from repro.metrics.repair import repair_rmse, repair_scores_categorical
 from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
 from repro.benchmark.scenarios import Scenario, scenario as get_scenario
 from repro.ml.model_zoo import build_model, get_spec
+from repro.parallel.engine import execute_plan
+from repro.parallel.plan import ExecutionPlan, StageAdapter, UnitSpec
 from repro.repair.base import MLOrientedRepair, RepairMethod, RepairResult
+from repro.repository.store import nan_guard
 from repro.resilience.checkpoint import (
     SuiteCheckpoint,
     scores_from_payload,
@@ -134,6 +145,84 @@ def _failed_detection_run(
     )
 
 
+@dataclass(frozen=True)
+class _DetectionShared:
+    """Per-suite context shipped to every detection unit (picklable)."""
+
+    dataset: BenchmarkDataset
+    detectors: Tuple[Detector, ...]
+    seed: int
+    deadline_seconds: Optional[float]
+    retry: Optional[RetryPolicy]
+    clock: Optional[Callable[[], float]]
+    sleep: Callable[[float], None]
+
+
+def _unit_deadline(shared) -> Optional[Deadline]:
+    """Fresh per-unit deadline carrying the suite's budget and clock."""
+    if shared.deadline_seconds is None:
+        return None
+    return Deadline(
+        shared.deadline_seconds, clock=shared.clock or time.monotonic
+    )
+
+
+def _execute_detection_unit(
+    shared: _DetectionShared, spec: UnitSpec
+) -> DetectionRun:
+    detector = shared.detectors[spec.params["position"]]
+    deadline = _unit_deadline(shared)
+    context = shared.dataset.context(
+        seed=shared.seed, deadline=deadline, clock=shared.clock
+    )
+    guarded = guarded_call(
+        lambda: detector.detect(context),
+        method=detector.name,
+        stage="detection",
+        deadline=deadline,
+        retry=shared.retry,
+        clock=shared.clock,
+        sleep=shared.sleep,
+        dataset=shared.dataset.name,
+        seed=shared.seed,
+    )
+    if guarded.ok:
+        result = guarded.value
+        return DetectionRun(
+            detector.name,
+            result,
+            detection_scores(result.cells, shared.dataset.error_cells),
+        )
+    return _failed_detection_run(shared.dataset, guarded.failure)
+
+
+def _detection_quarantine_run(
+    shared: _DetectionShared, spec: UnitSpec, reason: str
+) -> DetectionRun:
+    record = FailureRecord.quarantine_skip(
+        spec.method,
+        "detection",
+        reason,
+        dataset=shared.dataset.name,
+        seed=shared.seed,
+    )
+    return _failed_detection_run(shared.dataset, record)
+
+
+def _run_failure_record(run) -> Optional[FailureRecord]:
+    return run.failure_record
+
+
+_DETECTION_ADAPTER = StageAdapter(
+    stage="detection",
+    execute=_execute_detection_unit,
+    to_payload=DetectionRun.to_payload,
+    from_payload=DetectionRun.from_payload,
+    quarantine_skip=_detection_quarantine_run,
+    failure_of=_run_failure_record,
+)
+
+
 def run_detection_suite(
     dataset: BenchmarkDataset,
     detectors: Sequence[Detector],
@@ -144,6 +233,7 @@ def run_detection_suite(
     checkpoint: Optional[SuiteCheckpoint] = None,
     clock: Optional[Callable[[], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    executor=None,
 ) -> List[DetectionRun]:
     """Run each detector on the dataset; failures are recorded, not fatal.
 
@@ -155,49 +245,30 @@ def run_detection_suite(
     per-detector wall-clock ``deadline_seconds`` budget, transient-retry
     policy, and circuit ``breaker`` whose quarantined methods are skipped
     with a recorded reason.  With a ``checkpoint``, completed detectors
-    are loaded from the store instead of re-executed.
+    are loaded from the store instead of re-executed.  ``executor``
+    selects the execution engine (None = serial reference; see
+    :mod:`repro.parallel` for the process-pool engine) -- results are
+    identical either way.
     """
-    runs: List[DetectionRun] = []
-    for detector in detectors:
-        key = unit_key(
-            "detection", dataset.name, detector=detector.name, seed=seed
+    detectors = tuple(detectors)
+    shared = _DetectionShared(
+        dataset, detectors, seed, deadline_seconds, retry, clock, sleep
+    )
+    units = [
+        UnitSpec(
+            index,
+            unit_key(
+                "detection", dataset.name, detector=detector.name, seed=seed
+            ),
+            detector.name,
+            {"position": index},
         )
-        if checkpoint is not None:
-            cached = checkpoint.get(key)
-            if cached is not None:
-                runs.append(DetectionRun.from_payload(cached))
-                continue
-        deadline = (
-            Deadline(deadline_seconds, clock=clock or time.monotonic)
-            if deadline_seconds is not None
-            else None
-        )
-        context = dataset.context(seed=seed, deadline=deadline, clock=clock)
-        guarded = guarded_call(
-            lambda: detector.detect(context),
-            method=detector.name,
-            stage="detection",
-            deadline=deadline,
-            retry=retry,
-            breaker=breaker,
-            clock=clock,
-            sleep=sleep,
-            dataset=dataset.name,
-            seed=seed,
-        )
-        if guarded.ok:
-            result = guarded.value
-            run = DetectionRun(
-                detector.name,
-                result,
-                detection_scores(result.cells, dataset.error_cells),
-            )
-        else:
-            run = _failed_detection_run(dataset, guarded.failure)
-        runs.append(run)
-        if checkpoint is not None:
-            checkpoint.put(key, run.to_payload())
-    return runs
+        for index, detector in enumerate(detectors)
+    ]
+    plan = ExecutionPlan(_DETECTION_ADAPTER, shared, units)
+    return execute_plan(
+        plan, executor=executor, checkpoint=checkpoint, breaker=breaker
+    )
 
 
 def detection_iou(
@@ -276,10 +347,10 @@ class RepairRun:
             payload["detector"],
             payload["repair"],
             result,
-            categorical_f1=payload["categorical_f1"],
-            categorical_precision=payload["categorical_precision"],
-            categorical_recall=payload["categorical_recall"],
-            numerical_rmse=payload["numerical_rmse"],
+            categorical_f1=nan_guard(payload["categorical_f1"]),
+            categorical_precision=nan_guard(payload["categorical_precision"]),
+            categorical_recall=nan_guard(payload["categorical_recall"]),
+            numerical_rmse=nan_guard(payload["numerical_rmse"]),
             failed=record is not None,
             failure=record.describe() if record is not None else "",
             failure_record=record,
@@ -314,6 +385,101 @@ def _score_repair_run(run: RepairRun, dataset: BenchmarkDataset) -> None:
             run.numerical_rmse = repair_rmse(repaired, dataset.clean)
 
 
+@dataclass(frozen=True)
+class _RepairShared:
+    """Per-suite context shipped to every repair unit (picklable).
+
+    ``detections`` maps detector name -> *sorted tuple* of flagged cells;
+    tuples keep pickling cheap and give every worker process the same
+    canonical iteration order regardless of hash seed.
+    """
+
+    dataset: BenchmarkDataset
+    repairs: Tuple[RepairMethod, ...]
+    detections: Dict[str, Tuple[Cell, ...]]
+    seed: int
+    deadline_seconds: Optional[float]
+    retry: Optional[RetryPolicy]
+    clock: Optional[Callable[[], float]]
+    sleep: Callable[[float], None]
+
+
+def _execute_repair_unit(shared: _RepairShared, spec: UnitSpec) -> RepairRun:
+    detector_name = spec.params["detector"]
+    method = shared.repairs[spec.params["position"]]
+    # Rebuild the set by sorted insertion so iteration order is canonical
+    # in every worker process.
+    cells: Set[Cell] = set()
+    for cell in shared.detections[detector_name]:
+        cells.add(cell)
+    deadline = _unit_deadline(shared)
+    context = shared.dataset.context(
+        seed=shared.seed, deadline=deadline, clock=shared.clock
+    )
+
+    def attempt() -> RepairResult:
+        result = method.repair(context, cells)
+        validate_repair_result(result, shared.dataset.dirty, cells)
+        return result
+
+    guarded = guarded_call(
+        attempt,
+        method=method.name,
+        stage="repair",
+        deadline=deadline,
+        retry=shared.retry,
+        clock=shared.clock,
+        sleep=shared.sleep,
+        dataset=shared.dataset.name,
+        detector=detector_name,
+        seed=shared.seed,
+    )
+    if guarded.ok:
+        run = RepairRun(detector_name, method.name, guarded.value)
+        _score_repair_run(run, shared.dataset)
+        return run
+    record = guarded.failure
+    return RepairRun(
+        detector_name,
+        method.name,
+        None,
+        failed=True,
+        failure=record.describe(),
+        failure_record=record,
+    )
+
+
+def _repair_quarantine_run(
+    shared: _RepairShared, spec: UnitSpec, reason: str
+) -> RepairRun:
+    record = FailureRecord.quarantine_skip(
+        spec.method,
+        "repair",
+        reason,
+        dataset=shared.dataset.name,
+        detector=spec.params["detector"],
+        seed=shared.seed,
+    )
+    return RepairRun(
+        spec.params["detector"],
+        spec.method,
+        None,
+        failed=True,
+        failure=record.describe(),
+        failure_record=record,
+    )
+
+
+_REPAIR_ADAPTER = StageAdapter(
+    stage="repair",
+    execute=_execute_repair_unit,
+    to_payload=RepairRun.to_payload,
+    from_payload=RepairRun.from_payload,
+    quarantine_skip=_repair_quarantine_run,
+    failure_of=_run_failure_record,
+)
+
+
 def run_repair_suite(
     dataset: BenchmarkDataset,
     detections_by_detector: Dict[str, Set[Cell]],
@@ -325,6 +491,7 @@ def run_repair_suite(
     checkpoint: Optional[SuiteCheckpoint] = None,
     clock: Optional[Callable[[], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    executor=None,
 ) -> List[RepairRun]:
     """Score every (detector, repair) combination on the dataset.
 
@@ -332,70 +499,43 @@ def run_repair_suite(
     (deadline / retry / quarantine / checkpoint).  Repair outputs are
     additionally structure-validated: a misaligned or NaN-flooded table
     books a ``data``-category failure instead of being scored.
+    ``executor`` selects the execution engine (None = serial reference).
     """
-    runs: List[RepairRun] = []
-    for detector_name, cells in sorted(detections_by_detector.items()):
-        for method in repairs:
-            key = unit_key(
-                "repair",
-                dataset.name,
-                detector=detector_name,
-                repair=method.name,
-                seed=seed,
-            )
-            if checkpoint is not None:
-                cached = checkpoint.get(key)
-                if cached is not None:
-                    runs.append(RepairRun.from_payload(cached))
-                    continue
-            deadline = (
-                Deadline(deadline_seconds, clock=clock or time.monotonic)
-                if deadline_seconds is not None
-                else None
-            )
-            context = dataset.context(
-                seed=seed, deadline=deadline, clock=clock
-            )
-
-            def attempt(
-                method: RepairMethod = method,
-                context=context,
-                cells: Set[Cell] = cells,
-            ) -> RepairResult:
-                result = method.repair(context, cells)
-                validate_repair_result(result, dataset.dirty, cells)
-                return result
-
-            guarded = guarded_call(
-                attempt,
-                method=method.name,
-                stage="repair",
-                deadline=deadline,
-                retry=retry,
-                breaker=breaker,
-                clock=clock,
-                sleep=sleep,
-                dataset=dataset.name,
-                detector=detector_name,
-                seed=seed,
-            )
-            if guarded.ok:
-                run = RepairRun(detector_name, method.name, guarded.value)
-                _score_repair_run(run, dataset)
-            else:
-                record = guarded.failure
-                run = RepairRun(
-                    detector_name,
+    repairs = tuple(repairs)
+    shared = _RepairShared(
+        dataset,
+        repairs,
+        {
+            name: tuple(sorted(cells))
+            for name, cells in detections_by_detector.items()
+        },
+        seed,
+        deadline_seconds,
+        retry,
+        clock,
+        sleep,
+    )
+    units = []
+    for detector_name in sorted(detections_by_detector):
+        for position, method in enumerate(repairs):
+            units.append(
+                UnitSpec(
+                    len(units),
+                    unit_key(
+                        "repair",
+                        dataset.name,
+                        detector=detector_name,
+                        repair=method.name,
+                        seed=seed,
+                    ),
                     method.name,
-                    None,
-                    failed=True,
-                    failure=record.describe(),
-                    failure_record=record,
+                    {"detector": detector_name, "position": position},
                 )
-            runs.append(run)
-            if checkpoint is not None:
-                checkpoint.put(key, run.to_payload())
-    return runs
+            )
+    plan = ExecutionPlan(_REPAIR_ADAPTER, shared, units)
+    return execute_plan(
+        plan, executor=executor, checkpoint=checkpoint, breaker=breaker
+    )
 
 
 # ----------------------------------------------------------------------
@@ -464,12 +604,25 @@ def run_scenario(
         if sample_rows is not None and len(features) > sample_rows:
             picks = rng.choice(len(features), size=sample_rows, replace=False)
             features = features[picks]
+        if tune_trials is not None and tune_trials > 0:
+            raise ValueError(
+                "tune_trials is not supported for clustering models; "
+                "the cluster count is chosen by the Silhouette sweep"
+            )
         spec = get_spec("clustering", model_name)
         params = dict(model_params or {})
-        if "n_clusters" in spec.space.dimensions and "n_clusters" not in params:
-            params["n_clusters"] = estimate_n_clusters(features, seed=seed)
-        if "n_components" in spec.space.dimensions and "n_components" not in params:
-            params["n_components"] = estimate_n_clusters(features, seed=seed)
+        cluster_dims = [
+            dim
+            for dim in ("n_clusters", "n_components")
+            if dim in spec.space.dimensions and dim not in params
+        ]
+        if cluster_dims:
+            # One Silhouette sweep feeds every cluster-count dimension --
+            # specs declaring both n_clusters and n_components used to pay
+            # for the identical sweep twice.
+            estimated = estimate_n_clusters(features, seed=seed)
+            for dim in cluster_dims:
+                params[dim] = estimated
         model = spec.build(**params)
         labels = model.fit_predict(features)
         return silhouette_score(features, labels)
@@ -578,8 +731,33 @@ class ScenarioEvaluation:
         return float(np.std(values)) if values else math.nan
 
     def ab_test(self, first: str = "S1", second: str = "S4") -> WilcoxonResult:
-        """Wilcoxon signed-rank A/B test between two scenarios."""
-        return wilcoxon_signed_rank(self.scores[first], self.scores[second])
+        """Wilcoxon signed-rank A/B test between two scenarios.
+
+        Seeds where either run failed (NaN score) are dropped pairwise --
+        one crashed S4 seed must not poison the whole statistic -- and the
+        returned ``n_effective`` counts surviving pairs only.  Unknown
+        scenario names raise :class:`ValueError` naming the evaluated
+        scenarios, as does a comparison with no complete pairs left.
+        """
+        for name in (first, second):
+            if name not in self.scores:
+                known = ", ".join(sorted(self.scores)) or "none"
+                raise ValueError(
+                    f"unknown scenario {name!r}; evaluated scenarios: {known}"
+                )
+        pairs = [
+            (a, b)
+            for a, b in zip(self.scores[first], self.scores[second])
+            if not (math.isnan(a) or math.isnan(b))
+        ]
+        if not pairs:
+            raise ValueError(
+                f"no complete score pairs between {first!r} and {second!r}: "
+                "every seed failed in at least one of the two scenarios"
+            )
+        return wilcoxon_signed_rank(
+            [a for a, _ in pairs], [b for _, b in pairs]
+        )
 
     def record_failure(
         self, scenario_name: str, seed: int, record: FailureRecord
@@ -604,6 +782,101 @@ class ScenarioEvaluation:
         return lines
 
 
+@dataclass(frozen=True)
+class _ScenarioShared:
+    """Per-evaluation context shipped to every (scenario, seed) unit."""
+
+    dataset: BenchmarkDataset
+    variant_table: Table
+    variant_name: str
+    model_name: str
+    kept_rows: Optional[Tuple[int, ...]]
+    sample_rows: Optional[int]
+    deadline_seconds: Optional[float]
+    retry: Optional[RetryPolicy]
+    clock: Optional[Callable[[], float]]
+    sleep: Callable[[float], None]
+
+
+def _execute_scenario_unit(
+    shared: _ScenarioShared, spec: UnitSpec
+) -> Dict[str, Any]:
+    name = spec.params["scenario"]
+    seed = spec.params["seed"]
+    deadline = _unit_deadline(shared)
+    guarded = guarded_call(
+        lambda: run_scenario(
+            name,
+            shared.variant_table,
+            shared.dataset,
+            shared.model_name,
+            seed=seed,
+            kept_rows=shared.kept_rows,
+            sample_rows=shared.sample_rows,
+        ),
+        method=f"{shared.variant_name}:{shared.model_name}",
+        stage="model",
+        deadline=deadline,
+        retry=shared.retry,
+        clock=shared.clock,
+        sleep=shared.sleep,
+        dataset=shared.dataset.name,
+        scenario=name,
+        seed=seed,
+    )
+    if guarded.ok:
+        return {"value": guarded.value, "failure_record": None}
+    return {"value": math.nan, "failure_record": guarded.failure}
+
+
+def _scenario_quarantine_run(
+    shared: _ScenarioShared, spec: UnitSpec, reason: str
+) -> Dict[str, Any]:
+    record = FailureRecord.quarantine_skip(
+        spec.method,
+        "model",
+        reason,
+        dataset=shared.dataset.name,
+        scenario=spec.params["scenario"],
+        seed=spec.params["seed"],
+    )
+    return {"value": math.nan, "failure_record": record}
+
+
+def _scenario_run_to_payload(run: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "value": run["value"],
+        "failure_record": (
+            run["failure_record"].to_payload()
+            if run["failure_record"] is not None
+            else None
+        ),
+    }
+
+
+def _scenario_run_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    record = (
+        FailureRecord.from_payload(payload["failure_record"])
+        if payload["failure_record"] is not None
+        else None
+    )
+    return {"value": nan_guard(payload["value"]), "failure_record": record}
+
+
+def _scenario_failure_record(run: Dict[str, Any]) -> Optional[FailureRecord]:
+    return run["failure_record"]
+
+
+_SCENARIO_ADAPTER = StageAdapter(
+    stage="model",
+    execute=_execute_scenario_unit,
+    to_payload=_scenario_run_to_payload,
+    from_payload=_scenario_run_from_payload,
+    quarantine_skip=_scenario_quarantine_run,
+    failure_of=_scenario_failure_record,
+)
+
+
 def evaluate_scenarios(
     dataset: BenchmarkDataset,
     variant_table: Table,
@@ -618,6 +891,7 @@ def evaluate_scenarios(
     checkpoint: Optional[SuiteCheckpoint] = None,
     clock: Optional[Callable[[], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    executor=None,
 ) -> ScenarioEvaluation:
     """Repeat scenario runs over seeds (the paper repeats 10x).
 
@@ -626,69 +900,48 @@ def evaluate_scenarios(
     :class:`FailureRecord` in ``evaluation.failures`` instead of being
     silently swallowed.  With a ``checkpoint``, completed (scenario,
     seed) units are loaded from the store instead of re-executed.
+    ``executor`` selects the execution engine (None = serial reference).
     """
+    shared = _ScenarioShared(
+        dataset,
+        variant_table,
+        variant_name,
+        model_name,
+        tuple(int(i) for i in kept_rows) if kept_rows is not None else None,
+        sample_rows,
+        deadline_seconds,
+        retry,
+        clock,
+        sleep,
+    )
+    units = []
+    for name in scenario_names:
+        for seed in range(n_seeds):
+            units.append(
+                UnitSpec(
+                    len(units),
+                    unit_key(
+                        "model",
+                        dataset.name,
+                        repair=variant_name,
+                        model=model_name,
+                        scenario=name,
+                        seed=seed,
+                    ),
+                    f"{variant_name}:{model_name}",
+                    {"scenario": name, "seed": seed},
+                )
+            )
+    plan = ExecutionPlan(_SCENARIO_ADAPTER, shared, units)
+    runs = execute_plan(plan, executor=executor, checkpoint=checkpoint)
     evaluation = ScenarioEvaluation(dataset.name, variant_name, model_name)
     for name in scenario_names:
-        scores: List[float] = []
-        for seed in range(n_seeds):
-            key = unit_key(
-                "model",
-                dataset.name,
-                repair=variant_name,
-                model=model_name,
-                scenario=name,
-                seed=seed,
+        evaluation.scores[name] = []
+    for spec, run in zip(units, runs):
+        name = spec.params["scenario"]
+        evaluation.scores[name].append(run["value"])
+        if run["failure_record"] is not None:
+            evaluation.record_failure(
+                name, spec.params["seed"], run["failure_record"]
             )
-            if checkpoint is not None:
-                cached = checkpoint.get(key)
-                if cached is not None:
-                    scores.append(cached["value"])
-                    if cached["failure_record"] is not None:
-                        evaluation.record_failure(
-                            name,
-                            seed,
-                            FailureRecord.from_payload(
-                                cached["failure_record"]
-                            ),
-                        )
-                    continue
-            deadline = (
-                Deadline(deadline_seconds, clock=clock or time.monotonic)
-                if deadline_seconds is not None
-                else None
-            )
-            guarded = guarded_call(
-                lambda: run_scenario(
-                    name, variant_table, dataset, model_name,
-                    seed=seed, kept_rows=kept_rows, sample_rows=sample_rows,
-                ),
-                method=f"{variant_name}:{model_name}",
-                stage="model",
-                deadline=deadline,
-                retry=retry,
-                clock=clock,
-                sleep=sleep,
-                dataset=dataset.name,
-                scenario=name,
-                seed=seed,
-            )
-            if guarded.ok:
-                value = guarded.value
-            else:
-                value = math.nan
-                evaluation.record_failure(name, seed, guarded.failure)
-            scores.append(value)
-            if checkpoint is not None:
-                checkpoint.put(
-                    key,
-                    {
-                        "value": value,
-                        "failure_record": (
-                            guarded.failure.to_payload()
-                            if guarded.failure is not None
-                            else None
-                        ),
-                    },
-                )
-        evaluation.scores[name] = scores
     return evaluation

@@ -21,6 +21,8 @@ Resilience flags (available on every stage command):
   interrupted run continues where it stopped); without it the run's
   prior checkpoints are cleared first.
 - ``--retries N``: attempts for transient failures (default 1 = none).
+- ``--workers N``: shard the stage's unit grid across N worker
+  processes; output is byte-identical to the serial run for any N.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from repro.benchmark import (
     run_repair_suite,
 )
 from repro.datagen import DATASET_NAMES, dataset_spec, generate
+from repro.parallel import make_executor
 from repro.reporting import render_matrix, render_table
 from repro.resilience import (
     CircuitBreaker,
@@ -88,6 +91,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--retries", type=int, default=1, metavar="N",
             help="attempts for transient failures (default 1 = no retry)",
         )
+        stage.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="worker processes for the unit grid (default 1 = serial; "
+                 "results are identical for any N)",
+        )
         if command == "model":
             stage.add_argument("--model", default="DT")
             stage.add_argument("--seeds", type=int, default=4)
@@ -112,6 +120,7 @@ def _guard_kwargs(args: argparse.Namespace) -> dict:
         "retry": retry,
         "breaker": CircuitBreaker(threshold=3),
         "checkpoint": _open_checkpoint(args),
+        "executor": make_executor(args.workers),
     }
 
 
@@ -236,6 +245,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
             scenario_names=("S1", "S4"), n_seeds=args.seeds,
             deadline_seconds=guards["deadline_seconds"],
             retry=guards["retry"], checkpoint=checkpoint,
+            executor=guards["executor"],
         )
     finally:
         if checkpoint is not None:

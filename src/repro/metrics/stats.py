@@ -86,6 +86,13 @@ def wilcoxon_signed_rank(
         raise ValueError("paired samples must have equal length")
     if len(a) == 0:
         raise ValueError("need at least one pair")
+    if np.isnan(a).any() or np.isnan(b).any():
+        # A NaN difference passes the != 0 filter below and poisons both
+        # the statistic and the p-value -- refuse instead of corrupting.
+        raise ValueError(
+            "paired samples contain NaN; drop incomplete pairs first "
+            "(ScenarioEvaluation.ab_test does this for failed runs)"
+        )
     differences = a - b
     nonzero = differences[differences != 0.0]
     n = len(nonzero)

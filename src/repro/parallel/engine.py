@@ -1,0 +1,290 @@
+"""Executors and the deterministic plan driver.
+
+The contract every executor honours: given the plan's *pending* units
+(those not already checkpointed), produce ``(index, run)`` pairs in any
+completion order.  :func:`execute_plan` then merges them back in the
+plan's canonical order, replaying circuit-breaker bookkeeping unit by
+unit -- so the merged output is identical to a serial run regardless of
+worker count or completion order.
+
+Three executors:
+
+- :class:`SerialExecutor` -- in-process, canonical order; the reference
+  implementation and the default everywhere.
+- :class:`ShuffledExecutor` -- in-process but completes units in a
+  seeded scrambled order; a testing aid that exercises the merge logic's
+  order-independence without paying for real processes.
+- :class:`ProcessPoolExecutor` -- shards units across N worker
+  processes via :mod:`multiprocessing`; unit payloads (the same JSON
+  payloads the checkpoint layer stores) travel back over the pool's
+  result queue and the parent -- the single writer -- drains it,
+  finalizing units in canonical order and batching checkpoint commits.
+
+Determinism notes for ``ProcessPoolExecutor``: unit *results* are
+deterministic because every unit re-derives its randomness from explicit
+seeds; wall-clock runtimes inside payloads are only reproducible when an
+injectable clock (e.g. the chaos suite's step clock) is threaded through
+the suite, exactly as in serial runs.  The plan's ``shared`` context and
+every ``clock`` / ``sleep`` callable must be picklable; the default
+``fork`` start method additionally preserves the parent's string-hash
+seed so set iteration order inside tools matches the parent process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.parallel.plan import ExecutionPlan, UnitSpec
+
+
+def null_sleep(seconds: float) -> None:
+    """A picklable no-op sleep for deterministic (and parallel) tests."""
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module-level so everything pickles by name)
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(adapter: Any, shared: Any) -> None:
+    """Pool initializer: install the stage context once per worker."""
+    _WORKER_STATE["adapter"] = adapter
+    _WORKER_STATE["shared"] = shared
+
+
+def _run_unit_in_worker(spec: UnitSpec) -> Tuple[int, Dict[str, Any]]:
+    """Execute one unit in a worker; ship its canonical payload back."""
+    adapter = _WORKER_STATE["adapter"]
+    run = adapter.execute(_WORKER_STATE["shared"], spec)
+    return spec.index, adapter.to_payload(run)
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class SerialExecutor:
+    """In-process execution in canonical order (the reference)."""
+
+    name = "serial"
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        pending: List[UnitSpec],
+        should_execute: Callable[[UnitSpec], bool],
+    ) -> Iterator[Tuple[int, Any]]:
+        for spec in pending:
+            # Checked lazily, one unit at a time, so quarantines tripped
+            # by earlier units in this very plan skip later work exactly
+            # like the historical inline loop did.
+            if not should_execute(spec):
+                continue
+            yield spec.index, plan.adapter.execute(plan.shared, spec)
+
+
+class ShuffledExecutor:
+    """In-process execution in a seeded scrambled completion order.
+
+    Mimics parallel dispatch semantics (the execute/skip decision for
+    every unit is snapshotted up front, results complete out of order)
+    without the cost of real processes -- property tests drive it with
+    many seeds to prove the merge layer is order-independent.
+    """
+
+    name = "shuffled"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        pending: List[UnitSpec],
+        should_execute: Callable[[UnitSpec], bool],
+    ) -> Iterator[Tuple[int, Any]]:
+        import random
+
+        order = list(pending)
+        random.Random(self.seed).shuffle(order)
+        # Dispatch-time snapshot, like a pool handing out every unit
+        # before any result has been merged.
+        dispatched = [spec for spec in order if should_execute(spec)]
+        for spec in dispatched:
+            yield spec.index, plan.adapter.execute(plan.shared, spec)
+
+
+class ProcessPoolExecutor:
+    """Shard pending units across ``workers`` OS processes.
+
+    Units are dispatched unordered (``imap_unordered``) so fast units
+    never wait behind slow ones; the driver re-establishes canonical
+    order at merge time.  The pool is torn down if the consumer stops
+    iterating early (e.g. the run is interrupted), terminating workers.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        chunk_size: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = workers
+        self.start_method = start_method
+        self.chunk_size = chunk_size
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        pending: List[UnitSpec],
+        should_execute: Callable[[UnitSpec], bool],
+    ) -> Iterator[Tuple[int, Any]]:
+        dispatched = [spec for spec in pending if should_execute(spec)]
+        if not dispatched:
+            return
+        n_workers = min(self.workers, len(dispatched))
+        context = self._context()
+        with context.Pool(
+            processes=n_workers,
+            initializer=_init_worker,
+            initargs=(plan.adapter, plan.shared),
+        ) as pool:
+            results = pool.imap_unordered(
+                _run_unit_in_worker, dispatched, chunksize=self.chunk_size
+            )
+            for index, payload in results:
+                yield index, plan.adapter.from_payload(payload)
+
+
+def make_executor(workers: Optional[int]):
+    """Executor for a worker count: None/1 -> serial (None), N -> pool."""
+    if workers is None or workers == 1:
+        return None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return ProcessPoolExecutor(workers)
+
+
+# ----------------------------------------------------------------------
+# The driver: deterministic merge + breaker replay + single-writer
+# checkpointing
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: ExecutionPlan,
+    executor: Any = None,
+    checkpoint: Any = None,
+    breaker: Any = None,
+    progress: Optional[Callable[[UnitSpec, Any], None]] = None,
+) -> List[Any]:
+    """Run a plan under any executor; return runs in canonical order.
+
+    The driver owns everything that must be deterministic and
+    single-threaded:
+
+    - **checkpoint reads**: completed units are loaded up front and never
+      dispatched (workers do not touch the store);
+    - **finalization order**: executed runs buffer until their canonical
+      turn, so unit ``i`` is always finalized before unit ``i+1``;
+    - **circuit-breaker replay**: success/failure bookkeeping is applied
+      at finalization, in canonical order -- a method whose breaker trips
+      at unit ``i`` yields the exact quarantine-skip records a serial run
+      would produce for every later unit of that method, even if a worker
+      already executed (and therefore wastes) one of them;
+    - **checkpoint writes**: the driver is the single writer draining the
+      executor's result stream; ``put`` batches inside the store and the
+      driver flushes once at the end (and on interruption).
+
+    ``progress`` is invoked once per finalized unit, in canonical order
+    (an exception it raises aborts the run like an interrupt, which the
+    chaos suite uses to simulate kills at exact unit boundaries).
+    """
+    executor = executor or SerialExecutor()
+    units = plan.units
+    n = len(units)
+    results: List[Any] = [None] * n
+    cached = [False] * n
+    pending: List[UnitSpec] = []
+    for spec in units:
+        payload = checkpoint.get(spec.key) if checkpoint is not None else None
+        if payload is not None:
+            results[spec.index] = plan.adapter.from_payload(payload)
+            cached[spec.index] = True
+        else:
+            pending.append(spec)
+
+    def should_execute(spec: UnitSpec) -> bool:
+        return not (
+            breaker is not None
+            and spec.method
+            and breaker.is_quarantined(spec.method)
+        )
+
+    executed: Dict[int, Any] = {}
+    state = {"next": 0}
+
+    def finalize_ready() -> None:
+        while state["next"] < n:
+            index = state["next"]
+            spec = units[index]
+            if cached[index]:
+                run = results[index]
+            elif (
+                breaker is not None
+                and spec.method
+                and breaker.is_quarantined(spec.method)
+            ):
+                executed.pop(index, None)  # a worker may have raced ahead
+                run = plan.adapter.quarantine_skip(
+                    plan.shared, spec, breaker.reason(spec.method)
+                )
+                results[index] = run
+                if checkpoint is not None:
+                    checkpoint.put(spec.key, plan.adapter.to_payload(run))
+            elif index in executed:
+                run = executed.pop(index)
+                results[index] = run
+                if breaker is not None and spec.method:
+                    record = plan.adapter.failure_of(run)
+                    if record is None:
+                        breaker.record_success(spec.method)
+                    else:
+                        breaker.record_failure(spec.method, record.describe())
+                if checkpoint is not None:
+                    checkpoint.put(spec.key, plan.adapter.to_payload(run))
+            else:
+                return  # waiting on an out-of-order completion
+            state["next"] += 1
+            if progress is not None:
+                progress(spec, run)
+
+    try:
+        finalize_ready()
+        for index, run in executor.run(plan, pending, should_execute):
+            executed[index] = run
+            finalize_ready()
+        finalize_ready()
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
+    if state["next"] != n:
+        missing = [units[i].key for i in range(n) if results[i] is None]
+        raise RuntimeError(
+            f"executor finished but {len(missing)} unit(s) never completed: "
+            f"{missing[:5]}"
+        )
+    return results

@@ -8,6 +8,8 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table, is_missing
 
@@ -18,12 +20,47 @@ REPAIRED = "repaired"
 _VERSION_KINDS = (GROUND_TRUTH, DIRTY, REPAIRED)
 
 
-def _encode_cell(value: Any) -> Any:
+def encode_cell_value(value: Any) -> Any:
+    """Canonical JSON encoding of one table cell.
+
+    Numpy scalars must map to their builtin equivalents -- ``np.int64``
+    falling through to ``str`` used to round-trip integer cells as
+    strings, silently corrupting reloaded numerical columns.
+    """
     if is_missing(value):
         return None
-    if isinstance(value, (int, float)):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (bool, int, float)):
         return value
     return str(value)
+
+
+_encode_cell = encode_cell_value
+
+
+def sanitize_payload(value: Any) -> Any:
+    """Replace NaN floats with None so payload JSON stays standard.
+
+    ``json.dumps`` writes NaN as the non-standard ``NaN`` token, which
+    external JSON tools reject.  Consumers restore missing scores with
+    :func:`nan_guard`; legacy rows containing the literal token still
+    parse (Python's reader accepts it), so both forms load.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    if isinstance(value, dict):
+        return {key: sanitize_payload(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_payload(item) for item in value]
+    return value
+
+
+def nan_guard(value: Optional[float]) -> float:
+    """Restore a possibly-null JSON score to its in-memory NaN form."""
+    return math.nan if value is None else value
 
 
 class DataRepository:
@@ -265,10 +302,26 @@ class CheckpointStore:
     keyed by ``(run_id, unit)``.  An interrupted suite re-run with the
     same run id loads finished units from here and executes only the
     remainder, reproducing the uninterrupted results exactly.
+
+    The store is tuned for the single-writer execution model of
+    :mod:`repro.parallel`: the database runs in WAL mode (readers never
+    block the writer) and :meth:`put` batches transaction commits --
+    every ``commit_interval`` writes, plus an explicit :meth:`commit` /
+    :meth:`close` flush -- instead of paying one fsync per unit.  Reads
+    through the same connection always observe pending writes, so
+    ``get``/``units`` stay consistent mid-batch.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self, path: str = ":memory:", commit_interval: int = 64
+    ) -> None:
+        if commit_interval < 1:
+            raise ValueError("commit_interval must be >= 1")
+        self.commit_interval = commit_interval
+        self._pending = 0
         self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.execute(
             """
             CREATE TABLE IF NOT EXISTS checkpoints (
@@ -281,7 +334,14 @@ class CheckpointStore:
         )
         self._connection.commit()
 
+    def commit(self) -> None:
+        """Flush any batched writes to durable storage."""
+        self._connection.commit()
+        self._pending = 0
+
     def close(self) -> None:
+        if self._pending:
+            self.commit()
         self._connection.close()
 
     def __enter__(self) -> "CheckpointStore":
@@ -291,12 +351,27 @@ class CheckpointStore:
         self.close()
 
     def put(self, run_id: str, unit: str, payload: Dict[str, Any]) -> None:
-        """Insert or replace one completed unit's payload."""
+        """Insert or replace one completed unit's payload.
+
+        NaN scores are encoded as ``null`` (:func:`sanitize_payload`) so
+        the stored text is standard JSON; ``allow_nan=False`` guarantees
+        no non-standard token ever reaches disk.  The write lands in the
+        current batch transaction and becomes durable at the next
+        :meth:`commit` (automatic every ``commit_interval`` puts).
+        """
         self._connection.execute(
             "INSERT OR REPLACE INTO checkpoints VALUES (?, ?, ?)",
-            (run_id, unit, json.dumps(payload, sort_keys=True)),
+            (
+                run_id,
+                unit,
+                json.dumps(
+                    sanitize_payload(payload), sort_keys=True, allow_nan=False
+                ),
+            ),
         )
-        self._connection.commit()
+        self._pending += 1
+        if self._pending >= self.commit_interval:
+            self.commit()
 
     def get(self, run_id: str, unit: str) -> Optional[Dict[str, Any]]:
         """The stored payload for one unit, or None when not yet done."""
@@ -322,7 +397,7 @@ class CheckpointStore:
         self._connection.execute(
             "DELETE FROM checkpoints WHERE run_id = ?", (run_id,)
         )
-        self._connection.commit()
+        self.commit()
 
     def count(self, run_id: Optional[str] = None) -> int:
         if run_id is None:

@@ -19,12 +19,10 @@ import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
-import numpy as np
-
 from repro.dataset.schema import Schema
-from repro.dataset.table import Table, is_missing
+from repro.dataset.table import Table
 from repro.metrics.detection import DetectionScores
-from repro.repository.store import CheckpointStore
+from repro.repository.store import CheckpointStore, encode_cell_value, nan_guard
 
 
 def unit_key(
@@ -44,25 +42,51 @@ def unit_key(
     return "/".join(parts)
 
 
+def _canonical_structure(value: Any) -> Any:
+    """Reduce a configuration value to a JSON-stable canonical form.
+
+    Strings, numbers, bools and None pass through (so ``"1"`` and ``1``
+    stay distinct); dicts canonicalize recursively with string keys
+    (``json.dumps(sort_keys=True)`` then fixes the ordering); lists and
+    tuples keep their element structure instead of collapsing to
+    ``str(...)``; sets are sorted for determinism.  Anything else is
+    tagged with its type name so distinct objects with equal reprs do
+    not collide.
+    """
+    if isinstance(value, dict):
+        return {str(k): _canonical_structure(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_structure(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canonical_structure(v) for v in value), key=repr)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return f"{type(value).__name__}:{value!r}"
+
+
 def run_id_for(*parts: Any) -> str:
-    """Content-addressed run id from any JSON-serializable parts."""
-    text = json.dumps([str(p) for p in parts], sort_keys=True)
+    """Content-addressed run id from the canonical JSON of the parts.
+
+    Hashing the *structure* (not ``str(part)``) keeps distinct
+    configurations distinct: ``run_id_for(["a", "b"])`` no longer
+    collides with ``run_id_for("['a', 'b']")``, and dicts hash the same
+    regardless of insertion order -- two different experiment configs can
+    never silently share checkpoints.
+    """
+    text = json.dumps(
+        [_canonical_structure(p) for p in parts],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------
 # Table / scores payload helpers (shared by the runner's serializers)
 # ----------------------------------------------------------------------
-def _encode_cell_value(value: Any) -> Any:
-    if is_missing(value):
-        return None
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, (bool, int, float)):
-        return value
-    return str(value)
+#: One canonical cell encoder, shared with the repository store so table
+#: payloads and stored versions can never drift apart.
+_encode_cell_value = encode_cell_value
 
 
 def table_to_payload(table: Table) -> Dict[str, Any]:
@@ -92,7 +116,12 @@ def scores_to_payload(scores: DetectionScores) -> Dict[str, Any]:
 
 
 def scores_from_payload(payload: Dict[str, Any]) -> DetectionScores:
-    return DetectionScores(**payload)
+    # Float fields may come back as null when a NaN score was stored
+    # (standard-JSON payload hygiene); restore them explicitly.
+    restored = dict(payload)
+    for name in ("precision", "recall", "f1"):
+        restored[name] = nan_guard(restored[name])
+    return DetectionScores(**restored)
 
 
 class SuiteCheckpoint:
@@ -122,6 +151,10 @@ class SuiteCheckpoint:
 
     def put(self, unit: str, payload: Dict[str, Any]) -> None:
         self.store.put(self.run_id, unit, payload)
+
+    def flush(self) -> None:
+        """Commit the store's batched writes (suite sync points)."""
+        self.store.commit()
 
     def completed_units(self) -> List[str]:
         return self.store.units(self.run_id)

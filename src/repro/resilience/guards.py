@@ -127,6 +127,38 @@ class CircuitBreaker:
         """Mapping of quarantined method name -> recorded reason."""
         return dict(self._reasons)
 
+    # ------------------------------------------------------------------
+    # Snapshot / merge (parallel execution sync points)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable view of the breaker's state."""
+        return {
+            "threshold": self.threshold,
+            "consecutive": dict(self._consecutive),
+            "reasons": dict(self._reasons),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, Any]) -> "CircuitBreaker":
+        breaker = cls(threshold=state["threshold"])
+        breaker._consecutive = dict(state["consecutive"])
+        breaker._reasons = dict(state["reasons"])
+        return breaker
+
+    def merge(self, other: "CircuitBreaker") -> None:
+        """Fold another breaker's state into this one (sync points).
+
+        Quarantines are sticky (the first recorded reason wins) and the
+        pessimistic consecutive-failure count is kept, so merging worker
+        views can only tighten, never loosen, the quarantine set.
+        """
+        for method, count in other._consecutive.items():
+            self._consecutive[method] = max(
+                self._consecutive.get(method, 0), count
+            )
+        for method, reason in other._reasons.items():
+            self._reasons.setdefault(method, reason)
+
 
 @dataclass
 class GuardedResult:

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.parallel.engine import make_executor
 from repro.resilience.checkpoint import SuiteCheckpoint, run_id_for
 from repro.resilience.guards import CircuitBreaker, RetryPolicy
 
@@ -30,6 +31,9 @@ class ResiliencePolicy:
             completed units; False wipes them for a fresh start.
         run_id: explicit run id; None derives one from the experiment
             configuration (same config -> same run).
+        workers: worker processes for the execution engine (1 = serial
+            reference; N > 1 shards the unit grid across N processes
+            with results identical to serial).
         clock / sleep: injectable time sources so chaos tests can drive
             deterministic timing.
     """
@@ -40,6 +44,7 @@ class ResiliencePolicy:
     store_path: Optional[str] = None
     resume: bool = False
     run_id: Optional[str] = None
+    workers: int = 1
     clock: Optional[Callable[[], float]] = None
     sleep: Callable[[float], None] = field(default=time.sleep)
 
@@ -47,6 +52,10 @@ class ResiliencePolicy:
         if self.breaker_threshold is None:
             return None
         return CircuitBreaker(threshold=self.breaker_threshold)
+
+    def make_executor(self):
+        """Executor implied by ``workers`` (None = serial reference)."""
+        return make_executor(self.workers)
 
     def open_checkpoint(self, *run_id_parts: object) -> Optional[SuiteCheckpoint]:
         """Open this policy's checkpoint view, or None when disabled."""

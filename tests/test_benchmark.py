@@ -265,6 +265,42 @@ class TestEvaluateScenarios:
         # Variant == ground truth, so S1 and S4 are the same experiment.
         assert not evaluation.ab_test("S1", "S4").reject_null()
 
+    def test_ab_test_unknown_scenario_raises_value_error(self):
+        from repro.benchmark.runner import ScenarioEvaluation
+
+        evaluation = ScenarioEvaluation("d", "dirty", "DT")
+        evaluation.scores = {"S1": [0.5], "S4": [0.6]}
+        with pytest.raises(ValueError, match="unknown scenario 'S9'"):
+            evaluation.ab_test("S1", "S9")
+        with pytest.raises(ValueError, match="S1, S4"):
+            evaluation.ab_test("S2", "S4")
+
+    def test_ab_test_drops_nan_pairs_pairwise(self):
+        from repro.benchmark.runner import ScenarioEvaluation
+
+        evaluation = ScenarioEvaluation("d", "dirty", "DT")
+        # Seeds 1 and 2 each failed in one scenario: both pairs must be
+        # dropped, leaving two complete pairs for the statistic.
+        evaluation.scores = {
+            "S1": [0.60, math.nan, 0.80, 0.90],
+            "S4": [0.50, 0.70, math.nan, 0.20],
+        }
+        result = evaluation.ab_test("S1", "S4")
+        assert result.n_effective == 2
+        assert 0.0 <= result.p_value <= 1.0
+        assert not math.isnan(result.statistic)
+
+    def test_ab_test_all_pairs_incomplete_raises(self):
+        from repro.benchmark.runner import ScenarioEvaluation
+
+        evaluation = ScenarioEvaluation("d", "dirty", "DT")
+        evaluation.scores = {
+            "S1": [math.nan, 0.5],
+            "S4": [0.4, math.nan],
+        }
+        with pytest.raises(ValueError, match="no complete score pairs"):
+            evaluation.ab_test("S1", "S4")
+
 
 class TestEstimateK:
     def test_recovers_planted_k(self):

@@ -135,6 +135,36 @@ class TestDataRepository:
             loaded = repo.load_version("Nasa", DIRTY)
             assert loaded.diff_cells(dataset.clean) == set()
 
+    def test_numpy_scalar_cells_round_trip_as_numbers(self):
+        # np.int64 used to fall through to str(), so integer cells came
+        # back as strings after a save/load cycle.
+        import numpy as np
+
+        from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+        from repro.repository.store import encode_cell_value
+
+        assert encode_cell_value(np.int64(7)) == 7
+        assert isinstance(encode_cell_value(np.int64(7)), int)
+        assert encode_cell_value(np.float32(1.5)) == 1.5
+        assert isinstance(encode_cell_value(np.float64(1.5)), float)
+        assert encode_cell_value("label") == "label"
+        assert encode_cell_value(np.float64("nan")) is None
+
+        schema = Schema.from_pairs([("n", NUMERICAL), ("c", CATEGORICAL)])
+        table = Table(
+            schema,
+            {
+                "n": [np.int64(1), np.float64(2.5), np.int32(3)],
+                "c": ["a", "b", "c"],
+            },
+        )
+        with DataRepository() as repo:
+            repo.save_version("np", GROUND_TRUTH, table)
+            loaded = repo.load_version("np", GROUND_TRUTH)
+        values = list(loaded.column("n"))
+        assert values == [1, 2.5, 3]
+        assert not any(isinstance(v, str) for v in values)
+
 
 class TestResultsStore:
     def test_add_and_query(self):

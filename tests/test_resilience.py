@@ -2,6 +2,7 @@
 checkpoints).  The full fault-injection pipeline lives in the tier-2
 chaos suite (test_chaos.py, `pytest -m chaos`)."""
 
+import json
 import math
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.resilience import (
     unit_key,
 )
 from repro.repository import CheckpointStore
+from repro.repository.store import nan_guard
 from repro.resilience.checkpoint import SuiteCheckpoint
 
 
@@ -277,12 +279,38 @@ class TestCheckpointStore:
             assert store.count("run-a") == 0
             assert store.count("run-b") == 1
 
-    def test_nan_payloads_survive(self, tmp_path):
+    def test_nan_payloads_stored_as_standard_json(self, tmp_path):
+        # NaN scores are written as null (standard JSON, external tools
+        # can parse the rows); consumers restore them via nan_guard.
         path = str(tmp_path / "ckpt.sqlite")
         with CheckpointStore(path) as store:
-            store.put("r", "u", {"value": math.nan})
+            store.put("r", "u", {"value": math.nan, "nested": [math.nan, 2]})
+            store.commit()
+            raw = store._connection.execute(
+                "SELECT payload_json FROM checkpoints "
+                "WHERE run_id = 'r' AND unit = 'u'"
+            ).fetchone()[0]
+            assert "NaN" not in raw
+            json.loads(raw)  # strict JSON parses
             loaded = store.get("r", "u")
+            assert loaded["value"] is None
+            assert loaded["nested"] == [None, 2]
+            assert math.isnan(nan_guard(loaded["value"]))
+
+    def test_legacy_nan_token_rows_still_load(self, tmp_path):
+        # Stores written before the hygiene change contain the literal
+        # NaN token; Python's json reader accepts it, so old checkpoints
+        # resume without migration.
+        path = str(tmp_path / "ckpt.sqlite")
+        with CheckpointStore(path) as store:
+            store._connection.execute(
+                "INSERT INTO checkpoints VALUES ('r', 'legacy', ?)",
+                ('{"value": NaN}',),
+            )
+            store.commit()
+            loaded = store.get("r", "legacy")
             assert math.isnan(loaded["value"])
+            assert math.isnan(nan_guard(loaded["value"]))
 
     def test_suite_checkpoint_open_resume_semantics(self, tmp_path):
         path = str(tmp_path / "ckpt.sqlite")
@@ -300,6 +328,30 @@ class TestCheckpointStore:
             unit_key("repair", "data/set")
         assert run_id_for("a", 1) == run_id_for("a", 1)
         assert run_id_for("a", 1) != run_id_for("a", 2)
+
+    def test_run_id_hashes_structure_not_str(self):
+        # str(part)-based hashing collided a list with its repr string,
+        # and "1" with 1 -- distinct configs must get distinct run ids.
+        assert run_id_for(["a", "b"]) != run_id_for("['a', 'b']")
+        assert run_id_for("1") != run_id_for(1)
+        assert run_id_for("a", "b") != run_id_for("a/b")
+        assert run_id_for(["a", ["b"]]) != run_id_for(["a", "b"])
+
+    def test_run_id_ignores_dict_insertion_order(self):
+        first = run_id_for({"dataset": "Beers", "seed": 1})
+        second = run_id_for({"seed": 1, "dataset": "Beers"})
+        assert first == second
+        assert first != run_id_for({"dataset": "Beers", "seed": 2})
+
+    def test_run_id_handles_sets_and_objects(self):
+        assert run_id_for({"x", "y"}) == run_id_for({"y", "x"})
+
+        class Config:
+            def __repr__(self):
+                return "cfg"
+
+        # Equal reprs of different types stay distinct.
+        assert run_id_for(Config()) != run_id_for("cfg")
 
 
 class TestRunnerFailureBookkeeping:

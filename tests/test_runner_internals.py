@@ -110,3 +110,80 @@ class TestScenarioSampling:
             "S4", dataset.dirty, dataset, "KMeans", seed=0, sample_rows=80
         )
         assert -1.0 <= value <= 1.0
+
+
+class TestClusteringScenarioPath:
+    def _both_dims_spec(self):
+        from repro.ml.cluster import KMeans
+        from repro.ml.model_zoo import ModelSpec
+        from repro.tuning.search import Integer, SearchSpace
+
+        def factory(n_clusters=2, n_components=2):
+            assert n_clusters == n_components
+            return KMeans(n_clusters=n_clusters, n_init=1, seed=0)
+
+        return ModelSpec(
+            "BothDims",
+            "clustering",
+            factory,
+            SearchSpace({
+                "n_clusters": Integer(2, 8),
+                "n_components": Integer(2, 8),
+            }),
+        )
+
+    def test_silhouette_sweep_runs_once_for_both_dimensions(self, monkeypatch):
+        # A spec declaring n_clusters AND n_components used to pay for
+        # the identical silhouette sweep twice.
+        from repro.benchmark import runner as runner_module
+        from repro.benchmark.runner import run_scenario
+
+        spec = self._both_dims_spec()
+        monkeypatch.setattr(
+            runner_module, "get_spec", lambda task, name: spec
+        )
+        sweeps = []
+        real = estimate_n_clusters
+
+        def counting(features, k_max=8, seed=0):
+            sweeps.append(seed)
+            return real(features, k_max=k_max, seed=seed)
+
+        monkeypatch.setattr(runner_module, "estimate_n_clusters", counting)
+        dataset = generate("Water", n_rows=180, seed=5)
+        value = run_scenario(
+            "S4", dataset.dirty, dataset, "BothDims", seed=0, sample_rows=80
+        )
+        assert -1.0 <= value <= 1.0
+        assert len(sweeps) == 1
+
+    def test_explicit_params_skip_the_sweep(self, monkeypatch):
+        from repro.benchmark import runner as runner_module
+        from repro.benchmark.runner import run_scenario
+
+        spec = self._both_dims_spec()
+        monkeypatch.setattr(
+            runner_module, "get_spec", lambda task, name: spec
+        )
+
+        def forbidden(features, k_max=8, seed=0):
+            raise AssertionError("sweep must not run")
+
+        monkeypatch.setattr(runner_module, "estimate_n_clusters", forbidden)
+        dataset = generate("Water", n_rows=180, seed=5)
+        value = run_scenario(
+            "S4", dataset.dirty, dataset, "BothDims", seed=0,
+            sample_rows=80,
+            model_params={"n_clusters": 3, "n_components": 3},
+        )
+        assert -1.0 <= value <= 1.0
+
+    def test_tune_trials_rejected_for_clustering(self):
+        from repro.benchmark.runner import run_scenario
+
+        dataset = generate("Water", n_rows=180, seed=5)
+        with pytest.raises(ValueError, match="tune_trials"):
+            run_scenario(
+                "S4", dataset.dirty, dataset, "KMeans", seed=0,
+                tune_trials=3,
+            )

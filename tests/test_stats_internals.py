@@ -57,6 +57,14 @@ class TestExactApproxBoundary:
         result = wilcoxon_signed_rank([1.0, 2.0, 3.0], [1.0, 2.0, 5.0])
         assert result.n_effective == 1
 
+    def test_nan_input_raises_instead_of_poisoning(self):
+        # A NaN difference used to sail through the != 0 filter and turn
+        # both the statistic and the p-value into NaN.
+        with pytest.raises(ValueError, match="NaN"):
+            wilcoxon_signed_rank([1.0, float("nan")], [0.5, 0.7])
+        with pytest.raises(ValueError, match="drop incomplete pairs"):
+            wilcoxon_signed_rank([1.0, 0.9], [0.5, float("nan")])
+
     def test_reject_null_threshold(self):
         rng = np.random.default_rng(1)
         a = rng.normal(1.0, 0.01, 30)
