@@ -11,14 +11,22 @@ usual determinism check that both runs produce identical payloads.
 """
 
 import json
+import os
 import time
 
 from conftest import bench_dataset, emit
 
 from repro.benchmark import run_detection_suite
 from repro.detectors.base import Detector
+from repro.observability import write_bench_snapshot
 from repro.parallel import ProcessPoolExecutor
 from repro.reporting import render_table
+
+#: Machine-readable perf snapshot, committed at the repo root so the
+#: numbers are diffable PR over PR.
+BENCH_SNAPSHOT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_parallel.json"
+)
 
 #: Per-detector wall-clock cost and suite width.  8 x 0.12s serial work
 #: against 4 workers leaves generous headroom over the 2x bar.
@@ -89,6 +97,21 @@ def test_four_workers_at_least_twice_as_fast(benchmark):
                 "serial vs process pool"
             ),
         ),
+    )
+    write_bench_snapshot(
+        BENCH_SNAPSHOT,
+        "parallel_speedup",
+        numbers={
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "speedup": round(speedup, 3),
+        },
+        context={
+            "workers": WORKERS,
+            "n_units": N_DETECTORS,
+            "unit_sleep_seconds": SLEEP_SECONDS,
+            "rounds": 3,
+        },
     )
     assert speedup >= 2.0, (
         f"expected >= 2x speedup at {WORKERS} workers, got {speedup:.2f}x "

@@ -51,6 +51,7 @@ from repro.metrics.repair import repair_rmse, repair_scores_categorical
 from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
 from repro.benchmark.scenarios import Scenario, scenario as get_scenario
 from repro.ml.model_zoo import build_model, get_spec
+from repro.observability.telemetry import current_telemetry, telemetry_scope
 from repro.parallel.engine import execute_plan
 from repro.parallel.plan import ExecutionPlan, StageAdapter, UnitSpec
 from repro.repair.base import MLOrientedRepair, RepairMethod, RepairResult
@@ -67,6 +68,40 @@ from repro.resilience.deadline import Deadline
 from repro.resilience.failures import FailureRecord
 from repro.resilience.guards import CircuitBreaker, RetryPolicy, guarded_call
 from repro.resilience.validation import validate_repair_result
+
+
+def _run_staged_plan(
+    plan: ExecutionPlan,
+    telemetry,
+    executor,
+    checkpoint,
+    breaker,
+    **stage_attrs: Any,
+) -> List[Any]:
+    """Drive one stage plan, bracketed by a telemetry stage span.
+
+    ``telemetry=None`` falls back to the installed current telemetry; if
+    none is installed either, this is exactly the bare
+    :func:`execute_plan` call (zero observability cost).  The scope is
+    re-entrant, so callers that already installed the same telemetry
+    (the CLI's suite span) compose cleanly.
+    """
+    telemetry = telemetry if telemetry is not None else current_telemetry()
+    if telemetry is None:
+        return execute_plan(
+            plan, executor=executor, checkpoint=checkpoint, breaker=breaker
+        )
+    with telemetry_scope(telemetry):
+        with telemetry.stage(
+            plan.adapter.stage, units=len(plan.units), **stage_attrs
+        ):
+            return execute_plan(
+                plan,
+                executor=executor,
+                checkpoint=checkpoint,
+                breaker=breaker,
+                telemetry=telemetry,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +248,11 @@ def _run_failure_record(run) -> Optional[FailureRecord]:
     return run.failure_record
 
 
+def _detection_runtime(run: DetectionRun) -> float:
+    """Honest per-unit runtime (failed runs carry guard elapsed time)."""
+    return run.result.runtime_seconds
+
+
 _DETECTION_ADAPTER = StageAdapter(
     stage="detection",
     execute=_execute_detection_unit,
@@ -220,6 +260,7 @@ _DETECTION_ADAPTER = StageAdapter(
     from_payload=DetectionRun.from_payload,
     quarantine_skip=_detection_quarantine_run,
     failure_of=_run_failure_record,
+    runtime_of=_detection_runtime,
 )
 
 
@@ -234,6 +275,7 @@ def run_detection_suite(
     clock: Optional[Callable[[], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
     executor=None,
+    telemetry=None,
 ) -> List[DetectionRun]:
     """Run each detector on the dataset; failures are recorded, not fatal.
 
@@ -248,7 +290,9 @@ def run_detection_suite(
     are loaded from the store instead of re-executed.  ``executor``
     selects the execution engine (None = serial reference; see
     :mod:`repro.parallel` for the process-pool engine) -- results are
-    identical either way.
+    identical either way.  ``telemetry`` (or an installed telemetry
+    scope) records a stage span, per-unit spans/metrics, and ledger
+    events without perturbing any result.
     """
     detectors = tuple(detectors)
     shared = _DetectionShared(
@@ -266,8 +310,8 @@ def run_detection_suite(
         for index, detector in enumerate(detectors)
     ]
     plan = ExecutionPlan(_DETECTION_ADAPTER, shared, units)
-    return execute_plan(
-        plan, executor=executor, checkpoint=checkpoint, breaker=breaker
+    return _run_staged_plan(
+        plan, telemetry, executor, checkpoint, breaker, dataset=dataset.name
     )
 
 
@@ -470,6 +514,15 @@ def _repair_quarantine_run(
     )
 
 
+def _repair_runtime(run: RepairRun) -> Optional[float]:
+    """Repair runtime; failed units report the guard's elapsed time."""
+    if run.result is not None:
+        return run.result.runtime_seconds
+    if run.failure_record is not None:
+        return run.failure_record.elapsed_seconds
+    return None
+
+
 _REPAIR_ADAPTER = StageAdapter(
     stage="repair",
     execute=_execute_repair_unit,
@@ -477,6 +530,7 @@ _REPAIR_ADAPTER = StageAdapter(
     from_payload=RepairRun.from_payload,
     quarantine_skip=_repair_quarantine_run,
     failure_of=_run_failure_record,
+    runtime_of=_repair_runtime,
 )
 
 
@@ -492,6 +546,7 @@ def run_repair_suite(
     clock: Optional[Callable[[], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
     executor=None,
+    telemetry=None,
 ) -> List[RepairRun]:
     """Score every (detector, repair) combination on the dataset.
 
@@ -499,7 +554,8 @@ def run_repair_suite(
     (deadline / retry / quarantine / checkpoint).  Repair outputs are
     additionally structure-validated: a misaligned or NaN-flooded table
     books a ``data``-category failure instead of being scored.
-    ``executor`` selects the execution engine (None = serial reference).
+    ``executor`` selects the execution engine (None = serial reference);
+    ``telemetry`` observes the stage without perturbing results.
     """
     repairs = tuple(repairs)
     shared = _RepairShared(
@@ -533,8 +589,8 @@ def run_repair_suite(
                 )
             )
     plan = ExecutionPlan(_REPAIR_ADAPTER, shared, units)
-    return execute_plan(
-        plan, executor=executor, checkpoint=checkpoint, breaker=breaker
+    return _run_staged_plan(
+        plan, telemetry, executor, checkpoint, breaker, dataset=dataset.name
     )
 
 
@@ -892,6 +948,7 @@ def evaluate_scenarios(
     clock: Optional[Callable[[], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
     executor=None,
+    telemetry=None,
 ) -> ScenarioEvaluation:
     """Repeat scenario runs over seeds (the paper repeats 10x).
 
@@ -900,7 +957,8 @@ def evaluate_scenarios(
     :class:`FailureRecord` in ``evaluation.failures`` instead of being
     silently swallowed.  With a ``checkpoint``, completed (scenario,
     seed) units are loaded from the store instead of re-executed.
-    ``executor`` selects the execution engine (None = serial reference).
+    ``executor`` selects the execution engine (None = serial reference);
+    ``telemetry`` observes the stage without perturbing results.
     """
     shared = _ScenarioShared(
         dataset,
@@ -933,7 +991,16 @@ def evaluate_scenarios(
                 )
             )
     plan = ExecutionPlan(_SCENARIO_ADAPTER, shared, units)
-    runs = execute_plan(plan, executor=executor, checkpoint=checkpoint)
+    runs = _run_staged_plan(
+        plan,
+        telemetry,
+        executor,
+        checkpoint,
+        None,
+        dataset=dataset.name,
+        variant=variant_name,
+        model=model_name,
+    )
     evaluation = ScenarioEvaluation(dataset.name, variant_name, model_name)
     for name in scenario_names:
         evaluation.scores[name] = []

@@ -6,6 +6,7 @@ Usage::
     python -m repro repair  <dataset> [--rows N] [--seed S] [resilience]
     python -m repro model   <dataset> [--rows N] [--seed S] [--model NAME]
     python -m repro list
+    python -m repro trace   <ledger.jsonl> [--out trace.json]
 
 ``detect`` prints the Figure 2-style accuracy/IoU/runtime panels, ``repair``
 the Figure 4/5-style detector x repair grid, and ``model`` the Figure
@@ -23,14 +24,25 @@ Resilience flags (available on every stage command):
 - ``--retries N``: attempts for transient failures (default 1 = none).
 - ``--workers N``: shard the stage's unit grid across N worker
   processes; output is byte-identical to the serial run for any N.
+
+Observability flags (global, on every command):
+
+- ``--events PATH``: append the run's observability ledger (JSONL
+  events: spans, metrics, failures, breaker trips) to PATH; replay it
+  with ``repro trace PATH`` to get a Chrome trace-event JSON timeline.
+- ``--verbose``/``-v``: print the telemetry counters and histograms
+  after the stage report.
+- ``--quiet``/``-q``: suppress the stdout report (exit codes and
+  ``--events`` output are unaffected).
 """
 
 from __future__ import annotations
 
 import argparse
-import math
+import json
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
 
 from repro.benchmark import (
     BenchmarkController,
@@ -40,8 +52,17 @@ from repro.benchmark import (
     run_repair_suite,
 )
 from repro.datagen import DATASET_NAMES, dataset_spec, generate
+from repro.observability import (
+    RunLedger,
+    Telemetry,
+    chrome_trace_from_ledger,
+    render_metrics_summary,
+    telemetry_scope,
+)
+from repro.observability.ledger import RUN_FINISHED, RUN_STARTED
+from repro.observability.trace import SUITE
 from repro.parallel import make_executor
-from repro.reporting import render_matrix, render_table
+from repro.reporting import render_matrix, render_runtime_panel, render_table
 from repro.resilience import (
     CircuitBreaker,
     RetryPolicy,
@@ -63,13 +84,27 @@ _positive_seconds.__name__ = "seconds"  # argparse uses this in error text
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append the observability ledger (JSONL events) to PATH",
+    )
+    volume = common.add_mutually_exclusive_group()
+    volume.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print telemetry counters/histograms after the report",
+    )
+    volume.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the stdout report (exit codes are unchanged)",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="REIN reproduction: data cleaning benchmark stages",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for command in ("detect", "repair", "model"):
-        stage = sub.add_parser(command)
+        stage = sub.add_parser(command, parents=[common])
         stage.add_argument("dataset", choices=sorted(DATASET_NAMES))
         stage.add_argument("--rows", type=int, default=400)
         stage.add_argument("--seed", type=int, default=0)
@@ -99,7 +134,14 @@ def _build_parser() -> argparse.ArgumentParser:
         if command == "model":
             stage.add_argument("--model", default="DT")
             stage.add_argument("--seeds", type=int, default=4)
-    sub.add_parser("list")
+    sub.add_parser("list", parents=[common])
+    trace = sub.add_parser("trace", parents=[common])
+    trace.add_argument("ledger", metavar="LEDGER",
+                       help="observability ledger written with --events")
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the Chrome trace JSON here instead of stdout",
+    )
     return parser
 
 
@@ -124,6 +166,52 @@ def _guard_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _make_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """Telemetry for this invocation, or None (the zero-cost default)."""
+    if args.events is None and not args.verbose:
+        return None
+    ledger = RunLedger(args.events) if args.events is not None else None
+    return Telemetry(ledger=ledger)
+
+
+@contextmanager
+def _telemetry_session(
+    args: argparse.Namespace,
+) -> Iterator[Optional[Telemetry]]:
+    """Install telemetry for one CLI run and bracket it in the ledger."""
+    telemetry = _make_telemetry(args)
+    if telemetry is None:
+        yield None
+        return
+    with telemetry_scope(telemetry):
+        telemetry.event(
+            RUN_STARTED,
+            command=args.command,
+            dataset=args.dataset,
+            rows=args.rows,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        status = "error"
+        try:
+            with telemetry.span(
+                f"{args.command}:{args.dataset}", SUITE, command=args.command
+            ):
+                yield telemetry
+            status = "ok"
+        finally:
+            telemetry.event(RUN_FINISHED, status=status)
+            telemetry.flush_to_ledger()
+            if telemetry.ledger is not None:
+                telemetry.ledger.close()
+
+
+def _print_telemetry(args: argparse.Namespace, telemetry) -> None:
+    if telemetry is not None and args.verbose:
+        print()
+        print(render_metrics_summary(telemetry.metrics))
+
+
 def _print_failures(runs) -> None:
     failed = [r for r in runs if r.failed]
     if failed:
@@ -136,7 +224,9 @@ def _print_failures(runs) -> None:
         print("\nfailures:\n" + "\n".join(lines))
 
 
-def _cmd_list() -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.quiet:
+        return 0
     rows = []
     for name in DATASET_NAMES:
         spec = dataset_spec(name)
@@ -150,34 +240,78 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        trace = chrome_trace_from_ledger(args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read ledger {args.ledger!r}: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(trace, sort_keys=True, indent=2, allow_nan=False)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        if not args.quiet:
+            print(f"wrote Chrome trace to {args.out}")
+    else:
+        # The trace JSON is the deliverable, not a report: --quiet does
+        # not suppress it (use --out to keep stdout clean instead).
+        print(text)
+    return 0
+
+
+def _detection_runtimes(runs):
+    """Per-detector honest seconds + failure categories for the panel."""
+    runtimes, failures = {}, {}
+    for run in runs:
+        if run.failed:
+            record = run.failure_record
+            failures[run.detector] = (
+                record.category if record is not None else "?"
+            )
+            runtimes[run.detector] = (
+                record.elapsed_seconds if record is not None else 0.0
+            )
+        else:
+            runtimes[run.detector] = run.result.runtime_seconds
+    return runtimes, failures
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
     guards = _guard_kwargs(args)
     checkpoint = guards["checkpoint"]
     controller = BenchmarkController(breaker=guards["breaker"])
     applicable = controller.applicable_detectors(dataset)
-    try:
-        runs = run_detection_suite(
-            dataset, applicable, seed=args.seed, **guards
-        )
-    finally:
-        if checkpoint is not None:
-            checkpoint.close()
+    with _telemetry_session(args) as telemetry:
+        try:
+            runs = run_detection_suite(
+                dataset, applicable, seed=args.seed, **guards
+            )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+    if args.quiet:
+        return 0
     active = [r for r in runs if not r.failed and r.result.n_detected > 0]
     rows = [
         [r.detector, r.result.n_detected, r.scores.precision,
-         r.scores.recall, r.scores.f1, r.result.runtime_seconds]
+         r.scores.recall, r.scores.f1]
         for r in sorted(active, key=lambda r: -r.scores.f1)
     ]
     print(render_table(
-        ["detector", "detected", "precision", "recall", "f1", "runtime_s"],
+        ["detector", "detected", "precision", "recall", "f1"],
         rows,
         title=f"{dataset.name}: detection "
               f"({len(dataset.error_cells)} erroneous cells)"))
     names, matrix = detection_iou(active, dataset)
     print()
     print(render_matrix(names, matrix, title="IoU over true positives"))
+    runtimes, failures = _detection_runtimes(runs)
+    print()
+    print(render_runtime_panel(
+        runtimes, failures=failures, title="runtime seconds per detector"))
     _print_failures(runs)
+    _print_telemetry(args, telemetry)
     return 0
 
 
@@ -192,26 +326,30 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
     guards = _guard_kwargs(args)
     checkpoint = guards["checkpoint"]
-    try:
-        detection_runs = run_detection_suite(
-            dataset, [MVDetector(), MaxEntropyDetector()], seed=args.seed,
-            **guards,
-        )
-        detections = {
-            r.detector: set(r.result.cells)
-            for r in detection_runs
-            if not r.failed and r.result.n_detected
-        }
-        repair_runs = run_repair_suite(
-            dataset,
-            detections,
-            [GroundTruthRepair(), MeanModeImputeRepair(), MissForestMixRepair()],
-            seed=args.seed,
-            **guards,
-        )
-    finally:
-        if checkpoint is not None:
-            checkpoint.close()
+    with _telemetry_session(args) as telemetry:
+        try:
+            detection_runs = run_detection_suite(
+                dataset, [MVDetector(), MaxEntropyDetector()], seed=args.seed,
+                **guards,
+            )
+            detections = {
+                r.detector: set(r.result.cells)
+                for r in detection_runs
+                if not r.failed and r.result.n_detected
+            }
+            repair_runs = run_repair_suite(
+                dataset,
+                detections,
+                [GroundTruthRepair(), MeanModeImputeRepair(),
+                 MissForestMixRepair()],
+                seed=args.seed,
+                **guards,
+            )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+    if args.quiet:
+        return 0
     rows = []
     for run in repair_runs:
         if run.failed:
@@ -229,6 +367,7 @@ def _cmd_repair(args: argparse.Namespace) -> int:
         ["strategy", "categorical_f1", "numerical_rmse", "note"], rows,
         title=f"{dataset.name}: repair grid"))
     _print_failures(repair_runs)
+    _print_telemetry(args, telemetry)
     return 0
 
 
@@ -239,17 +378,20 @@ def _cmd_model(args: argparse.Namespace) -> int:
         return 2
     guards = _guard_kwargs(args)
     checkpoint = guards["checkpoint"]
-    try:
-        evaluation = evaluate_scenarios(
-            dataset, dataset.dirty, "dirty", args.model,
-            scenario_names=("S1", "S4"), n_seeds=args.seeds,
-            deadline_seconds=guards["deadline_seconds"],
-            retry=guards["retry"], checkpoint=checkpoint,
-            executor=guards["executor"],
-        )
-    finally:
-        if checkpoint is not None:
-            checkpoint.close()
+    with _telemetry_session(args) as telemetry:
+        try:
+            evaluation = evaluate_scenarios(
+                dataset, dataset.dirty, "dirty", args.model,
+                scenario_names=("S1", "S4"), n_seeds=args.seeds,
+                deadline_seconds=guards["deadline_seconds"],
+                retry=guards["retry"], checkpoint=checkpoint,
+                executor=guards["executor"],
+            )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+    if args.quiet:
+        return 0
     ab = evaluation.ab_test("S1", "S4")
     print(render_table(
         ["scenario", "mean", "std"],
@@ -266,13 +408,16 @@ def _cmd_model(args: argparse.Namespace) -> int:
         print("\nmissing scores explained:")
         for line in failure_lines:
             print(f"  {line}")
+    _print_telemetry(args, telemetry)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "detect":
         return _cmd_detect(args)
     if args.command == "repair":

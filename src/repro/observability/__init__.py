@@ -1,0 +1,81 @@
+"""Observability: spans, metrics, and the structured run ledger.
+
+REIN's headline artifacts are runtime panels and scalability curves, so
+the benchmark engine must be able to answer "where did the time go,
+which workers stalled, which circuit breakers tripped when" for any
+suite run -- serial or sharded.  This package supplies that layer:
+
+- **spans** (:mod:`repro.observability.trace`): hierarchical timed
+  regions (suite -> stage -> unit -> attempt) on monotonic clocks, with
+  worker-side buffers shipped back through the parallel engine's
+  single-writer merge so the tree is complete for any worker count;
+- **metrics** (:mod:`repro.observability.metrics`): a process-mergeable
+  registry of counters, gauges, and fixed-bucket histograms (units
+  executed, retries, quarantine trips, checkpoint commits, queue-wait vs
+  compute time);
+- **ledger** (:mod:`repro.observability.ledger`): an append-only,
+  schema-versioned JSONL event log written alongside the SQLite
+  checkpoint store -- run/stage/unit lifecycle, taxonomy failure
+  records, breaker state changes, and the finished span tree;
+- **export** (:mod:`repro.observability.export`): Chrome trace-event
+  JSON (``repro trace``), plain-text summaries via
+  :mod:`repro.reporting`, and ``BENCH_*.json`` perf snapshots.
+
+The determinism contract: telemetry is an *observer*.  Instrumented code
+asks :func:`current_telemetry` and does nothing when it is ``None``
+(zero-cost-when-off), and nothing telemetry-shaped ever enters a unit
+payload or the checkpoint store, so suite outputs are byte-identical
+with telemetry enabled or disabled, serial or pooled
+(``tests/test_observability.py`` proves it).
+"""
+
+from repro.observability.export import (
+    BENCH_SCHEMA_VERSION,
+    chrome_trace,
+    chrome_trace_from_ledger,
+    render_metrics_summary,
+    runtimes_from_ledger,
+    write_bench_snapshot,
+)
+from repro.observability.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    read_ledger,
+)
+from repro.observability.metrics import (
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.telemetry import (
+    Telemetry,
+    current_telemetry,
+    install_telemetry,
+    telemetry_scope,
+)
+from repro.observability.trace import Span, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LEDGER_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "RunLedger",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_from_ledger",
+    "current_telemetry",
+    "install_telemetry",
+    "read_ledger",
+    "render_metrics_summary",
+    "runtimes_from_ledger",
+    "telemetry_scope",
+    "write_bench_snapshot",
+]

@@ -1,0 +1,159 @@
+"""Exporters: Chrome trace JSON, text summaries, and BENCH snapshots.
+
+Three ways out of the observability layer:
+
+- :func:`chrome_trace` / :func:`chrome_trace_from_ledger` render a span
+  buffer (or a ledger's ``span`` events) as Chrome trace-event JSON --
+  load the output in ``chrome://tracing`` or Perfetto to see the suite
+  timeline, one lane per process;
+- :func:`render_metrics_summary` and :func:`runtimes_from_ledger` feed
+  the plain-text reporting layer (:mod:`repro.reporting`);
+- :func:`write_bench_snapshot` emits the machine-readable ``BENCH_*.json``
+  perf artifacts that track the repo's performance trajectory PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.observability.ledger import SPAN, UNIT_FINALIZED, read_ledger
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Span
+from repro.reporting import render_table
+
+#: Schema version of the BENCH_*.json perf snapshots.
+BENCH_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(span_payloads: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Render span payloads as a Chrome trace-event JSON object.
+
+    Every span becomes one complete (``"ph": "X"``) event with
+    microsecond timestamps; each recording process (the driver plus each
+    pool worker) gets its own ``tid`` lane, assigned deterministically by
+    sorted worker label.  Spans still open when the buffer was exported
+    are emitted with zero duration and ``"open": true`` in ``args``.
+    """
+    workers = sorted(
+        {str(p.get("worker", "")) for p in span_payloads} - {""}
+    )
+    lanes = {"": 0}
+    lanes.update({worker: i + 1 for i, worker in enumerate(workers)})
+    events: List[Dict[str, Any]] = []
+    for payload in span_payloads:
+        span = Span.from_payload(dict(payload))
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.open:
+            args["open"] = True
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": 0.0 if span.open else span.duration_seconds * 1e6,
+                "pid": 0,
+                "tid": lanes[str(span.worker)],
+                "args": args,
+            }
+        )
+    thread_names = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": label or "driver"},
+        }
+        for label, tid in sorted(lanes.items(), key=lambda kv: kv[1])
+    ]
+    return {"traceEvents": thread_names + events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_from_ledger(path: Union[str, Path]) -> Dict[str, Any]:
+    """Chrome trace built from a ledger's ``span`` events."""
+    payloads = [record["span"] for record in read_ledger(path, event=SPAN)]
+    return chrome_trace(payloads)
+
+
+# ----------------------------------------------------------------------
+# Text summaries (repro.reporting)
+# ----------------------------------------------------------------------
+def render_metrics_summary(
+    metrics: MetricsRegistry, title: str = "telemetry"
+) -> str:
+    """Counters and histogram aggregates as aligned text tables."""
+    blocks: List[str] = []
+    counter_rows = metrics.counter_rows()
+    if counter_rows:
+        blocks.append(
+            render_table(
+                ["counter", "value"], counter_rows, title=f"{title}: counters"
+            )
+        )
+    histogram_rows = metrics.histogram_rows()
+    if histogram_rows:
+        blocks.append(
+            render_table(
+                ["histogram", "count", "total_s", "mean_s"],
+                histogram_rows,
+                title=f"{title}: histograms",
+            )
+        )
+    if not blocks:
+        return f"{title}: no metrics recorded"
+    return "\n\n".join(blocks)
+
+
+def runtimes_from_ledger(path: Union[str, Path]) -> Dict[str, float]:
+    """Total per-method runtime from ``unit_finalized`` events.
+
+    The feed for Figure-2-style runtime panels: every finalized unit
+    contributes its honest elapsed seconds (failed units included -- a
+    tool that burned five minutes before crashing burned them) keyed by
+    its circuit-breaker method name.
+    """
+    totals: Dict[str, float] = {}
+    for record in read_ledger(path, event=UNIT_FINALIZED):
+        method = record.get("method") or "?"
+        runtime = record.get("runtime_seconds")
+        if runtime is None:
+            continue
+        totals[method] = totals.get(method, 0.0) + float(runtime)
+    return totals
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json perf snapshots
+# ----------------------------------------------------------------------
+def write_bench_snapshot(
+    path: Union[str, Path],
+    name: str,
+    numbers: Mapping[str, Any],
+    context: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write one machine-readable perf snapshot.
+
+    ``numbers`` are the measured quantities (wall-clock, speedup, ...);
+    ``context`` records the configuration that produced them (workers,
+    unit counts) so later PRs compare like with like.  The file is
+    standard JSON, sorted keys, one snapshot per file.
+    """
+    snapshot: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "numbers": dict(numbers),
+        "context": dict(context or {}),
+    }
+    with open(str(path), "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, sort_keys=True, indent=2, allow_nan=False)
+        fh.write("\n")
+    return snapshot

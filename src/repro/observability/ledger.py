@@ -1,0 +1,130 @@
+"""The run ledger: an append-only, schema-versioned JSONL event log.
+
+Every structured thing that happens during a suite run -- run started /
+finished, stage boundaries, unit finalizations, failure records from the
+resilience taxonomy, circuit-breaker state changes, checkpoint commits,
+and the finished span tree -- lands here as one JSON object per line.
+The ledger is written *only* by the driver process (the same
+single-writer discipline the checkpoint store uses), is strictly
+append-only (resumed runs append a new ``run_started`` after the old
+events), and every event carries the schema version so future readers
+can refuse files they do not understand instead of misparsing them.
+
+Wall-clock timestamps (``wall``) are ISO-8601 UTC and exist purely for
+humans correlating a run with the outside world; every duration in an
+event comes from monotonic clocks upstream.  NaN scores are encoded as
+``null`` (the checkpoint store's convention) so each line is standard
+JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.repository.store import sanitize_payload
+
+#: Bump when an event's shape changes incompatibly.  Readers accept
+#: exactly this version and raise otherwise.
+LEDGER_SCHEMA_VERSION = 1
+
+# Event types emitted by the suite (documented here as the schema's
+# vocabulary; the ledger accepts any event string).
+RUN_STARTED = "run_started"
+RUN_FINISHED = "run_finished"
+STAGE_STARTED = "stage_started"
+STAGE_FINISHED = "stage_finished"
+UNIT_FINALIZED = "unit_finalized"
+FAILURE = "failure"
+BREAKER_OPEN = "breaker_open"
+CHECKPOINT_COMMIT = "checkpoint_commit"
+SPAN = "span"
+METRICS = "metrics"
+
+
+class RunLedger:
+    """Append-only JSONL writer for one run's event stream.
+
+    Events are flushed line by line so a killed run leaves a readable
+    prefix; the file handle is opened in append mode so resumed runs
+    extend the history instead of rewriting it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record as written."""
+        if self._fh is None:
+            raise ValueError("ledger is closed")
+        record: Dict[str, Any] = {
+            "schema": LEDGER_SCHEMA_VERSION,
+            "seq": self._seq,
+            "event": event,
+            "wall": datetime.now(timezone.utc).isoformat(
+                timespec="microseconds"
+            ),
+        }
+        record.update(sanitize_payload(fields))
+        self._fh.write(
+            json.dumps(record, sort_keys=True, allow_nan=False) + "\n"
+        )
+        self._fh.flush()
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_ledger(
+    path: Union[str, Path], event: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Parse a ledger file, optionally filtered to one event type.
+
+    Raises :class:`ValueError` for lines whose schema version this
+    reader does not understand -- refusing is safer than misparsing a
+    future format -- and for lines that are not JSON objects.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(str(path), "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: ledger lines must be JSON objects"
+                )
+            version = record.get("schema")
+            if version != LEDGER_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{lineno}: unsupported ledger schema "
+                    f"{version!r} (this reader understands "
+                    f"{LEDGER_SCHEMA_VERSION})"
+                )
+            if event is None or record.get("event") == event:
+                events.append(record)
+    return events

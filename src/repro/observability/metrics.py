@@ -1,0 +1,192 @@
+"""Process-mergeable counters, gauges, and fixed-bucket histograms.
+
+The registry is the numeric side of the observability layer: counters
+for discrete suite events (units executed, retries spent, quarantine
+trips, checkpoint commits), gauges for point-in-time readings, and
+histograms with *fixed* bucket boundaries for durations (queue-wait vs
+compute time).  Fixed buckets are what make the registry mergeable:
+worker processes ship :meth:`MetricsRegistry.snapshot` dicts back with
+their unit results and the driver folds them in with
+:meth:`MetricsRegistry.merge` -- addition for counters and bucket
+counts, last-write for gauges -- so the merged totals are independent
+of completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram boundaries for durations in seconds.  Sub-ms to
+#: minutes covers everything from a no-op detector to a hung tool hitting
+#: its deadline; values above the last boundary land in the overflow
+#: bucket.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time float reading (last write wins on merge)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram: counts per bucket plus sum and count.
+
+    ``boundaries`` are the inclusive upper edges of each bucket; one
+    extra overflow bucket catches everything above the last edge, so
+    ``len(counts) == len(boundaries) + 1``.
+    """
+
+    def __init__(self, boundaries: Sequence[float] = DURATION_BUCKETS) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(
+                "histogram boundaries must be non-empty, unique, ascending"
+            )
+        self.boundaries = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += float(value)
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshot/merge round-trippable."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Access (create-on-demand)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge()
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = DURATION_BUCKETS
+    ) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is None:
+            existing = Histogram(boundaries)
+            self._histograms[name] = existing
+        elif existing.boundaries != tuple(float(b) for b in boundaries):
+            raise ValueError(
+                f"histogram {name!r} already registered with different "
+                f"boundaries {existing.boundaries}"
+            )
+        return existing
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (the process-transport surface)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-JSON view of every metric (worker transport + export)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "boundaries": list(h.boundaries),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram bucket counts add; gauges take the
+        snapshot's value (last write wins).  Histograms with mismatched
+        boundaries are a programming error and raise.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, data["boundaries"])
+            if list(histogram.boundaries) != [
+                float(b) for b in data["boundaries"]
+            ]:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: boundary mismatch"
+                )
+            for i, count in enumerate(data["counts"]):
+                histogram.counts[i] += int(count)
+            histogram.total += float(data["total"])
+            histogram.count += int(data["count"])
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+    def reset(self) -> None:
+        """Drop every metric (worker buffers reset after each drain)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    # ------------------------------------------------------------------
+    # Rendering support
+    # ------------------------------------------------------------------
+    def counter_rows(self) -> List[List[Any]]:
+        return [[name, c.value] for name, c in sorted(self._counters.items())]
+
+    def histogram_rows(self) -> List[List[Any]]:
+        rows: List[List[Any]] = []
+        for name, h in sorted(self._histograms.items()):
+            rows.append([name, h.count, h.total, h.mean])
+        return rows

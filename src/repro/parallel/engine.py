@@ -33,8 +33,15 @@ seed so set iteration order inside tools matches the parent process.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.observability.telemetry import (
+    Telemetry,
+    current_telemetry,
+    install_telemetry,
+)
+from repro.observability.trace import Tracer
 from repro.parallel.plan import ExecutionPlan, UnitSpec
 
 
@@ -48,17 +55,36 @@ def null_sleep(seconds: float) -> None:
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _init_worker(adapter: Any, shared: Any) -> None:
-    """Pool initializer: install the stage context once per worker."""
+def _init_worker(adapter: Any, shared: Any, telemetry: bool = False) -> None:
+    """Pool initializer: install the stage context once per worker.
+
+    With ``telemetry`` on, the worker gets its own ledger-less
+    :class:`Telemetry` (spans + metrics only): instrumented code inside
+    the unit records into this worker-local buffer, and
+    :func:`_run_unit_in_worker` drains it after every unit so the driver
+    can merge it deterministically.  The ledger and the checkpoint store
+    remain single-writer, driver-only surfaces.
+    """
     _WORKER_STATE["adapter"] = adapter
     _WORKER_STATE["shared"] = shared
+    if telemetry:
+        worker_telemetry = Telemetry(
+            tracer=Tracer(worker=f"worker-{os.getpid()}")
+        )
+        _WORKER_STATE["telemetry"] = worker_telemetry
+        install_telemetry(worker_telemetry)
 
 
-def _run_unit_in_worker(spec: UnitSpec) -> Tuple[int, Dict[str, Any]]:
-    """Execute one unit in a worker; ship its canonical payload back."""
+def _run_unit_in_worker(
+    spec: UnitSpec,
+) -> Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Execute one unit in a worker; ship its canonical payload back,
+    plus the telemetry recorded while executing it (or None)."""
     adapter = _WORKER_STATE["adapter"]
     run = adapter.execute(_WORKER_STATE["shared"], spec)
-    return spec.index, adapter.to_payload(run)
+    telemetry = _WORKER_STATE.get("telemetry")
+    transport = telemetry.drain_transport() if telemetry is not None else None
+    return spec.index, adapter.to_payload(run), transport
 
 
 # ----------------------------------------------------------------------
@@ -159,16 +185,17 @@ class ProcessPoolExecutor:
             return
         n_workers = min(self.workers, len(dispatched))
         context = self._context()
+        telemetry_on = current_telemetry() is not None
         with context.Pool(
             processes=n_workers,
             initializer=_init_worker,
-            initargs=(plan.adapter, plan.shared),
+            initargs=(plan.adapter, plan.shared, telemetry_on),
         ) as pool:
             results = pool.imap_unordered(
                 _run_unit_in_worker, dispatched, chunksize=self.chunk_size
             )
-            for index, payload in results:
-                yield index, plan.adapter.from_payload(payload)
+            for index, payload, transport in results:
+                yield index, plan.adapter.from_payload(payload), transport
 
 
 def make_executor(workers: Optional[int]):
@@ -190,6 +217,7 @@ def execute_plan(
     checkpoint: Any = None,
     breaker: Any = None,
     progress: Optional[Callable[[UnitSpec, Any], None]] = None,
+    telemetry: Any = None,
 ) -> List[Any]:
     """Run a plan under any executor; return runs in canonical order.
 
@@ -207,13 +235,22 @@ def execute_plan(
       already executed (and therefore wastes) one of them;
     - **checkpoint writes**: the driver is the single writer draining the
       executor's result stream; ``put`` batches inside the store and the
-      driver flushes once at the end (and on interruption).
+      driver flushes once at the end (and on interruption);
+    - **telemetry merge**: worker span/metric buffers ride the result
+      stream and are absorbed at finalization, in canonical order -- so
+      the merged trace is complete and structurally identical for any
+      worker count.  Buffers of units a worker wastefully executed after
+      their method's breaker opened are *dropped*, keeping merged totals
+      equal to the serial run's.  ``telemetry`` defaults to the installed
+      :func:`~repro.observability.current_telemetry` (None = off; the
+      run's outputs are byte-identical either way).
 
     ``progress`` is invoked once per finalized unit, in canonical order
     (an exception it raises aborts the run like an interrupt, which the
     chaos suite uses to simulate kills at exact unit boundaries).
     """
     executor = executor or SerialExecutor()
+    telemetry = telemetry if telemetry is not None else current_telemetry()
     units = plan.units
     n = len(units)
     results: List[Any] = [None] * n
@@ -235,52 +272,114 @@ def execute_plan(
         )
 
     executed: Dict[int, Any] = {}
+    transports: Dict[int, Any] = {}
+    received_at: Dict[int, float] = {}
     state = {"next": 0}
+
+    def checkpoint_put(spec: UnitSpec, run: Any) -> None:
+        checkpoint.put(spec.key, plan.adapter.to_payload(run))
+        if telemetry is not None:
+            telemetry.count("checkpoint.puts")
+
+    def book_finalized(spec: UnitSpec, run: Any, status: str) -> None:
+        """Ledger + metrics for one finalized unit (telemetry on only)."""
+        record = plan.adapter.failure_of(run)
+        runtime = None
+        if plan.adapter.runtime_of is not None:
+            runtime = plan.adapter.runtime_of(run)
+        if record is not None and status == "executed":
+            telemetry.record_failure(record)
+        telemetry.event(
+            "unit_finalized",
+            unit=spec.key,
+            method=spec.method,
+            stage=plan.adapter.stage,
+            status=status,
+            ok=record is None,
+            runtime_seconds=runtime,
+        )
 
     def finalize_ready() -> None:
         while state["next"] < n:
             index = state["next"]
             spec = units[index]
+            status = "executed"
             if cached[index]:
                 run = results[index]
+                status = "cached"
+                if telemetry is not None:
+                    telemetry.count("units.cached")
             elif (
                 breaker is not None
                 and spec.method
                 and breaker.is_quarantined(spec.method)
             ):
                 executed.pop(index, None)  # a worker may have raced ahead
+                transports.pop(index, None)  # ...its telemetry is wasted too
                 run = plan.adapter.quarantine_skip(
                     plan.shared, spec, breaker.reason(spec.method)
                 )
                 results[index] = run
+                status = "quarantine_skip"
+                if telemetry is not None:
+                    telemetry.count("units.quarantine_skips")
                 if checkpoint is not None:
-                    checkpoint.put(spec.key, plan.adapter.to_payload(run))
+                    checkpoint_put(spec, run)
             elif index in executed:
                 run = executed.pop(index)
                 results[index] = run
+                if telemetry is not None:
+                    telemetry.absorb_transport(transports.pop(index, None))
+                    telemetry.count("units.executed")
+                    if index in received_at:
+                        telemetry.observe(
+                            "unit.merge_wait_seconds",
+                            telemetry.tracer.clock() - received_at.pop(index),
+                        )
                 if breaker is not None and spec.method:
                     record = plan.adapter.failure_of(run)
                     if record is None:
                         breaker.record_success(spec.method)
                     else:
+                        was_open = breaker.is_quarantined(spec.method)
                         breaker.record_failure(spec.method, record.describe())
+                        if (
+                            telemetry is not None
+                            and not was_open
+                            and breaker.is_quarantined(spec.method)
+                        ):
+                            telemetry.record_breaker_open(
+                                spec.method, breaker.reason(spec.method)
+                            )
                 if checkpoint is not None:
-                    checkpoint.put(spec.key, plan.adapter.to_payload(run))
+                    checkpoint_put(spec, run)
             else:
                 return  # waiting on an out-of-order completion
+            if telemetry is not None:
+                book_finalized(spec, run, status)
             state["next"] += 1
             if progress is not None:
                 progress(spec, run)
 
     try:
         finalize_ready()
-        for index, run in executor.run(plan, pending, should_execute):
+        for item in executor.run(plan, pending, should_execute):
+            index, run = item[0], item[1]
             executed[index] = run
+            if telemetry is not None:
+                if len(item) > 2 and item[2]:
+                    transports[index] = item[2]
+                received_at[index] = telemetry.tracer.clock()
             finalize_ready()
         finalize_ready()
     finally:
         if checkpoint is not None:
             checkpoint.flush()
+            if telemetry is not None:
+                telemetry.count("checkpoint.commits")
+                telemetry.event(
+                    "checkpoint_commit", stage=plan.adapter.stage
+                )
     if state["next"] != n:
         missing = [units[i].key for i in range(n) if results[i] is None]
         raise RuntimeError(

@@ -68,6 +68,10 @@ class StageAdapter:
             is quarantined at the moment the unit is reached.
         failure_of: ``(run) -> Optional[FailureRecord]`` -- the failure
             record driving circuit-breaker bookkeeping (None = success).
+        runtime_of: optional ``(run) -> Optional[float]`` -- the unit's
+            honest elapsed seconds, feeding the observability ledger's
+            ``unit_finalized`` events and the runtime panels built from
+            them (None = the stage has no per-unit runtime notion).
     """
 
     stage: str
@@ -76,6 +80,7 @@ class StageAdapter:
     from_payload: Callable[[Dict[str, Any]], Any]
     quarantine_skip: Callable[[Any, UnitSpec, str], Any]
     failure_of: Callable[[Any], Optional[Any]]
+    runtime_of: Optional[Callable[[Any], Optional[float]]] = None
 
 
 @dataclass(frozen=True)

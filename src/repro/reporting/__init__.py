@@ -6,10 +6,19 @@ every table/figure of the paper has a regenerable textual counterpart.
 """
 
 from repro.reporting.render import (
+    display_width,
     render_bars,
     render_matrix,
+    render_runtime_panel,
     render_series,
     render_table,
 )
 
-__all__ = ["render_bars", "render_matrix", "render_series", "render_table"]
+__all__ = [
+    "display_width",
+    "render_bars",
+    "render_matrix",
+    "render_runtime_panel",
+    "render_series",
+    "render_table",
+]

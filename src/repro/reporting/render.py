@@ -1,9 +1,31 @@
-"""Aligned text rendering helpers."""
+"""Aligned text rendering helpers.
+
+Alignment is computed on *display* width, not ``len()``: East-Asian
+wide/fullwidth characters count two columns and combining marks count
+zero, so tables with mixed-width unicode labels (dataset names, method
+names from real-world configs) stay aligned in a terminal.
+"""
 
 from __future__ import annotations
 
 import math
+import unicodedata
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def display_width(text: str) -> int:
+    """Terminal column width of ``text`` (wide=2, combining=0, else 1)."""
+    width = 0
+    for ch in text:
+        if unicodedata.combining(ch):
+            continue
+        width += 2 if unicodedata.east_asian_width(ch) in ("W", "F") else 1
+    return width
+
+
+def _pad(text: str, width: int) -> str:
+    """Left-justify ``text`` to ``width`` display columns."""
+    return text + " " * max(0, width - display_width(text))
 
 
 def _format_cell(value: object, precision: int = 3) -> str:
@@ -26,19 +48,19 @@ def render_table(
     text_rows = [
         [_format_cell(v, precision) for v in row] for row in rows
     ]
-    widths = [len(h) for h in headers]
+    widths = [display_width(h) for h in headers]
     for row in text_rows:
         if len(row) != len(headers):
             raise ValueError("row width does not match headers")
         for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
+            widths[i] = max(widths[i], display_width(cell))
     lines: List[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join(_pad(h, widths[i]) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
     for row in text_rows:
-        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        lines.append("  ".join(_pad(c, widths[i]) for i, c in enumerate(row)))
     return "\n".join(lines)
 
 
@@ -52,12 +74,12 @@ def render_bars(
     if not values:
         return title or ""
     peak = max(abs(v) for v in values.values()) or 1.0
-    label_width = max(len(k) for k in values)
+    label_width = max(display_width(k) for k in values)
     lines: List[str] = [title] if title else []
     for label, value in values.items():
         bar = "#" * max(0, int(round(width * abs(value) / peak)))
         lines.append(
-            f"{label.ljust(label_width)}  {bar} {_format_cell(float(value), precision)}"
+            f"{_pad(label, label_width)}  {bar} {_format_cell(float(value), precision)}"
         )
     return "\n".join(lines)
 
@@ -84,7 +106,12 @@ def render_series(
     title: Optional[str] = None,
     precision: int = 3,
 ) -> str:
-    """Render line-plot data as one column per series (Figure 3 style)."""
+    """Render line-plot data as one column per series (Figure 3 style).
+
+    Degenerate inputs stay renderable: an empty mapping (or series whose
+    point lists are all empty) produces just the title/header block, and
+    NaN y-values render as ``nan`` cells like every other table.
+    """
     xs: List[float] = sorted(
         {x for points in series.values() for x, _ in points}
     )
@@ -98,3 +125,31 @@ def render_series(
             [x] + [lookup[name].get(x) for name in series]
         )
     return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_runtime_panel(
+    runtimes: Mapping[str, float],
+    failures: Optional[Mapping[str, str]] = None,
+    title: Optional[str] = None,
+    width: int = 40,
+    precision: int = 3,
+) -> str:
+    """Figure-2-style runtime panel: per-method seconds, slowest first.
+
+    ``runtimes`` maps method name to total elapsed seconds (the feed is
+    typically :func:`repro.observability.runtimes_from_ledger` or the
+    runs themselves); methods listed in ``failures`` are marked with a
+    trailing ``!`` and their failure category so crashed tools' honest
+    runtimes stay visible instead of vanishing from the panel.
+    """
+    if not runtimes:
+        return (title + "\n" if title else "") + "(no units finalized)"
+    failures = failures or {}
+    ordered = sorted(runtimes.items(), key=lambda kv: (-kv[1], kv[0]))
+    labeled = {
+        (f"{name} !{failures[name]}" if name in failures else name): seconds
+        for name, seconds in ordered
+    }
+    total = sum(runtimes.values())
+    body = render_bars(labeled, title=title, width=width, precision=precision)
+    return f"{body}\n{'total'}  {_format_cell(total, precision)}s"

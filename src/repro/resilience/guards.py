@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, Optional
 
+from repro.observability.telemetry import current_telemetry
+from repro.observability.trace import ATTEMPT, UNIT
 from repro.resilience.deadline import Deadline
 from repro.resilience.failures import (
     TRANSIENT,
@@ -192,15 +194,48 @@ def guarded_call(
     time, so crashed tools still report honest runtimes.  ``clock`` is
     injectable (defaults to ``time.perf_counter``) so chaos tests can make
     timing deterministic.
+
+    When a telemetry session is installed
+    (:func:`repro.observability.current_telemetry`), each call records a
+    ``unit`` span with one ``attempt`` child per try, plus unit/retry
+    counters and a compute-time histogram -- on the *process-local*
+    telemetry, so worker processes buffer their own spans for the
+    driver's deterministic merge.  Without telemetry the overhead is one
+    global read; the returned result is identical either way.
     """
     clock = clock or time.perf_counter
     retry = retry or RetryPolicy.none()
+    telemetry = current_telemetry()
     if breaker is not None and breaker.is_quarantined(method):
+        if telemetry is not None:
+            telemetry.count("units.quarantine_skips")
         return GuardedResult(
             failure=FailureRecord.quarantine_skip(
                 method, stage, breaker.reason(method), **failure_context
             )
         )
+    unit_span = None
+    if telemetry is not None:
+        unit_span = telemetry.tracer.begin(
+            f"{stage}:{method}", UNIT, stage=stage, method=method,
+            **{
+                key: value
+                for key, value in failure_context.items()
+                if isinstance(value, (str, int, float, bool))
+            },
+        )
+
+    def book(outcome: str, elapsed: float, retries: int) -> None:
+        """Close the unit span and record the unit's metrics."""
+        if telemetry is None:
+            return
+        unit_span.attrs["outcome"] = outcome
+        telemetry.tracer.finish(unit_span)
+        telemetry.count(f"units.{outcome}")
+        if retries:
+            telemetry.count("retries", retries)
+        telemetry.observe("unit.compute_seconds", elapsed)
+
     started = clock()
     attempt = 0
     while True:
@@ -222,11 +257,16 @@ def guarded_call(
             )
             if breaker is not None:
                 breaker.record_failure(method, record.describe())
+            book("failed", elapsed, attempt - 1)
             return GuardedResult(
                 failure=record, elapsed_seconds=elapsed, retries=attempt - 1
             )
         try:
-            value = fn()
+            if telemetry is not None:
+                with telemetry.tracer.span(f"attempt-{attempt}", ATTEMPT):
+                    value = fn()
+            else:
+                value = fn()
         except Exception as exc:  # noqa: BLE001 - sanctioned failure boundary
             if retry.should_retry(exc, attempt):
                 sleep(retry.delay(f"{stage}:{method}", attempt))
@@ -242,12 +282,14 @@ def guarded_call(
             )
             if breaker is not None:
                 breaker.record_failure(method, record.describe())
+            book("failed", elapsed, attempt - 1)
             return GuardedResult(
                 failure=record, elapsed_seconds=elapsed, retries=attempt - 1
             )
         elapsed = clock() - started
         if breaker is not None:
             breaker.record_success(method)
+        book("ok", elapsed, attempt - 1)
         return GuardedResult(
             value=value, elapsed_seconds=elapsed, retries=attempt - 1
         )

@@ -117,3 +117,82 @@ class TestCli:
     def test_bad_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["detect", "NotADataset"])
+
+    def test_detect_prints_runtime_panel(self, capsys):
+        assert main(["detect", "Nasa", "--rows", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime seconds per detector" in out
+        assert "total" in out
+
+
+class TestCliObservability:
+    def test_quiet_suppresses_report_keeps_exit_code(self, capsys):
+        assert main(["detect", "Nasa", "--rows", "120", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+        assert main(["list", "-q"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_does_not_mask_usage_errors(self, capsys):
+        assert main(["model", "Soccer", "--rows", "100", "--quiet"]) == 2
+
+    def test_verbose_and_quiet_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "Nasa", "-q", "-v"])
+
+    def test_verbose_prints_telemetry_summary(self, capsys):
+        assert main(["detect", "Nasa", "--rows", "120", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: counters" in out
+        assert "units.ok" in out
+
+    def test_events_ledger_records_the_run(self, tmp_path, capsys):
+        from repro.observability import read_ledger
+        from repro.observability.ledger import (
+            RUN_FINISHED,
+            RUN_STARTED,
+            UNIT_FINALIZED,
+        )
+
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["detect", "Nasa", "--rows", "120", "--workers", "2",
+             "--events", str(events), "-q"]
+        ) == 0
+        capsys.readouterr()
+        (started,) = read_ledger(events, event=RUN_STARTED)
+        assert started["command"] == "detect"
+        assert started["workers"] == 2
+        (finished,) = read_ledger(events, event=RUN_FINISHED)
+        assert finished["status"] == "ok"
+        assert read_ledger(events, event=UNIT_FINALIZED)
+
+    def test_trace_subcommand_round_trips_the_ledger(self, tmp_path, capsys):
+        import json
+
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["detect", "Nasa", "--rows", "120", "--events", str(events),
+             "-q"]
+        ) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(events), "--out", str(out_path)]) == 0
+        trace = json.loads(out_path.read_text())
+        categories = {
+            e["cat"] for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"suite", "stage", "unit", "attempt"} <= categories
+
+        # Without --out the JSON is the stdout deliverable.
+        capsys.readouterr()
+        assert main(["trace", str(events)]) == 0
+        stdout_trace = json.loads(capsys.readouterr().out)
+        assert stdout_trace == trace
+
+    def test_trace_rejects_missing_or_corrupt_ledger(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read ledger" in capsys.readouterr().err
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("not json\n")
+        assert main(["trace", str(corrupt)]) == 2
+        assert "cannot read ledger" in capsys.readouterr().err

@@ -8,6 +8,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
+import check_clocks  # noqa: E402
 import check_exceptions  # noqa: E402
 
 
@@ -52,3 +53,45 @@ def test_lint_cli_exit_codes(tmp_path, capsys):
 
 def test_lint_rejects_missing_directory(tmp_path):
     assert check_exceptions.main(["prog", str(tmp_path / "nope")]) == 2
+
+
+def test_no_wall_clock_timing_in_src():
+    violations = check_clocks.check_tree(REPO_ROOT / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_clock_lint_flags_call_reference_and_import(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import time\n"
+        "from time import time as now\n"
+        "started = time.time()\n"
+        "clock = time.time\n"
+    )
+    violations = check_clocks.check_tree(tmp_path)
+    lines = {v.split(": ", 1)[1].split(" is ")[0] for v in violations}
+    assert len(violations) == 3, "\n".join(violations)
+    assert lines == {
+        "time.time() call", "time.time reference", "'from time import time'"
+    }
+
+
+def test_clock_lint_allows_monotonic_clocks(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "import time\n"
+        "from datetime import datetime, timezone\n"
+        "t0 = time.perf_counter()\n"
+        "t1 = time.monotonic()\n"
+        "wall = datetime.now(timezone.utc)\n"
+    )
+    assert check_clocks.check_tree(tmp_path) == []
+
+
+def test_clock_lint_cli_exit_codes(tmp_path, capsys):
+    assert check_clocks.main(["prog", str(tmp_path)]) == 0
+    (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+    assert check_clocks.main(["prog", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2" in out
+    assert check_clocks.main(["prog", str(tmp_path / "nope")]) == 2

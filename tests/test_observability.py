@@ -1,0 +1,407 @@
+"""Tier-1 tests for the observability layer (repro.observability).
+
+The layer's contract, proven here:
+
+- spans/metrics/ledger round-trip through their transport forms;
+- worker span buffers merge deterministically (same ids, same tree)
+  regardless of worker count;
+- telemetry is invisible to the suite: the checkpoint store contents
+  are byte-identical between an observability-disabled serial run and a
+  fully instrumented pooled run.
+"""
+
+import json
+import math
+import sqlite3
+
+import pytest
+
+from repro.benchmark import run_detection_suite
+from repro.datagen import generate
+from repro.detectors import MaxEntropyDetector, MVDetector, SDDetector
+from repro.observability import (
+    LEDGER_SCHEMA_VERSION,
+    MetricsRegistry,
+    RunLedger,
+    Telemetry,
+    Tracer,
+    chrome_trace,
+    chrome_trace_from_ledger,
+    current_telemetry,
+    read_ledger,
+    render_metrics_summary,
+    runtimes_from_ledger,
+    telemetry_scope,
+    write_bench_snapshot,
+)
+from repro.observability.ledger import (
+    STAGE_FINISHED,
+    STAGE_STARTED,
+    UNIT_FINALIZED,
+)
+from repro.observability.trace import ATTEMPT, STAGE, SUITE, UNIT
+from repro.parallel import ProcessPoolExecutor, null_sleep
+from repro.resilience import SuiteCheckpoint
+
+
+class StepClock:
+    """Deterministic monotonic clock: each reading advances one tick."""
+
+    def __init__(self, tick: float = 2.0 ** -10):
+        self.ticks = 0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.ticks += 1
+        return self.ticks * self.tick
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_spans_nest_under_the_open_stack(self):
+        tracer = Tracer(clock=StepClock())
+        with tracer.span("suite", SUITE):
+            with tracer.span("stage", STAGE):
+                with tracer.span("unit", UNIT):
+                    pass
+        suite, stage, unit = tracer.spans
+        assert suite.parent_id is None
+        assert stage.parent_id == suite.span_id
+        assert unit.parent_id == stage.span_id
+        assert all(not s.open for s in tracer.spans)
+        assert unit.end <= stage.end <= suite.end
+
+    def test_finish_closes_deeper_spans_left_open(self):
+        tracer = Tracer(clock=StepClock())
+        outer = tracer.begin("outer", STAGE)
+        tracer.begin("inner", UNIT)  # crashed code never finished it
+        tracer.finish(outer)
+        assert all(not s.open for s in tracer.spans)
+        assert tracer.current_id() is None
+
+    def test_drain_ships_finished_keeps_open(self):
+        tracer = Tracer(clock=StepClock())
+        open_span = tracer.begin("stage", STAGE)
+        with tracer.span("unit", UNIT):
+            pass
+        shipped = tracer.drain()
+        assert [p["name"] for p in shipped] == ["unit"]
+        assert [s.name for s in tracer.spans] == ["stage"]
+        tracer.finish(open_span)
+
+    def test_adopt_remaps_ids_deterministically(self):
+        payloads = []
+        worker = Tracer(clock=StepClock(), worker="worker-9")
+        with worker.span("unit", UNIT):
+            with worker.span("attempt-1", ATTEMPT):
+                pass
+        payloads = worker.drain()
+
+        def merged_tree():
+            driver = Tracer(clock=StepClock())
+            stage = driver.begin("stage", STAGE)
+            driver.adopt(payloads, parent_id=driver.current_id())
+            driver.finish(stage)
+            return [
+                (s.span_id, s.parent_id, s.name, s.worker)
+                for s in driver.spans
+            ]
+
+        first, second = merged_tree(), merged_tree()
+        assert first == second  # same payloads, same order -> same ids
+        names = {name: (sid, pid) for sid, pid, name, _ in first}
+        assert names["unit"][1] == names["stage"][0]
+        assert names["attempt-1"][1] == names["unit"][0]
+
+    def test_span_payload_round_trip_with_open_end(self):
+        tracer = Tracer(clock=StepClock())
+        span = tracer.begin("x", UNIT, method="MVD")
+        payload = span.to_payload()
+        assert payload["end"] is None  # NaN never reaches JSON
+        from repro.observability import Span
+
+        back = Span.from_payload(payload)
+        assert back.open and back.attrs == {"method": "MVD"}
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_snapshot_merge_is_additive_for_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, n in ((a, 2), (b, 3)):
+            registry.counter("units.ok").inc(n)
+            registry.histogram("t").observe(0.01)
+            registry.gauge("g").set(n)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["units.ok"] == 5
+        assert snap["histograms"]["t"]["count"] == 2
+        assert snap["gauges"]["g"] == 3.0  # last write wins
+
+    def test_merge_order_independent_totals(self):
+        parts = []
+        for n in (1, 2, 3):
+            r = MetricsRegistry()
+            r.counter("c").inc(n)
+            r.histogram("h").observe(n * 0.25)  # binary-exact values
+            parts.append(r.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for p in parts:
+            forward.merge(p)
+        for p in reversed(parts):
+            backward.merge(p)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_boundary_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different"):
+            registry.histogram("t", boundaries=(1.0, 5.0))
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_summary_renders_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("units.ok").inc(4)
+        registry.histogram("unit.compute_seconds").observe(0.2)
+        text = render_metrics_summary(registry)
+        assert "units.ok" in text and "unit.compute_seconds" in text
+        assert render_metrics_summary(MetricsRegistry()).endswith(
+            "no metrics recorded"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ledger
+# ----------------------------------------------------------------------
+class TestLedger:
+    def test_round_trip_and_sequencing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("run_started", workers=4)
+            ledger.emit("unit_finalized", unit="u1", score=float("nan"))
+        records = read_ledger(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert records[0]["schema"] == LEDGER_SCHEMA_VERSION
+        assert records[1]["score"] is None  # NaN encoded as null
+        assert read_ledger(path, event="run_started")[0]["workers"] == 4
+
+    def test_append_only_across_reopens(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit("run_started")
+        with RunLedger(path) as ledger:
+            ledger.emit("run_started")
+        assert len(read_ledger(path, event="run_started")) == 2
+
+    def test_rejects_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"schema": 999, "event": "x"}) + "\n")
+        with pytest.raises(ValueError, match="unsupported ledger schema"):
+            read_ledger(path)
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="JSON objects"):
+            read_ledger(path)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        ledger = RunLedger(tmp_path / "e.jsonl")
+        ledger.close()
+        with pytest.raises(ValueError, match="closed"):
+            ledger.emit("run_started")
+
+
+# ----------------------------------------------------------------------
+# Telemetry facade + scope
+# ----------------------------------------------------------------------
+class TestTelemetryScope:
+    def test_off_by_default_and_scoped_install(self):
+        assert current_telemetry() is None
+        telemetry = Telemetry()
+        with telemetry_scope(telemetry):
+            assert current_telemetry() is telemetry
+        assert current_telemetry() is None
+
+    def test_none_scope_is_a_no_op(self):
+        with telemetry_scope(None) as installed:
+            assert installed is None
+            assert current_telemetry() is None
+
+    def test_drain_absorb_round_trip(self):
+        worker = Telemetry(tracer=Tracer(worker="worker-1"))
+        with worker.span("unit", UNIT):
+            pass
+        worker.count("units.ok")
+        transport = worker.drain_transport()
+        assert worker.drain_transport() is None  # drained clean
+
+        driver = Telemetry()
+        with driver.span("stage", STAGE):
+            driver.absorb_transport(transport)
+        assert [s.worker for s in driver.tracer.by_category(UNIT)] == [
+            "worker-1"
+        ]
+        assert driver.metrics.snapshot()["counters"]["units.ok"] == 1
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExport:
+    def _payloads(self):
+        tracer = Tracer(clock=StepClock())
+        with tracer.span("stage", STAGE):
+            with tracer.span("unit", UNIT, method="MVD"):
+                pass
+        worker = Tracer(clock=StepClock(), worker="worker-7")
+        with worker.span("unit", UNIT):
+            pass
+        tracer.adopt(worker.drain())
+        return tracer.to_payloads()
+
+    def test_chrome_trace_shape(self):
+        trace = chrome_trace(self._payloads())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metadata} == {
+            "driver", "worker-7"
+        }
+        assert len(spans) == 3
+        assert all(e["dur"] >= 0 and "ts" in e for e in spans)
+        json.dumps(trace, allow_nan=False)  # valid strict JSON
+
+    def test_chrome_trace_marks_open_spans(self):
+        tracer = Tracer(clock=StepClock())
+        tracer.begin("hung", UNIT)
+        (event,) = [
+            e
+            for e in chrome_trace(tracer.to_payloads())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert event["dur"] == 0.0 and event["args"]["open"] is True
+
+    def test_runtimes_from_ledger_sums_per_method(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.emit(UNIT_FINALIZED, method="MVD", runtime_seconds=0.5)
+            ledger.emit(UNIT_FINALIZED, method="MVD", runtime_seconds=0.25)
+            ledger.emit(UNIT_FINALIZED, method="SD", runtime_seconds=None)
+        assert runtimes_from_ledger(path) == {"MVD": 0.75}
+
+    def test_bench_snapshot_is_strict_sorted_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        snapshot = write_bench_snapshot(
+            path, "x", numbers={"speedup": 2.5}, context={"workers": 4}
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == snapshot
+        assert on_disk["schema"] == 1
+        assert on_disk["numbers"]["speedup"] == 2.5
+
+
+# ----------------------------------------------------------------------
+# The determinism contract (the ISSUE's acceptance test)
+# ----------------------------------------------------------------------
+def _store_rows(path):
+    with sqlite3.connect(path) as connection:
+        return connection.execute(
+            "SELECT unit, payload_json FROM checkpoints ORDER BY unit"
+        ).fetchall()
+
+
+def _run_suite(store, telemetry=None, executor=None):
+    dataset = generate("SmartFactory", n_rows=120, seed=3)
+    detectors = [MVDetector(), SDDetector(3.0), MaxEntropyDetector()]
+    with SuiteCheckpoint.open(store, "obs-run") as checkpoint:
+        with telemetry_scope(telemetry):
+            return run_detection_suite(
+                dataset,
+                detectors,
+                clock=StepClock(),
+                sleep=null_sleep,
+                checkpoint=checkpoint,
+                executor=executor,
+            )
+
+
+class TestDeterminismContract:
+    def test_pooled_instrumented_run_matches_plain_serial_run(self, tmp_path):
+        """Telemetry on + 4 workers must not change a byte of suite output."""
+        plain = tmp_path / "plain.sqlite"
+        runs_off = _run_suite(plain)
+
+        instrumented = tmp_path / "instrumented.sqlite"
+        events = tmp_path / "events.jsonl"
+        telemetry = Telemetry(ledger=RunLedger(events))
+        runs_on = _run_suite(
+            instrumented,
+            telemetry=telemetry,
+            executor=ProcessPoolExecutor(4),
+        )
+        telemetry.flush_to_ledger()
+        telemetry.ledger.close()
+
+        assert [r.to_payload() for r in runs_on] == [
+            r.to_payload() for r in runs_off
+        ]
+        assert _store_rows(instrumented) == _store_rows(plain)
+
+        # The merged span tree is complete: one stage span, one unit
+        # child per detector, one attempt child per unit.
+        tracer = telemetry.tracer
+        (stage_span,) = tracer.by_category(STAGE)
+        units = tracer.by_category(UNIT)
+        assert len(units) == 3
+        assert all(u.parent_id == stage_span.span_id for u in units)
+        for unit in units:
+            children = tracer.children_of(unit.span_id)
+            assert [c.category for c in children] == [ATTEMPT]
+        assert all(not s.open for s in tracer.spans)
+        assert {u.attrs["outcome"] for u in units} == {"ok"}
+        assert all(u.worker.startswith("worker-") for u in units)
+
+        # Metrics merged from the workers are the serial totals.
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["units.ok"] == 3
+        assert counters["units.executed"] == 3
+        histograms = telemetry.metrics.snapshot()["histograms"]
+        assert histograms["unit.compute_seconds"]["count"] == 3
+        assert histograms["unit.merge_wait_seconds"]["count"] == 3
+
+        # The ledger brackets the stage and finalizes every unit, and
+        # its span events rebuild a valid Chrome trace.
+        assert len(read_ledger(events, event=STAGE_STARTED)) == 1
+        assert len(read_ledger(events, event=STAGE_FINISHED)) == 1
+        finalized = read_ledger(events, event=UNIT_FINALIZED)
+        assert [r["method"] for r in finalized] == [
+            "MVD", "SD", "MaxEntropy"
+        ]
+        assert all(r["ok"] for r in finalized)
+        trace = chrome_trace_from_ledger(events)
+        assert len(
+            [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        ) == len(telemetry.tracer.spans)
+
+    def test_serial_instrumented_run_matches_plain_serial_run(self, tmp_path):
+        plain = tmp_path / "plain.sqlite"
+        runs_off = _run_suite(plain)
+        instrumented = tmp_path / "instrumented.sqlite"
+        telemetry = Telemetry()
+        runs_on = _run_suite(instrumented, telemetry=telemetry)
+        assert [r.to_payload() for r in runs_on] == [
+            r.to_payload() for r in runs_off
+        ]
+        assert _store_rows(instrumented) == _store_rows(plain)
+        assert len(telemetry.tracer.by_category(UNIT)) == 3
+        # Serial units are recorded by the driver itself.
+        assert {u.worker for u in telemetry.tracer.by_category(UNIT)} == {""}

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.errors",
     "repro.metrics",
     "repro.ml",
+    "repro.observability",
     "repro.profiling",
     "repro.repair",
     "repro.reporting",

@@ -4,7 +4,14 @@ import math
 
 import pytest
 
-from repro.reporting import render_bars, render_matrix, render_series, render_table
+from repro.reporting import (
+    display_width,
+    render_bars,
+    render_matrix,
+    render_runtime_panel,
+    render_series,
+    render_table,
+)
 
 
 class TestRenderTable:
@@ -61,3 +68,79 @@ class TestRenderSeries:
         # x=0.1 row has a '-' for SD which has no point there.
         row_01 = next(l for l in lines if l.startswith("0.100"))
         assert "-" in row_01
+
+    def test_empty_series_mapping(self):
+        out = render_series({}, x_label="x", y_label="y", title="empty")
+        lines = out.splitlines()
+        assert lines[0] == "empty"
+        assert lines[1].startswith("x")
+        assert len(lines) == 3  # title + header + rule, no data rows
+
+    def test_series_with_no_points(self):
+        out = render_series(
+            {"RAHA": []}, x_label="x", y_label="f1"
+        )
+        assert "RAHA (f1)" in out.splitlines()[0]
+        assert len(out.splitlines()) == 2  # header + rule only
+
+    def test_nan_y_values_render_as_nan_cells(self):
+        out = render_series(
+            {"SD": [(0.1, float("nan")), (0.2, 0.5)]},
+            x_label="x", y_label="f1",
+        )
+        row = next(l for l in out.splitlines() if l.startswith("0.100"))
+        assert "nan" in row
+
+
+class TestDisplayWidth:
+    def test_ascii(self):
+        assert display_width("abc") == 3
+
+    def test_east_asian_wide_counts_two_columns(self):
+        assert display_width("数据") == 4
+
+    def test_combining_marks_count_zero(self):
+        assert display_width("é") == 1  # e + combining acute
+
+    def test_mixed_width_labels_align(self):
+        out = render_table(
+            ["name", "f1"], [["数据清洗", 0.9], ["SD", 0.4]]
+        )
+        lines = out.splitlines()
+        # The value cells must start at the same terminal column, i.e.
+        # the padded label fields occupy equal display width.
+        wide_row = next(l for l in lines if "数据清洗" in l)
+        ascii_row = next(l for l in lines if l.startswith("SD"))
+        assert display_width(wide_row[: wide_row.index("0.900")]) == (
+            display_width(ascii_row[: ascii_row.index("0.400")])
+        )
+
+    def test_mixed_width_bar_labels_align(self):
+        out = render_bars({"数据": 2.0, "SD": 1.0}, width=10)
+        lines = out.splitlines()
+        starts = {display_width(l.split("#")[0]) for l in lines}
+        assert len(starts) == 1  # bars start at the same display column
+
+
+class TestRenderRuntimePanel:
+    def test_sorted_slowest_first_with_total(self):
+        out = render_runtime_panel(
+            {"fast": 0.5, "slow": 2.0}, title="runtime"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "runtime"
+        assert lines[1].startswith("slow")
+        assert lines[2].startswith("fast")
+        assert lines[-1].startswith("total") and "2.500" in lines[-1]
+
+    def test_failures_are_marked_not_hidden(self):
+        out = render_runtime_panel(
+            {"crashy": 1.5, "ok": 0.2}, failures={"crashy": "bug"}
+        )
+        assert "crashy !bug" in out
+        assert "1.500" in out  # the honest runtime stays visible
+
+    def test_empty_panel(self):
+        out = render_runtime_panel({}, title="runtime")
+        assert "runtime" in out
+        assert "no units finalized" in out

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Lint: forbid wall-clock timing (``time.time``) in measurement paths.
+
+Every duration the benchmark reports -- unit runtimes, span durations,
+queue-wait histograms -- must come from a monotonic clock
+(``time.perf_counter`` or ``time.monotonic``); ``time.time()`` jumps
+with NTP adjustments and DST, which silently corrupts runtime panels
+and makes the observability layer's serial-vs-pooled equivalence
+unverifiable.  Wall-clock *timestamps* (when did this run happen) are
+fine, but they must go through ``datetime.now(timezone.utc)`` so the
+intent is explicit.  This script walks ``src/`` and fails on any
+``time.time()`` call or ``from time import time`` import.
+
+Usage::
+
+    python tools/check_clocks.py [src-root]
+
+Exit status 0 means clean; 1 means violations (printed one per line
+as ``path:lineno: message``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+# Files allowed to reference time.time(), relative to the src root.
+# Each entry must document why wall-clock timing is sanctioned there.
+ALLOWLIST: set = set()
+
+_MESSAGE = (
+    "wall-clock timing; use time.perf_counter/time.monotonic for "
+    "durations or datetime.now(timezone.utc) for timestamps"
+)
+
+
+def _flag(node: ast.AST) -> bool:
+    """True for ``time.time`` attribute access (module-qualified call)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "time"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "time"
+    )
+
+
+def check_file(path: Path) -> Iterator[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    called = {
+        id(node.func)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call) and _flag(node.func)
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and _flag(node):
+            # Both direct calls and bare time.time references (passed
+            # as a clock callable) are flagged -- injectable clocks
+            # default to perf_counter, never wall time.
+            kind = "time.time() call" if id(node) in called else (
+                "time.time reference"
+            )
+            yield node.lineno, f"{kind} is {_MESSAGE}"
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    yield node.lineno, (
+                        f"'from time import time' is {_MESSAGE}"
+                    )
+
+
+def check_tree(src_root: Path) -> List[str]:
+    violations: List[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        relative = path.relative_to(src_root).as_posix()
+        if relative in ALLOWLIST:
+            continue
+        for lineno, message in check_file(path):
+            violations.append(f"{path}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not src_root.is_dir():
+        print(f"error: {src_root} is not a directory", file=sys.stderr)
+        return 2
+    violations = check_tree(src_root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(
+            f"{len(violations)} wall-clock timing site(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
