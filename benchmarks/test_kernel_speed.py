@@ -1,0 +1,230 @@
+"""Kernel speedups: vectorized CART/KNN vs the frozen scalar reference,
+plus the warm artifact cache against a cold end-to-end run.
+
+Three measurements, all against honest workloads:
+
+- **tree fit+predict**: both builders train on the one-hot-heavy matrix
+  produced by actually encoding a generated benchmark dataset (the
+  matrices REIN's model zoo really sees), at the repo-default tree
+  configuration.  The property suite proves the two builders produce
+  *identical* trees, so this is a pure like-for-like kernel comparison.
+  Bar: >= 3x.
+- **KNN distances**: the blocked Gram-matrix kernel against the naive
+  (n, m, d) broadcast.  Reported, no bar -- the margin is enormous and
+  asserting a huge multiple would just make the suite flaky on slow
+  hosts.  A conservative floor guards against regressions.
+- **warm cache end-to-end**: an ML detector suite (featurization-bound
+  ED2) run cold then warm on the same artifact cache.  Bar: >= 2x, and
+  the warm run's payloads must be byte-identical to an uncached run's.
+
+The combined numbers land in ``BENCH_kernels.json`` at the repo root so
+they stay diffable PR over PR.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import bench_dataset, emit
+
+from repro.benchmark import run_detection_suite
+from repro.cache import ArtifactCache, cache_scope
+from repro.dataset.encoding import TableEncoder
+from repro.detectors.ml_detectors import ED2Detector
+from repro.ml._reference import (
+    ReferenceDecisionTreeClassifier,
+    reference_pairwise_sq_distances,
+)
+from repro.ml.neighbors import _pairwise_sq_distances
+from repro.ml.tree import DecisionTreeClassifier
+from repro.observability import write_bench_snapshot
+from repro.reporting import render_table
+
+#: Machine-readable perf snapshot, committed at the repo root.
+BENCH_SNAPSHOT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_kernels.json"
+)
+
+TREE_ROWS = 4000
+CACHE_ROWS = 2000
+
+#: Numbers accumulated across the tests in this module; the final test
+#: writes them as one snapshot.
+_RESULTS = {}
+
+
+def _best_of(fn, reps=5):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _encoded_features():
+    dataset = bench_dataset("Beers", n_rows=TREE_ROWS)
+    features = TableEncoder(max_categories=12).fit_transform(dataset.dirty)
+    labels = np.random.default_rng(0).integers(0, 2, size=len(features))
+    return features, labels
+
+
+def test_tree_fit_predict_at_least_three_times_faster(benchmark):
+    features, labels = _encoded_features()
+
+    def vectorized():
+        return DecisionTreeClassifier(seed=0).fit(features, labels).predict(
+            features
+        )
+
+    def reference():
+        model = ReferenceDecisionTreeClassifier(seed=0).fit(features, labels)
+        return model.predict(features)
+
+    benchmark.pedantic(vectorized, rounds=3, warmup_rounds=1)
+    vec_seconds = benchmark.stats.stats.min
+    ref_seconds = _best_of(reference, reps=3)
+    speedup = ref_seconds / vec_seconds
+    _RESULTS["tree_fit_predict_reference_seconds"] = round(ref_seconds, 4)
+    _RESULTS["tree_fit_predict_vectorized_seconds"] = round(vec_seconds, 4)
+    _RESULTS["tree_fit_predict_speedup"] = round(speedup, 2)
+    emit(
+        "kernel_tree_speed",
+        render_table(
+            ["builder", "fit+predict seconds", "speedup"],
+            [
+                ["scalar reference", round(ref_seconds, 3), 1.0],
+                ["vectorized", round(vec_seconds, 3), round(speedup, 2)],
+            ],
+            title=(
+                f"CART fit+predict, encoded Beers "
+                f"({features.shape[0]} x {features.shape[1]})"
+            ),
+        ),
+    )
+    assert speedup >= 3.0, (
+        f"expected >= 3x tree fit+predict speedup, got {speedup:.2f}x "
+        f"(reference {ref_seconds:.3f}s, vectorized {vec_seconds:.3f}s)"
+    )
+
+
+def test_knn_distance_kernel_speedup(benchmark):
+    rng = np.random.default_rng(1)
+    queries = rng.normal(size=(600, 60))
+    reference_points = rng.normal(size=(2500, 60))
+
+    benchmark.pedantic(
+        lambda: _pairwise_sq_distances(queries, reference_points),
+        rounds=5,
+        warmup_rounds=1,
+    )
+    vec_seconds = benchmark.stats.stats.min
+    ref_seconds = _best_of(
+        lambda: reference_pairwise_sq_distances(queries, reference_points),
+        reps=3,
+    )
+    speedup = ref_seconds / vec_seconds
+    _RESULTS["knn_distances_reference_seconds"] = round(ref_seconds, 4)
+    _RESULTS["knn_distances_vectorized_seconds"] = round(vec_seconds, 4)
+    _RESULTS["knn_distances_speedup"] = round(speedup, 2)
+    emit(
+        "kernel_knn_speed",
+        render_table(
+            ["kernel", "seconds", "speedup"],
+            [
+                ["naive broadcast", round(ref_seconds, 4), 1.0],
+                ["blocked Gram", round(vec_seconds, 4), round(speedup, 2)],
+            ],
+            title="pairwise sq distances, 600 queries x 2500 refs x 60 dims",
+        ),
+    )
+    # Conservative floor: the real margin is one to two orders larger.
+    assert speedup >= 5.0, f"distance kernel regressed to {speedup:.2f}x"
+
+
+def _detection_payloads(runs) -> str:
+    stripped = []
+    for run in runs:
+        payload = run.to_payload()
+        payload["runtime_seconds"] = None  # wall clock differs by design
+        stripped.append(payload)
+    return json.dumps(stripped, sort_keys=True)
+
+
+def test_warm_cache_end_to_end_at_least_twice_as_fast(tmp_path):
+    dataset = bench_dataset("Beers", n_rows=CACHE_ROWS)
+    cache = ArtifactCache(str(tmp_path / "artifacts"))
+
+    def suite():
+        detectors = [ED2Detector(labels_per_column=12, batch_size=4)]
+        return run_detection_suite(dataset, detectors)
+
+    uncached_runs = suite()
+
+    def cached_suite():
+        with cache_scope(cache):
+            return suite()
+
+    started = time.perf_counter()
+    cold_runs = cached_suite()
+    cold_seconds = time.perf_counter() - started
+    warm_seconds = _best_of(cached_suite, reps=3)
+    warm_runs = cached_suite()
+
+    assert _detection_payloads(cold_runs) == _detection_payloads(
+        uncached_runs
+    )
+    assert _detection_payloads(warm_runs) == _detection_payloads(
+        uncached_runs
+    )
+    stats = cache.stats()
+    assert stats["hits"] > 0 and stats["puts"] > 0
+
+    speedup = cold_seconds / warm_seconds
+    _RESULTS["cache_cold_seconds"] = round(cold_seconds, 4)
+    _RESULTS["cache_warm_seconds"] = round(warm_seconds, 4)
+    _RESULTS["cache_warm_speedup"] = round(speedup, 2)
+    emit(
+        "kernel_cache_speed",
+        render_table(
+            ["configuration", "wall_seconds", "speedup"],
+            [
+                ["cold cache", round(cold_seconds, 3), 1.0],
+                ["warm cache", round(warm_seconds, 3), round(speedup, 2)],
+            ],
+            title=(
+                f"ED2 detection suite, Beers n={CACHE_ROWS}: "
+                "cold vs warm artifact cache"
+            ),
+        ),
+    )
+    assert speedup >= 2.0, (
+        f"expected >= 2x warm-cache speedup, got {speedup:.2f}x "
+        f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+    )
+
+
+def test_write_kernel_snapshot():
+    """Runs last (file order): persists every number measured above."""
+    required = {
+        "tree_fit_predict_speedup",
+        "knn_distances_speedup",
+        "cache_warm_speedup",
+    }
+    missing = required - _RESULTS.keys()
+    assert not missing, f"benchmarks did not record {sorted(missing)}"
+    write_bench_snapshot(
+        BENCH_SNAPSHOT,
+        "kernel_speed",
+        numbers=dict(_RESULTS),
+        context={
+            "tree_dataset": "Beers",
+            "tree_rows": TREE_ROWS,
+            "tree_config": "repo defaults (unbounded depth)",
+            "knn_shape": "600x2500x60",
+            "cache_workload": "ED2 detection suite",
+            "cache_rows": CACHE_ROWS,
+            "rounds": 3,
+        },
+    )

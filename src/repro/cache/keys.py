@@ -1,0 +1,119 @@
+"""Content-addressed cache keys: table and configuration fingerprints.
+
+The benchmark grid re-encodes the same table versions dozens of times
+per suite (every scenario x seed x model unit re-featurizes its train
+and test splits from scratch).  To memoize those artifacts safely, each
+cache entry is keyed by *content*, never by identity: a SHA-256 over the
+table's schema and canonicalized cell payloads, combined with a SHA-256
+over the producing configuration (encoder settings, target column,
+feature-family version).  Same content -> same key -> safe reuse; any
+cell or config change -> a different key -> a clean miss.
+
+Canonical cell encoding mirrors the checkpoint store's: every explicit
+missing marker (``None``, NaN, ``"NA"`` ...) maps to ``null``.  That is
+deliberate -- the encoding and featurization paths treat all missing
+markers identically (``is_missing`` / ``coerce_float`` / one-hot key
+``None``), so tables that differ only in *which* missing marker they
+carry produce byte-identical artifacts and may share a cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table, is_missing
+
+#: Bump when the key layout or canonical encodings change incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_cell(value: Any) -> Any:
+    """Reduce one cell payload to a JSON-stable canonical form.
+
+    Missing markers collapse to ``None`` (see module docstring); numpy
+    scalars map to their builtin equivalents; anything else is
+    stringified, matching how the encoders consume it.
+    """
+    if is_missing(value):
+        return None
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (bool, int, float)):
+        return value
+    return str(value)
+
+
+def table_fingerprint(table: Table) -> str:
+    """SHA-256 hex digest of a table's schema and cell contents.
+
+    Column-by-column streaming keeps peak memory at one column's JSON;
+    the digest covers column names, declared kinds, row count, and every
+    canonicalized cell in order.
+
+    The digest is memoized on the table against its mutation counter
+    (every ``set_cell`` bumps it), so re-fingerprinting an unchanged
+    table between artifact lookups is O(1).
+    """
+    token = getattr(table, "_mutation_count", None)
+    memo = table.__dict__.get("_fingerprint_memo")
+    if memo is not None and token is not None and memo[0] == token:
+        return memo[1]
+    digest = hashlib.sha256()
+    header = {
+        "schema": [[c.name, c.kind] for c in table.schema.columns],
+        "n_rows": table.n_rows,
+    }
+    digest.update(
+        json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    )
+    for name in table.schema.names:
+        cells = [canonical_cell(v) for v in table.column(name)]
+        digest.update(
+            json.dumps(cells, separators=(",", ":"), allow_nan=False).encode()
+        )
+    result = digest.hexdigest()
+    if token is not None:
+        table.__dict__["_fingerprint_memo"] = (token, result)
+    return result
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a JSON-serializable configuration mapping."""
+    text = json.dumps(
+        {str(k): config[k] for k in config},
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def artifact_key(
+    kind: str,
+    tables: Sequence[str],
+    config: Mapping[str, Any],
+) -> str:
+    """Canonical cache key for one artifact.
+
+    ``kind`` names the artifact family (and should embed a version so
+    kernel changes invalidate cleanly); ``tables`` are the input tables'
+    :func:`table_fingerprint` digests in positional order; ``config`` is
+    the producing configuration.
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "tables": list(tables),
+            "config": config_fingerprint(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

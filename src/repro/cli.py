@@ -24,6 +24,12 @@ Resilience flags (available on every stage command):
 - ``--retries N``: attempts for transient failures (default 1 = none).
 - ``--workers N``: shard the stage's unit grid across N worker
   processes; output is byte-identical to the serial run for any N.
+- ``--cache-dir PATH``: content-addressed artifact cache; encoded
+  feature matrices and detector features are memoized on disk, keyed by
+  table content + configuration, so re-runs (and repeated table
+  versions inside one run) skip re-featurization.  Results are
+  byte-identical with or without the cache, at any worker count.
+- ``--no-cache``: force the cache off even when ``--cache-dir`` is set.
 
 Observability flags (global, on every command):
 
@@ -51,6 +57,7 @@ from repro.benchmark import (
     run_detection_suite,
     run_repair_suite,
 )
+from repro.cache import ArtifactCache, cache_scope
 from repro.datagen import DATASET_NAMES, dataset_spec, generate
 from repro.observability import (
     RunLedger,
@@ -131,6 +138,16 @@ def _build_parser() -> argparse.ArgumentParser:
             help="worker processes for the unit grid (default 1 = serial; "
                  "results are identical for any N)",
         )
+        stage.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="content-addressed artifact cache directory; encoded "
+                 "matrices and detector features are memoized there "
+                 "(results are identical with or without it)",
+        )
+        stage.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the artifact cache even when --cache-dir is set",
+        )
         if command == "model":
             stage.add_argument("--model", default="DT")
             stage.add_argument("--seeds", type=int, default=4)
@@ -204,6 +221,30 @@ def _telemetry_session(
             telemetry.flush_to_ledger()
             if telemetry.ledger is not None:
                 telemetry.ledger.close()
+
+
+@contextmanager
+def _cache_session(
+    args: argparse.Namespace, telemetry: Optional[Telemetry]
+) -> Iterator[Optional[ArtifactCache]]:
+    """Install the artifact cache for one CLI run (when requested).
+
+    On exit the cache's hit/miss/bytes counters are emitted as a
+    ``cache_summary`` ledger event, so a run's cache behaviour is
+    auditable next to its spans and failures.
+    """
+    if args.no_cache or args.cache_dir is None:
+        yield None
+        return
+    cache = ArtifactCache(args.cache_dir)
+    with cache_scope(cache):
+        try:
+            yield cache
+        finally:
+            if telemetry is not None:
+                telemetry.event(
+                    "cache_summary", root=cache.root, **cache.stats()
+                )
 
 
 def _print_telemetry(args: argparse.Namespace, telemetry) -> None:
@@ -282,7 +323,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     checkpoint = guards["checkpoint"]
     controller = BenchmarkController(breaker=guards["breaker"])
     applicable = controller.applicable_detectors(dataset)
-    with _telemetry_session(args) as telemetry:
+    with _telemetry_session(args) as telemetry, \
+            _cache_session(args, telemetry):
         try:
             runs = run_detection_suite(
                 dataset, applicable, seed=args.seed, **guards
@@ -326,7 +368,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     dataset = generate(args.dataset, n_rows=args.rows, seed=args.seed)
     guards = _guard_kwargs(args)
     checkpoint = guards["checkpoint"]
-    with _telemetry_session(args) as telemetry:
+    with _telemetry_session(args) as telemetry, \
+            _cache_session(args, telemetry):
         try:
             detection_runs = run_detection_suite(
                 dataset, [MVDetector(), MaxEntropyDetector()], seed=args.seed,
@@ -378,7 +421,8 @@ def _cmd_model(args: argparse.Namespace) -> int:
         return 2
     guards = _guard_kwargs(args)
     checkpoint = guards["checkpoint"]
-    with _telemetry_session(args) as telemetry:
+    with _telemetry_session(args) as telemetry, \
+            _cache_session(args, telemetry):
         try:
             evaluation = evaluate_scenarios(
                 dataset, dataset.dirty, "dirty", args.model,

@@ -7,6 +7,18 @@ The policy mirrors common practice (and REIN's own preprocessing): numerical
 columns are mean-imputed and standardized; categorical columns are one-hot
 encoded over the categories seen at fit time with unseen values mapped to an
 all-zero block.
+
+Transforms are single-pass and columnar: numeric imputation and scaling are
+whole-matrix vectorized operations, and each categorical column makes one
+pass over its cells to produce level indices that are scattered into the
+one-hot block in a single assignment.
+
+Both :meth:`TableEncoder.fit_transform` and :func:`encode_supervised`
+consult the process-wide artifact cache (:func:`repro.cache.current_cache`)
+when one is installed: the encoded matrices and the fitted encoder state are
+memoized under content-addressed keys, so re-encoding an identical table
+version under identical settings is a disk read.  With no cache installed
+both behave exactly as before.
 """
 
 from __future__ import annotations
@@ -16,6 +28,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.keys import artifact_key, table_fingerprint
+from repro.cache.store import current_cache
 from repro.dataset.table import Table, coerce_float, is_missing
 
 
@@ -55,16 +69,15 @@ class LabelEncoder:
     def transform(self, values: Sequence[Any]) -> np.ndarray:
         if not self._index:
             raise RuntimeError("LabelEncoder used before fit")
-        out = np.empty(len(values), dtype=np.int64)
-        for i, v in enumerate(values):
-            key = self._key(v)
-            if key not in self._index:
-                # Unseen label at transform time: bucket into class 0 so the
-                # pipeline keeps running on very dirty label columns.
-                out[i] = 0
-            else:
-                out[i] = self._index[key]
-        return out
+        index = self._index
+        key = self._key
+        # Unseen labels bucket into class 0 so the pipeline keeps running
+        # on very dirty label columns.
+        return np.fromiter(
+            (index.get(key(v), 0) for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )
 
     def fit_transform(self, values: Sequence[Any]) -> np.ndarray:
         return self.fit(values).transform(values)
@@ -97,6 +110,7 @@ class TableEncoder:
         self._num_mean: Optional[np.ndarray] = None
         self._num_std: Optional[np.ndarray] = None
         self._cat_levels: Dict[str, List[str]] = {}
+        self._cat_index: Dict[str, Dict[str, int]] = {}
         self._fitted = False
 
     @staticmethod
@@ -129,6 +143,10 @@ class TableEncoder:
                     counts[key] = counts.get(key, 0) + 1
             top = sorted(counts, key=lambda k: (-counts[k], k))
             self._cat_levels[name] = top[: self.max_categories]
+        self._cat_index = {
+            name: {lvl: j for j, lvl in enumerate(levels)}
+            for name, levels in self._cat_levels.items()
+        }
         self._fitted = True
         return self
 
@@ -138,28 +156,95 @@ class TableEncoder:
         blocks: List[np.ndarray] = []
         if self._numerical:
             matrix = table.numeric_matrix(self._numerical)
-            # Mean-impute anything missing or corrupted-to-text.
-            for j in range(matrix.shape[1]):
-                col = matrix[:, j]
-                col[np.isnan(col)] = self._num_mean[j]
+            # Mean-impute anything missing or corrupted-to-text, one
+            # whole-matrix pass instead of a per-column loop.
+            matrix = np.where(np.isnan(matrix), self._num_mean, matrix)
             if self.scale:
                 matrix = (matrix - self._num_mean) / self._num_std
             blocks.append(matrix)
         for name in self._categorical:
             levels = self._cat_levels[name]
             block = np.zeros((table.n_rows, len(levels)), dtype=np.float64)
-            index = {lvl: j for j, lvl in enumerate(levels)}
-            for i, v in enumerate(table.column(name)):
-                key = self._cat_key(v)
-                if key is not None and key in index:
-                    block[i, index[key]] = 1.0
+            index = self._cat_index[name]
+            key = self._cat_key
+            cells = table.column(name)
+            # One pass: map each cell to its level index (-1 for missing
+            # or unseen), then scatter the hits in a single assignment.
+            hits = np.fromiter(
+                (
+                    index.get(k, -1) if (k := key(v)) is not None else -1
+                    for v in cells
+                ),
+                dtype=np.int64,
+                count=len(cells),
+            )
+            rows = np.flatnonzero(hits >= 0)
+            block[rows, hits[rows]] = 1.0
             blocks.append(block)
         if not blocks:
             return np.zeros((table.n_rows, 0), dtype=np.float64)
         return np.hstack(blocks)
 
     def fit_transform(self, table: Table, exclude: Sequence[str] = ()) -> np.ndarray:
-        return self.fit(table, exclude=exclude).transform(table)
+        cache = current_cache()
+        if cache is None:
+            return self.fit(table, exclude=exclude).transform(table)
+        key = artifact_key(
+            "encoder/fit_transform@v1",
+            [table_fingerprint(table)],
+            {
+                "max_categories": self.max_categories,
+                "scale": self.scale,
+                "exclude": sorted(str(n) for n in exclude),
+            },
+        )
+        entry = cache.get(key)
+        if entry is not None:
+            self.restore_state(entry.meta["encoder"])
+            return entry.arrays["matrix"]
+        matrix = self.fit(table, exclude=exclude).transform(table)
+        cache.put(key, {"matrix": matrix}, {"encoder": self.state()})
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Fitted-state serialization (for cache entries)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """JSON-serializable fitted state (exact: floats round-trip via
+        ``repr`` so a restored encoder transforms byte-identically)."""
+        if not self._fitted:
+            raise RuntimeError("TableEncoder used before fit")
+        return {
+            "max_categories": self.max_categories,
+            "scale": self.scale,
+            "numerical": list(self._numerical),
+            "categorical": list(self._categorical),
+            "num_mean": [float(x) for x in self._num_mean],
+            "num_std": [float(x) for x in self._num_std],
+            "cat_levels": {k: list(v) for k, v in self._cat_levels.items()},
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> "TableEncoder":
+        self.max_categories = int(state["max_categories"])
+        self.scale = bool(state["scale"])
+        self._numerical = list(state["numerical"])
+        self._categorical = list(state["categorical"])
+        self._num_mean = np.asarray(state["num_mean"], dtype=np.float64)
+        self._num_std = np.asarray(state["num_std"], dtype=np.float64)
+        self._cat_levels = {k: list(v) for k, v in state["cat_levels"].items()}
+        self._cat_index = {
+            name: {lvl: j for j, lvl in enumerate(levels)}
+            for name, levels in self._cat_levels.items()
+        }
+        self._fitted = True
+        return self
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "TableEncoder":
+        return cls(
+            max_categories=int(state["max_categories"]),
+            scale=bool(state["scale"]),
+        ).restore_state(state)
 
     @property
     def n_features(self) -> int:
@@ -179,23 +264,15 @@ class TableEncoder:
         return names
 
 
-def encode_supervised(
+def _encode_supervised_fresh(
     train: Table,
     test: Table,
     target: str,
     task: str,
-    max_categories: int = 20,
+    max_categories: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, TableEncoder]:
-    """Encode a train/test table pair for a supervised task.
-
-    Returns ``(X_train, y_train, X_test, y_test, encoder)``.  For
-    classification, labels are label-encoded over the union of both splits so
-    train and test codes agree.  For regression, labels are float-coerced with
-    NaN targets replaced by the training-label mean (dirty labels must not
-    crash the pipeline).
-    """
     encoder = TableEncoder(max_categories=max_categories)
-    x_train = encoder.fit_transform(train, exclude=[target])
+    x_train = encoder.fit(train, exclude=[target]).transform(train)
     x_test = encoder.transform(test)
     if task == "classification":
         label_encoder = LabelEncoder()
@@ -214,4 +291,57 @@ def encode_supervised(
         y_test = np.where(np.isnan(y_test), fill, y_test)
     else:
         raise ValueError(f"unsupported supervised task {task!r}")
+    return x_train, y_train, x_test, y_test, encoder
+
+
+def encode_supervised(
+    train: Table,
+    test: Table,
+    target: str,
+    task: str,
+    max_categories: int = 20,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, TableEncoder]:
+    """Encode a train/test table pair for a supervised task.
+
+    Returns ``(X_train, y_train, X_test, y_test, encoder)``.  For
+    classification, labels are label-encoded over the union of both splits so
+    train and test codes agree.  For regression, labels are float-coerced with
+    NaN targets replaced by the training-label mean (dirty labels must not
+    crash the pipeline).
+
+    When an artifact cache is installed, the full quadruple plus the fitted
+    encoder state is memoized against the content of both splits and the
+    encoding settings.
+    """
+    cache = current_cache()
+    if cache is None:
+        return _encode_supervised_fresh(train, test, target, task, max_categories)
+    key = artifact_key(
+        "encoder/supervised@v1",
+        [table_fingerprint(train), table_fingerprint(test)],
+        {"target": target, "task": task, "max_categories": max_categories},
+    )
+    entry = cache.get(key)
+    if entry is not None:
+        encoder = TableEncoder.from_state(entry.meta["encoder"])
+        return (
+            entry.arrays["x_train"],
+            entry.arrays["y_train"],
+            entry.arrays["x_test"],
+            entry.arrays["y_test"],
+            encoder,
+        )
+    x_train, y_train, x_test, y_test, encoder = _encode_supervised_fresh(
+        train, test, target, task, max_categories
+    )
+    cache.put(
+        key,
+        {
+            "x_train": x_train,
+            "y_train": y_train,
+            "x_test": x_test,
+            "y_test": y_test,
+        },
+        {"encoder": encoder.state()},
+    )
     return x_train, y_train, x_test, y_test, encoder

@@ -115,6 +115,9 @@ class Table:
                 )
             self._data[name] = arr
         self._n_rows = n_rows if n_rows is not None else 0
+        # Bumped by every in-place cell write; content-keyed consumers
+        # (the artifact cache's fingerprint memo) use it to detect staleness.
+        self._mutation_count = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -182,6 +185,7 @@ class Table:
     def set_cell(self, row: int, column: str, value: Any) -> None:
         self._check_row(row)
         self.column(column)[row] = value
+        self._mutation_count += 1
 
     def _check_row(self, index: int) -> None:
         if not 0 <= index < self._n_rows:

@@ -19,6 +19,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.cache.keys import artifact_key, table_fingerprint
+from repro.cache.store import current_cache
 from repro.dataset.table import Table, coerce_float, is_missing
 
 _SENTINEL_STRINGS = {"unknown", "unk", "xxx", "missing", "tbd", "-", "x"}
@@ -160,11 +162,44 @@ def metadata_features(table: Table, column: str) -> np.ndarray:
     )
 
 
-def combined_features(table: Table) -> Dict[str, np.ndarray]:
-    """Strategy + metadata features for every column."""
+def _combined_features_fresh(table: Table) -> Dict[str, np.ndarray]:
     return {
         column: np.hstack(
             [strategy_features(table, column), metadata_features(table, column)]
         )
         for column in table.column_names
     }
+
+
+def combined_features(table: Table) -> Dict[str, np.ndarray]:
+    """Strategy + metadata features for every column.
+
+    This is the dominant featurization cost of the ML-supported detectors
+    (RAHA and friends re-derive it for every table version), so the whole
+    per-column mapping is memoized in the artifact cache when one is
+    installed.  Column names can be arbitrary strings, so the entry stores
+    arrays under positional names with the real column order in the JSON
+    metadata.
+    """
+    cache = current_cache()
+    if cache is None:
+        return _combined_features_fresh(table)
+    key = artifact_key(
+        "detector/combined_features@v1",
+        [table_fingerprint(table)],
+        {},
+    )
+    entry = cache.get(key)
+    if entry is not None:
+        columns = entry.meta["columns"]
+        return {
+            name: entry.arrays[f"c{i}"] for i, name in enumerate(columns)
+        }
+    features = _combined_features_fresh(table)
+    columns = list(features)
+    cache.put(
+        key,
+        {f"c{i}": features[name] for i, name in enumerate(columns)},
+        {"columns": columns},
+    )
+    return features

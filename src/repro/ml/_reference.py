@@ -1,0 +1,256 @@
+"""Frozen pre-vectorization reference kernels (equivalence oracles).
+
+This module preserves the *original* scalar implementations of the hot
+ML kernels exactly as they were before the vectorization pass:
+
+- a CART builder whose ``_best_split`` re-argsorts every candidate
+  feature at every node;
+- per-row recursive tree prediction;
+- naive O(n*m*d) pairwise squared distances by full broadcasting.
+
+They exist for two reasons and must not be "improved":
+
+1. the property suite proves the vectorized kernels in
+   :mod:`repro.ml.tree` and :mod:`repro.ml.neighbors` produce *exactly*
+   the same trees and predictions (and distances to 1e-12) as these;
+2. the kernel microbenchmarks (``benchmarks/test_kernel_speed.py``)
+   measure speedups against them, so the committed ``BENCH_kernels.json``
+   numbers stay comparable PR over PR.
+
+``tools/check_hot_loops.py`` forbids these patterns elsewhere under
+``src/repro/ml/``; this file is the documented allowlist entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_arrays
+from repro.ml.tree import _Node, _resolve_max_features
+
+
+class _ReferenceTreeBuilder:
+    """The original recursive CART builder (per-node argsort)."""
+
+    def __init__(
+        self,
+        task: str,
+        max_depth: Optional[int],
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: Union[str, int, None],
+        rng: np.random.Generator,
+        n_classes: int = 0,
+    ) -> None:
+        self.task = task
+        self.max_depth = max_depth if max_depth is not None else 10**9
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.n_classes = n_classes
+
+    def _leaf_value(self, targets: np.ndarray) -> np.ndarray:
+        if self.task == "classification":
+            counts = np.bincount(targets.astype(int), minlength=self.n_classes)
+            return counts / max(counts.sum(), 1)
+        return np.array([targets.mean() if len(targets) else 0.0])
+
+    def _node_impurity(self, targets: np.ndarray) -> float:
+        if self.task == "classification":
+            counts = np.bincount(targets.astype(int), minlength=self.n_classes)
+            p = counts / max(counts.sum(), 1)
+            return float(1.0 - np.sum(p * p))
+        return float(targets.var()) if len(targets) else 0.0
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> Optional[Tuple[int, float, float]]:
+        """Return (feature, threshold, impurity_decrease) or None."""
+        n_samples, n_features = features.shape
+        k = _resolve_max_features(self.max_features, n_features)
+        candidates = (
+            np.arange(n_features)
+            if k == n_features
+            else self.rng.choice(n_features, size=k, replace=False)
+        )
+        parent_impurity = self._node_impurity(targets)
+        best: Optional[Tuple[int, float, float]] = None
+        min_leaf = self.min_samples_leaf
+        for feature in candidates:
+            order = np.argsort(features[:, feature], kind="stable")
+            values = features[order, feature]
+            sorted_targets = targets[order]
+            boundaries = np.flatnonzero(values[1:] > values[:-1]) + 1
+            if len(boundaries) == 0:
+                continue
+            valid = boundaries[
+                (boundaries >= min_leaf) & (boundaries <= n_samples - min_leaf)
+            ]
+            if len(valid) == 0:
+                continue
+            if self.task == "classification":
+                onehot = np.zeros((n_samples, self.n_classes))
+                onehot[np.arange(n_samples), sorted_targets.astype(int)] = 1.0
+                left_counts = np.cumsum(onehot, axis=0)
+                total = left_counts[-1]
+                left = left_counts[valid - 1]
+                right = total - left
+                n_left = valid.astype(np.float64)
+                n_right = n_samples - n_left
+                gini_left = 1.0 - np.sum((left / n_left[:, None]) ** 2, axis=1)
+                gini_right = 1.0 - np.sum((right / n_right[:, None]) ** 2, axis=1)
+                child = (n_left * gini_left + n_right * gini_right) / n_samples
+            else:
+                prefix = np.cumsum(sorted_targets, dtype=np.float64)
+                prefix_sq = np.cumsum(sorted_targets**2, dtype=np.float64)
+                n_left = valid.astype(np.float64)
+                n_right = n_samples - n_left
+                sum_left = prefix[valid - 1]
+                sum_right = prefix[-1] - sum_left
+                sq_left = prefix_sq[valid - 1]
+                sq_right = prefix_sq[-1] - sq_left
+                var_left = sq_left / n_left - (sum_left / n_left) ** 2
+                var_right = sq_right / n_right - (sum_right / n_right) ** 2
+                child = (n_left * var_left + n_right * var_right) / n_samples
+            decrease = parent_impurity - child
+            pos = int(np.argmax(decrease))
+            if decrease[pos] > 1e-12:
+                split_at = valid[pos]
+                threshold = 0.5 * (values[split_at - 1] + values[split_at])
+                if best is None or decrease[pos] > best[2]:
+                    best = (int(feature), float(threshold), float(decrease[pos]))
+        return best
+
+    def build(
+        self, features: np.ndarray, targets: np.ndarray, depth: int = 0
+    ) -> _Node:
+        node = _Node(prediction=self._leaf_value(targets))
+        if (
+            depth >= self.max_depth
+            or len(targets) < self.min_samples_split
+            or self._node_impurity(targets) < 1e-12
+        ):
+            return node
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        goes_left = features[:, feature] <= threshold
+        node.feature, node.threshold = feature, threshold
+        node.left = self.build(features[goes_left], targets[goes_left], depth + 1)
+        node.right = self.build(features[~goes_left], targets[~goes_left], depth + 1)
+        return node
+
+
+def reference_predict_node(node: _Node, row: np.ndarray) -> np.ndarray:
+    """The original per-row iterative descent."""
+    while not node.is_leaf:
+        node = node.left if row[node.feature] <= node.threshold else node.right
+    return node.prediction
+
+
+class ReferenceDecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """The original CART classifier: scalar build, per-row predict."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, None] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[_Node] = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "ReferenceDecisionTreeClassifier":
+        features, targets = check_arrays(features, targets)
+        encoded = self._encode_labels(targets)
+        if sample_weight is not None:
+            rng = np.random.default_rng(self.seed)
+            probabilities = np.asarray(sample_weight, dtype=np.float64)
+            probabilities = probabilities / probabilities.sum()
+            idx = rng.choice(len(features), size=len(features), p=probabilities)
+            features, encoded = features[idx], encoded[idx]
+        builder = _ReferenceTreeBuilder(
+            "classification",
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            np.random.default_rng(self.seed),
+            n_classes=len(self.classes_),
+        )
+        self.root_ = builder.build(features, encoded)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("root_")
+        features, _ = check_arrays(features)
+        return np.vstack(
+            [reference_predict_node(self.root_, row) for row in features]
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+
+
+class ReferenceDecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """The original CART regressor: scalar build, per-row predict."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, None] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[_Node] = None
+
+    def fit(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> "ReferenceDecisionTreeRegressor":
+        features, targets = check_arrays(features, targets)
+        builder = _ReferenceTreeBuilder(
+            "regression",
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            np.random.default_rng(self.seed),
+        )
+        self.root_ = builder.build(features, targets.astype(np.float64))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted("root_")
+        features, _ = check_arrays(features)
+        return np.array(
+            [reference_predict_node(self.root_, row)[0] for row in features]
+        )
+
+
+def reference_pairwise_sq_distances(
+    queries: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Naive squared Euclidean distances by full (n, m, d) broadcasting."""
+    deltas = queries[:, None, :] - reference[None, :, :]
+    return np.sum(deltas * deltas, axis=2)

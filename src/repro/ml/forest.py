@@ -174,6 +174,55 @@ def _iso_path_length(node: _IsoNode, row: np.ndarray) -> float:
     return depth + _average_path_length(node.size)
 
 
+def _flatten_iso_tree(root: _IsoNode):
+    """Linearize an isolation tree for batched routing.
+
+    Returns (feature, threshold, left, right, path_value) arrays where
+    ``path_value[i]`` for a leaf is its depth plus ``c(size)`` -- the
+    full per-row contribution -- so scoring a batch is just routing every
+    row to its leaf and gathering.
+    """
+    feature: List[int] = []
+    threshold: List[float] = []
+    left: List[int] = []
+    right: List[int] = []
+    path_value: List[float] = []
+    stack = [(root, 0)]
+    order: List[_IsoNode] = []
+    depths: List[int] = []
+    indices = {id(root): 0}
+    while stack:
+        node, depth = stack.pop()
+        order.append(node)
+        depths.append(depth)
+        if not node.is_leaf:
+            for child in (node.right, node.left):
+                indices[id(child)] = len(indices)
+                stack.append((child, depth + 1))
+    ranked = sorted(range(len(order)), key=lambda i: indices[id(order[i])])
+    for i in ranked:
+        node, depth = order[i], depths[i]
+        if node.is_leaf:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            path_value.append(depth + _average_path_length(node.size))
+        else:
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            left.append(indices[id(node.left)])
+            right.append(indices[id(node.right)])
+            path_value.append(0.0)
+    return (
+        np.asarray(feature, dtype=np.int64),
+        np.asarray(threshold, dtype=np.float64),
+        np.asarray(left, dtype=np.int64),
+        np.asarray(right, dtype=np.int64),
+        np.asarray(path_value, dtype=np.float64),
+    )
+
+
 class IsolationForest(BaseEstimator):
     """Isolation forest anomaly detector (Liu & Zhou).
 
@@ -195,6 +244,7 @@ class IsolationForest(BaseEstimator):
         self.contamination = contamination
         self.seed = seed
         self.trees_: Optional[List[_IsoNode]] = None
+        self._flat_trees_: Optional[list] = None
         self.subsample_size_: int = 0
         self.threshold_: float = 0.5
 
@@ -211,6 +261,7 @@ class IsolationForest(BaseEstimator):
         for _ in range(self.n_estimators):
             idx = rng.choice(n_samples, size=psi, replace=False)
             self.trees_.append(_build_iso_tree(features[idx], 0, max_depth, rng))
+        self._flat_trees_ = [_flatten_iso_tree(tree) for tree in self.trees_]
         scores = self.score_samples(features)
         self.threshold_ = float(
             np.quantile(scores, 1.0 - self.contamination)
@@ -222,13 +273,21 @@ class IsolationForest(BaseEstimator):
         self._require_fitted("trees_")
         features, _ = check_arrays(features)
         c_norm = _average_path_length(float(self.subsample_size_)) or 1.0
-        scores = np.empty(len(features))
-        for i, row in enumerate(features):
-            mean_path = np.mean(
-                [_iso_path_length(tree, row) for tree in self.trees_]
-            )
-            scores[i] = 2.0 ** (-mean_path / c_norm)
-        return scores
+        if self._flat_trees_ is None:  # unpickled from an older snapshot
+            self._flat_trees_ = [_flatten_iso_tree(tree) for tree in self.trees_]
+        n = len(features)
+        total_path = np.zeros(n)
+        for feature, threshold, left, right, path_value in self._flat_trees_:
+            at = np.zeros(n, dtype=np.int64)
+            active = np.flatnonzero(feature[at] >= 0)
+            while active.size:
+                nodes = at[active]
+                goes_left = features[active, feature[nodes]] <= threshold[nodes]
+                at[active] = np.where(goes_left, left[nodes], right[nodes])
+                active = active[feature[at[active]] >= 0]
+            total_path += path_value[at]
+        mean_path = total_path / max(len(self._flat_trees_), 1)
+        return 2.0 ** (-mean_path / c_norm)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Return +1 for inliers, -1 for outliers (sklearn convention)."""

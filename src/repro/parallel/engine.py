@@ -36,6 +36,7 @@ import multiprocessing
 import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.cache.store import current_cache, install_cache
 from repro.observability.telemetry import (
     Telemetry,
     current_telemetry,
@@ -55,7 +56,12 @@ def null_sleep(seconds: float) -> None:
 _WORKER_STATE: Dict[str, Any] = {}
 
 
-def _init_worker(adapter: Any, shared: Any, telemetry: bool = False) -> None:
+def _init_worker(
+    adapter: Any,
+    shared: Any,
+    telemetry: bool = False,
+    cache_spec: Optional[Dict[str, Any]] = None,
+) -> None:
     """Pool initializer: install the stage context once per worker.
 
     With ``telemetry`` on, the worker gets its own ledger-less
@@ -64,6 +70,12 @@ def _init_worker(adapter: Any, shared: Any, telemetry: bool = False) -> None:
     :func:`_run_unit_in_worker` drains it after every unit so the driver
     can merge it deterministically.  The ledger and the checkpoint store
     remain single-writer, driver-only surfaces.
+
+    With ``cache_spec`` set, the driver's artifact cache is rebuilt in
+    the worker and installed process-wide.  The cache's atomic
+    same-content write discipline makes this safe without coordination:
+    workers may race on the same key but never publish a torn or
+    divergent entry (see :mod:`repro.cache.store`).
     """
     _WORKER_STATE["adapter"] = adapter
     _WORKER_STATE["shared"] = shared
@@ -73,6 +85,10 @@ def _init_worker(adapter: Any, shared: Any, telemetry: bool = False) -> None:
         )
         _WORKER_STATE["telemetry"] = worker_telemetry
         install_telemetry(worker_telemetry)
+    if cache_spec is not None:
+        from repro.cache.store import ArtifactCache
+
+        install_cache(ArtifactCache.from_spec(cache_spec))
 
 
 def _run_unit_in_worker(
@@ -186,10 +202,12 @@ class ProcessPoolExecutor:
         n_workers = min(self.workers, len(dispatched))
         context = self._context()
         telemetry_on = current_telemetry() is not None
+        cache = current_cache()
+        cache_spec = cache.spec() if cache is not None else None
         with context.Pool(
             processes=n_workers,
             initializer=_init_worker,
-            initargs=(plan.adapter, plan.shared, telemetry_on),
+            initargs=(plan.adapter, plan.shared, telemetry_on, cache_spec),
         ) as pool:
             results = pool.imap_unordered(
                 _run_unit_in_worker, dispatched, chunksize=self.chunk_size

@@ -1,0 +1,373 @@
+"""Tier-1 tests for the content-addressed artifact cache (repro.cache).
+
+Covers the key scheme (content addressing, mutation invalidation,
+missing-marker collapse), the store's atomic write/read discipline and
+counters, the cached encoding/featurization paths (cache hits must be
+byte-identical to fresh computation), and the end-to-end acceptance
+property: a cached run's outputs equal an uncached run's, serial or
+pooled.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.benchmark import run_detection_suite
+from repro.cache import (
+    ArtifactCache,
+    artifact_key,
+    cache_scope,
+    canonical_cell,
+    config_fingerprint,
+    current_cache,
+    install_cache,
+    table_fingerprint,
+)
+from repro.cache.store import _ACTIVE
+from repro.datagen import generate
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.dataset.encoding import TableEncoder, encode_supervised
+from repro.detectors import MVDetector, SDDetector
+from repro.detectors.features import combined_features
+from repro.observability import Telemetry, telemetry_scope
+from repro.parallel import ProcessPoolExecutor
+from repro.resilience import SuiteCheckpoint
+
+
+def _table(cells=None):
+    schema = Schema.from_pairs([("num", NUMERICAL), ("cat", CATEGORICAL)])
+    columns = cells or {
+        "num": [1.0, 2.5, None, "bad", 4.0],
+        "cat": ["a", "b", "a", None, "c"],
+    }
+    return Table(schema, columns)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_cache():
+    depth = len(_ACTIVE)
+    yield
+    assert len(_ACTIVE) == depth, "a test leaked an installed cache"
+    del _ACTIVE[depth:]
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+class TestKeys:
+    def test_fingerprint_is_content_addressed(self):
+        assert table_fingerprint(_table()) == table_fingerprint(_table())
+        assert table_fingerprint(_table()) == table_fingerprint(
+            _table().copy()
+        )
+
+    def test_fingerprint_changes_with_content(self):
+        table = _table()
+        before = table_fingerprint(table)
+        table.set_cell(0, "num", 999.0)
+        assert table_fingerprint(table) != before
+
+    def test_fingerprint_memo_invalidated_by_set_cell(self):
+        table = _table()
+        first = table_fingerprint(table)
+        assert table_fingerprint(table) == first  # memo path
+        table.set_cell(1, "cat", "zzz")
+        changed = table_fingerprint(table)
+        assert changed != first
+        table.set_cell(1, "cat", "b")
+        assert table_fingerprint(table) == first
+
+    def test_missing_markers_collapse(self):
+        """Tables differing only in which missing marker they carry
+        encode identically, so they may share cache entries."""
+        a = _table({"num": [1.0, None], "cat": ["x", None]})
+        b = _table({"num": [1.0, float("nan")], "cat": ["x", "NA"]})
+        assert table_fingerprint(a) == table_fingerprint(b)
+
+    def test_fingerprint_sensitive_to_schema(self):
+        schema_a = Schema.from_pairs([("v", NUMERICAL)])
+        schema_b = Schema.from_pairs([("v", CATEGORICAL)])
+        values = {"v": [1.0, 2.0]}
+        assert table_fingerprint(Table(schema_a, values)) != table_fingerprint(
+            Table(schema_b, values)
+        )
+
+    def test_canonical_cell_forms(self):
+        assert canonical_cell(None) is None
+        assert canonical_cell(float("nan")) is None
+        assert canonical_cell("NA") is None
+        assert canonical_cell(np.int64(3)) == 3
+        assert canonical_cell(np.float64(2.5)) == 2.5
+        assert canonical_cell("text") == "text"
+        assert json.dumps(canonical_cell(object())).startswith('"<object')
+
+    def test_artifact_key_separates_kind_tables_config(self):
+        fp = table_fingerprint(_table())
+        base = artifact_key("k@v1", [fp], {"a": 1})
+        assert artifact_key("k@v2", [fp], {"a": 1}) != base
+        assert artifact_key("k@v1", [fp, fp], {"a": 1}) != base
+        assert artifact_key("k@v1", [fp], {"a": 2}) != base
+        assert artifact_key("k@v1", [fp], {"a": 1}) == base
+
+    def test_config_fingerprint_order_independent(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_round_trip_preserves_bytes_and_meta(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        arrays = {
+            "x": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "y": np.array([1, 0, 2], dtype=np.int64),
+        }
+        meta = {"encoder": {"mean": [0.25, -1.5]}, "n": 3}
+        key = "ab" + "0" * 62
+        cache.put(key, arrays, meta)
+        entry = cache.get(key)
+        assert entry is not None
+        for name, array in arrays.items():
+            assert entry.arrays[name].dtype == array.dtype
+            assert entry.arrays[name].tobytes() == array.tobytes()
+        assert entry.meta == meta
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        assert cache.get("cd" + "0" * 62) is None
+        cache.put("cd" + "0" * 62, {"v": np.zeros(2)}, {})
+        assert cache.get("cd" + "0" * 62) is not None
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["puts"] == 1
+        assert stats["bytes_written"] > 0
+        assert stats["bytes_read"] == stats["bytes_written"]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        key = "ef" + "0" * 62
+        cache.put(key, {"v": np.ones(3)}, {})
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_object_dtype_rejected(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        with pytest.raises(ValueError, match="object dtype"):
+            cache.put("aa" + "0" * 62, {"v": np.array(["s", None])}, {})
+
+    def test_counters_mirror_into_telemetry(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        telemetry = Telemetry()
+        with telemetry_scope(telemetry):
+            cache.get("1b" + "0" * 62)
+            cache.put("1b" + "0" * 62, {"v": np.zeros(1)}, {})
+            cache.get("1b" + "0" * 62)
+        counter = telemetry.metrics.counter
+        assert counter("cache.misses").value == 1
+        assert counter("cache.puts").value == 1
+        assert counter("cache.hits").value == 1
+        assert counter("cache.bytes_read").value > 0
+
+    def test_entries_debris_and_sweep(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        key = "2c" + "0" * 62
+        cache.put(key, {"v": np.zeros(1)}, {})
+        # Simulate a writer that died between tmp write and publish.
+        stray = cache._tmp_path(key)
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_bytes(b"partial")
+        assert cache.entries() == [key]
+        assert cache.debris() == [str(stray)]
+        assert cache.sweep() == 1
+        assert cache.debris() == []
+        assert cache.entries() == [key]  # finalized entries untouched
+
+    def test_interrupted_write_never_visible_to_readers(self, tmp_path):
+        """A crash before _finalize leaves only .tmp debris: get() of the
+        key is a clean miss and a retry publishes normally."""
+
+        class DyingCache(ArtifactCache):
+            def _finalize(self, tmp, final):
+                raise KeyboardInterrupt
+
+        root = str(tmp_path / "art")
+        key = "3d" + "0" * 62
+        dying = DyingCache(root)
+        with pytest.raises(KeyboardInterrupt):
+            dying.put(key, {"v": np.arange(4.0)}, {"m": 1})
+        fresh = ArtifactCache(root)
+        assert fresh.entries() == []
+        assert len(fresh.debris()) == 1
+        assert fresh.get(key) is None
+        fresh.put(key, {"v": np.arange(4.0)}, {"m": 1})
+        entry = fresh.get(key)
+        assert entry is not None
+        assert entry.arrays["v"].tobytes() == np.arange(4.0).tobytes()
+
+    def test_concurrent_same_key_writes_agree(self, tmp_path):
+        """Last-write-wins is safe because same key => same content."""
+        root = str(tmp_path / "art")
+        a, b = ArtifactCache(root), ArtifactCache(root)
+        key = "4e" + "0" * 62
+        payload = {"v": np.linspace(0, 1, 7)}
+        a.put(key, payload, {"who": "same"})
+        b.put(key, payload, {"who": "same"})
+        entry = ArtifactCache(root).get(key)
+        assert entry.arrays["v"].tobytes() == payload["v"].tobytes()
+
+    def test_spec_round_trip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "art"))
+        clone = ArtifactCache.from_spec(cache.spec())
+        assert clone.root == cache.root
+
+    def test_scope_install_and_current(self, tmp_path):
+        assert current_cache() is None
+        cache = ArtifactCache(str(tmp_path / "art"))
+        with cache_scope(cache):
+            assert current_cache() is cache
+            inner = ArtifactCache(str(tmp_path / "inner"))
+            with cache_scope(inner):
+                assert current_cache() is inner
+            assert current_cache() is cache
+        assert current_cache() is None
+        with cache_scope(None) as nothing:
+            assert nothing is None
+            assert current_cache() is None
+        install_cache(cache)
+        assert current_cache() is cache
+        _ACTIVE.pop()
+
+
+# ----------------------------------------------------------------------
+# Cached encoding / featurization paths
+# ----------------------------------------------------------------------
+class TestCachedEncoding:
+    def test_fit_transform_hit_is_byte_identical(self, tmp_path):
+        table = _table()
+        fresh_encoder = TableEncoder(max_categories=4)
+        fresh = fresh_encoder.fit_transform(table)
+        cache = ArtifactCache(str(tmp_path / "art"))
+        with cache_scope(cache):
+            cold = TableEncoder(max_categories=4).fit_transform(table)
+            warm_encoder = TableEncoder(max_categories=4)
+            warm = warm_encoder.fit_transform(table)
+        assert cache.stats()["hits"] == 1
+        assert cold.tobytes() == fresh.tobytes()
+        assert warm.tobytes() == fresh.tobytes()
+        # The restored encoder transforms exactly like a fresh fit.
+        probe = _table({"num": [3.0, None], "cat": ["c", "zz"]})
+        assert warm_encoder.transform(probe).tobytes() == (
+            fresh_encoder.transform(probe).tobytes()
+        )
+        assert warm_encoder.feature_names == fresh_encoder.feature_names
+
+    def test_fit_transform_key_varies_with_settings(self, tmp_path):
+        table = _table()
+        cache = ArtifactCache(str(tmp_path / "art"))
+        with cache_scope(cache):
+            TableEncoder(max_categories=4).fit_transform(table)
+            TableEncoder(max_categories=2).fit_transform(table)
+            TableEncoder(max_categories=4, scale=False).fit_transform(table)
+            TableEncoder(max_categories=4).fit_transform(
+                table, exclude=["num"]
+            )
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["puts"] == 4
+
+    @pytest.mark.parametrize("task,target", [
+        ("classification", "cat"), ("regression", "num"),
+    ])
+    def test_encode_supervised_hit_is_byte_identical(
+        self, tmp_path, task, target
+    ):
+        train = _table()
+        test = _table({"num": [7.0, None], "cat": ["b", "q"]})
+        fresh = encode_supervised(train, test, target, task)
+        cache = ArtifactCache(str(tmp_path / "art"))
+        with cache_scope(cache):
+            encode_supervised(train, test, target, task)
+            warm = encode_supervised(train, test, target, task)
+        assert cache.stats()["hits"] == 1
+        for got, expected in zip(warm[:4], fresh[:4]):
+            assert got.dtype == expected.dtype
+            assert got.tobytes() == expected.tobytes()
+        assert warm[4].feature_names == fresh[4].feature_names
+
+    def test_encoder_state_round_trip_is_exact(self):
+        table = _table()
+        encoder = TableEncoder(max_categories=3)
+        encoder.fit(table, exclude=["cat"])
+        restored = TableEncoder.from_state(
+            json.loads(json.dumps(encoder.state()))
+        )
+        probe = _table()
+        assert restored.transform(probe).tobytes() == (
+            encoder.transform(probe).tobytes()
+        )
+        assert restored.n_features == encoder.n_features
+
+    def test_combined_features_hit_is_byte_identical(self, tmp_path):
+        table = _table()
+        fresh = combined_features(table)
+        cache = ArtifactCache(str(tmp_path / "art"))
+        with cache_scope(cache):
+            combined_features(table)
+            warm = combined_features(table)
+        assert cache.stats()["hits"] == 1
+        assert list(warm) == list(fresh)
+        for name in fresh:
+            assert warm[name].tobytes() == fresh[name].tobytes()
+
+    def test_no_cache_paths_untouched(self):
+        """Without an installed cache nothing is fingerprinted/stored."""
+        table = _table()
+        assert current_cache() is None
+        encoder = TableEncoder()
+        matrix = encoder.fit_transform(table)
+        assert matrix.shape[0] == table.n_rows
+        assert "_fingerprint_memo" not in table.__dict__
+
+
+# ----------------------------------------------------------------------
+# End-to-end: cached vs uncached runs are byte-identical
+# ----------------------------------------------------------------------
+class _StepClock:
+    def __init__(self, tick: float = 2.0 ** -10):
+        self.ticks = 0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.ticks += 1
+        return self.ticks * self.tick
+
+
+class TestEndToEndEquivalence:
+    def _suite(self, store, cache, executor=None):
+        dataset = generate("SmartFactory", n_rows=120, seed=3)
+        with SuiteCheckpoint.open(store, "run", resume=False) as ckpt:
+            with cache_scope(cache):
+                runs = run_detection_suite(
+                    dataset, [MVDetector(), SDDetector(3.0)],
+                    checkpoint=ckpt, clock=_StepClock(),
+                    sleep=lambda s: None, executor=executor,
+                )
+        return json.dumps(
+            [r.to_payload() for r in runs], sort_keys=True
+        ).encode()
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_cached_run_matches_uncached(self, tmp_path, workers):
+        executor = ProcessPoolExecutor(workers) if workers else None
+        reference = self._suite(str(tmp_path / "ref.sqlite"), None, executor)
+        cache = ArtifactCache(str(tmp_path / "art"))
+        cold = self._suite(str(tmp_path / "cold.sqlite"), cache, executor)
+        warm = self._suite(str(tmp_path / "warm.sqlite"), cache, executor)
+        assert cold == reference
+        assert warm == reference

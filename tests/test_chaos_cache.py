@@ -1,0 +1,189 @@
+"""Tier-2 chaos suite for the artifact cache (``pytest -m chaos``).
+
+The cache's acceptance properties under fault injection:
+
+- a process killed *mid cache-write* (between the temporary-file write
+  and the atomic publish) leaves the cache consistent -- no torn entry
+  is ever visible, only ignorable ``*.tmp`` debris -- and the resumed
+  run converges to byte-identical results;
+- a cached run's checkpoint store is byte-identical to an uncached
+  serial run's, for any worker count, cold or warm cache.
+
+Kills are injected at the cache's ``_finalize`` boundary (the exact
+window a real worker death would hit between write and publish),
+mirroring the established chaos idiom of simulating kills at precise
+single-writer boundaries rather than inside pool workers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.benchmark import evaluate_scenarios
+from repro.cache import ArtifactCache, cache_scope
+from repro.datagen import generate
+from repro.parallel import ProcessPoolExecutor
+from repro.resilience import SuiteCheckpoint
+
+pytestmark = pytest.mark.chaos
+
+
+class StepClock:
+    """Deterministic clock (see test_chaos.StepClock)."""
+
+    def __init__(self, tick: float = 2.0 ** -10):
+        self.ticks = 0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.ticks += 1
+        return self.ticks * self.tick
+
+
+NO_SLEEP = lambda seconds: None  # noqa: E731
+
+
+class KillingCache(ArtifactCache):
+    """Dies mid cache-write: the ``kill_on``-th publish attempt raises
+    KeyboardInterrupt *before* the atomic rename, leaving the temporary
+    file as debris -- exactly what a worker killed between write and
+    publish leaves behind."""
+
+    def __init__(self, root, kill_on=1):
+        super().__init__(root)
+        self.kill_on = kill_on
+        self.finalizes = 0
+
+    def _finalize(self, tmp, final):
+        self.finalizes += 1
+        if self.finalizes >= self.kill_on:
+            raise KeyboardInterrupt
+        super()._finalize(tmp, final)
+
+
+def _dataset():
+    return generate("SmartFactory", n_rows=120, seed=3)
+
+
+def _evaluate(store_path, cache, executor=None, resume=False):
+    dataset = _dataset()
+    with SuiteCheckpoint.open(store_path, "run", resume=resume) as ckpt:
+        with cache_scope(cache):
+            evaluation = evaluate_scenarios(
+                dataset, dataset.dirty, "dirty", "DT",
+                scenario_names=("S1", "S4"), n_seeds=2, sample_rows=60,
+                checkpoint=ckpt, clock=StepClock(), sleep=NO_SLEEP,
+                executor=executor,
+            )
+    return evaluation
+
+
+def _evaluation_canonical(evaluation) -> bytes:
+    payload = {
+        "scores": evaluation.scores,
+        "failures": {
+            name: {
+                str(seed): record.to_payload()
+                for seed, record in seeds.items()
+            }
+            for name, seeds in evaluation.failures.items()
+        },
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def _store_canonical(store_path) -> bytes:
+    """Every completed unit's payload, in canonical key order."""
+    with SuiteCheckpoint.open(store_path, "run", resume=True) as ckpt:
+        units = sorted(ckpt.completed_units())
+        payload = {unit: ckpt.get(unit) for unit in units}
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class TestKillMidCacheWrite:
+    def test_kill_leaves_cache_consistent_and_resume_matches(self, tmp_path):
+        # Reference: uncached serial run.
+        ref_store = str(tmp_path / "ref.sqlite")
+        reference = _evaluate(ref_store, cache=None)
+
+        # Killed run: the first cache publish dies mid-write.
+        root = str(tmp_path / "art")
+        killed_store = str(tmp_path / "killed.sqlite")
+        dying = KillingCache(root, kill_on=1)
+        with pytest.raises(KeyboardInterrupt):
+            _evaluate(killed_store, cache=dying)
+
+        # Consistency: no finalized entry was published, the torn write
+        # is visible only as *.tmp debris, and reads stay clean misses.
+        wreck = ArtifactCache(root)
+        assert wreck.entries() == []
+        assert len(wreck.debris()) == 1
+        assert wreck.get("00" + "0" * 62) is None
+        assert wreck.stats()["corrupt"] == 0
+
+        # Resume with a healthy cache on the same root and store.
+        resumed = _evaluate(
+            killed_store, cache=ArtifactCache(root), resume=True
+        )
+        assert _evaluation_canonical(resumed) == _evaluation_canonical(
+            reference
+        )
+        assert _store_canonical(killed_store) == _store_canonical(ref_store)
+
+        # The debris never became an entry; every finalized entry loads.
+        healthy = ArtifactCache(root)
+        assert healthy.sweep() == 1
+        for key in healthy.entries():
+            assert healthy.get(key) is not None
+
+    def test_kill_later_in_run_still_converges(self, tmp_path):
+        ref_store = str(tmp_path / "ref.sqlite")
+        reference = _evaluate(ref_store, cache=None)
+        root = str(tmp_path / "art")
+        killed_store = str(tmp_path / "killed.sqlite")
+        with pytest.raises(KeyboardInterrupt):
+            _evaluate(killed_store, cache=KillingCache(root, kill_on=3))
+        published = ArtifactCache(root)
+        assert len(published.entries()) == 2  # the first two survived
+        for key in published.entries():
+            assert published.get(key) is not None
+        resumed = _evaluate(
+            killed_store, cache=ArtifactCache(root), resume=True
+        )
+        assert _evaluation_canonical(resumed) == _evaluation_canonical(
+            reference
+        )
+        assert _store_canonical(killed_store) == _store_canonical(ref_store)
+
+
+class TestCachedUncachedStoreEquivalence:
+    @pytest.mark.parametrize("workers", [None, 2, 3])
+    def test_checkpoint_store_identical_cached_vs_uncached(
+        self, tmp_path, workers
+    ):
+        executor = ProcessPoolExecutor(workers) if workers else None
+        ref_store = str(tmp_path / "ref.sqlite")
+        reference = _evaluate(ref_store, cache=None)
+
+        cache = ArtifactCache(str(tmp_path / "art"))
+        cold_store = str(tmp_path / "cold.sqlite")
+        cold = _evaluate(cold_store, cache=cache, executor=executor)
+        warm_store = str(tmp_path / "warm.sqlite")
+        warm = _evaluate(warm_store, cache=cache, executor=executor)
+
+        assert _evaluation_canonical(cold) == _evaluation_canonical(reference)
+        assert _evaluation_canonical(warm) == _evaluation_canonical(reference)
+        assert _store_canonical(cold_store) == _store_canonical(ref_store)
+        assert _store_canonical(warm_store) == _store_canonical(ref_store)
+        if workers is None:
+            # The warm serial pass hit every supervised-encode artifact.
+            assert cache.stats()["hits"] > 0
+
+    def test_scores_are_real_numbers_not_placeholders(self, tmp_path):
+        evaluation = _evaluate(
+            str(tmp_path / "s.sqlite"),
+            cache=ArtifactCache(str(tmp_path / "art")),
+        )
+        scores = np.asarray(evaluation.scores["S4"], dtype=float)
+        assert np.isfinite(scores).all()

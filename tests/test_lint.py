@@ -10,6 +10,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import check_clocks  # noqa: E402
 import check_exceptions  # noqa: E402
+import check_hot_loops  # noqa: E402
 
 
 def test_no_broad_exception_handlers_outside_sanctioned_sites():
@@ -95,3 +96,77 @@ def test_clock_lint_cli_exit_codes(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "bad.py:2" in out
     assert check_clocks.main(["prog", str(tmp_path / "nope")]) == 2
+
+
+def test_no_scalar_hot_loops_in_ml_kernels():
+    violations = check_hot_loops.check_tree(REPO_ROOT / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def _ml_file(tmp_path, name, text):
+    path = tmp_path / "repro" / "ml" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def test_hot_loop_lint_flags_argsort_in_best_split(tmp_path):
+    _ml_file(
+        tmp_path, "bad_tree.py",
+        "import numpy as np\n"
+        "def _best_split(features):\n"
+        "    order = np.argsort(features[:, 0])\n"
+        "    return order\n"
+        "def elsewhere(features):\n"
+        "    return np.argsort(features, axis=0)\n",
+    )
+    violations = check_hot_loops.check_tree(tmp_path)
+    # argsort outside _best_split (the root presort) stays legal.
+    assert len(violations) == 1, "\n".join(violations)
+    assert "bad_tree.py:3" in violations[0]
+    assert "_best_split" in violations[0]
+
+
+def test_hot_loop_lint_flags_per_row_loops(tmp_path):
+    _ml_file(
+        tmp_path, "bad_predict.py",
+        "def predict(features):\n"
+        "    out = []\n"
+        "    for row in features:\n"
+        "        out.append(row.sum())\n"
+        "    for i, row in enumerate(features):\n"
+        "        out[i] += 1\n"
+        "    for name in columns:\n"
+        "        pass\n"
+        "    return out\n",
+    )
+    violations = check_hot_loops.check_tree(tmp_path)
+    assert len(violations) == 2, "\n".join(violations)
+    assert "bad_predict.py:3" in violations[0]
+    assert "bad_predict.py:5" in violations[1]
+
+
+def test_hot_loop_lint_honours_allowlist_and_scope(tmp_path):
+    _ml_file(
+        tmp_path, "_reference.py",
+        "def predict(features):\n"
+        "    for row in features:\n"
+        "        pass\n",
+    )
+    # Outside repro/ml the same pattern is not the lint's business.
+    other = tmp_path / "repro" / "repair" / "loopy.py"
+    other.parent.mkdir(parents=True)
+    other.write_text("def f(features):\n    for row in features:\n        pass\n")
+    assert check_hot_loops.check_tree(tmp_path) == []
+
+
+def test_hot_loop_lint_cli_exit_codes(tmp_path, capsys):
+    assert check_hot_loops.main(["prog", str(tmp_path)]) == 0
+    _ml_file(
+        tmp_path, "bad.py",
+        "def f(features):\n    for row in features:\n        pass\n",
+    )
+    assert check_hot_loops.main(["prog", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2" in out
+    assert check_hot_loops.main(["prog", str(tmp_path / "nope")]) == 2

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Lint: forbid scalar-regression patterns in the vectorized ML kernels.
+
+The ML kernels under ``src/repro/ml/`` were vectorized deliberately
+(presorted split scans, batched tree routing, blocked distance GEMMs);
+this lint keeps the two patterns that historically made them slow from
+creeping back in:
+
+1. **per-node sorting in split search** -- any ``np.argsort`` /
+   ``numpy.argsort`` call inside a function named ``_best_split``.  The
+   builder presorts every feature once at the root and threads the
+   order down the recursion; re-sorting per node turns an O(n) scan
+   back into O(n log n) per node.
+2. **per-row Python prediction loops** -- ``for row in features`` /
+   ``for i, row in enumerate(features)`` anywhere under
+   ``src/repro/ml/``.  Prediction and scoring are batched; a per-row
+   loop reintroduces ~10^5 Python-level descents per call.
+
+Intentional exceptions live in ``ALLOWLIST`` with the reason recorded
+next to each entry.  The tier-1 suite asserts ``check_tree`` is clean
+(see ``tests/test_lint.py``), mirroring ``check_clocks.py``.
+
+Usage::
+
+    python tools/check_hot_loops.py [src-root]
+
+Exit status 0 means clean; 1 means violations (printed one per line
+as ``path:lineno: message``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+# Files allowed to contain the forbidden patterns, relative to the src
+# root.  Each entry must document why.
+ALLOWLIST = {
+    # Frozen pre-vectorization kernels kept verbatim as equivalence
+    # oracles and benchmark baselines; they *must* stay scalar.
+    "repro/ml/_reference.py",
+    # Birch's CF-tree insertion is an inherently sequential streaming
+    # pass: each row's placement depends on the tree built so far.
+    "repro/ml/cluster.py",
+}
+
+#: Only this subtree is linted; scalar loops elsewhere are not hot.
+SCOPE = "repro/ml"
+
+
+def _is_argsort(node: ast.AST) -> bool:
+    """True for ``np.argsort`` / ``numpy.argsort`` attribute access."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "argsort"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in {"np", "numpy"}
+    )
+
+
+def _is_per_row_loop(node: ast.AST) -> bool:
+    """True for ``for row in features`` / ``for i, row in enumerate(features)``.
+
+    Matched structurally: a ``for`` whose iterable is a bare name or an
+    ``enumerate(...)`` of one, where the row variable is literally named
+    ``row`` -- the codebase's idiom for per-row scalar work on a feature
+    matrix.
+    """
+    if not isinstance(node, ast.For):
+        return False
+    target = node.target
+    names = []
+    if isinstance(target, ast.Name):
+        names = [target.id]
+    elif isinstance(target, ast.Tuple):
+        names = [e.id for e in target.elts if isinstance(e, ast.Name)]
+    if "row" not in names:
+        return False
+    iterable = node.iter
+    if (
+        isinstance(iterable, ast.Call)
+        and isinstance(iterable.func, ast.Name)
+        and iterable.func.id == "enumerate"
+        and iterable.args
+    ):
+        iterable = iterable.args[0]
+    return isinstance(iterable, ast.Name)
+
+
+def check_file(path: Path) -> Iterator[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "_best_split"
+        ):
+            for inner in ast.walk(node):
+                if _is_argsort(inner):
+                    yield inner.lineno, (
+                        "np.argsort inside _best_split: the builder "
+                        "presorts once at the root and threads the "
+                        "order down; per-node sorting is O(n log n) "
+                        "per node"
+                    )
+        if _is_per_row_loop(node):
+            yield node.lineno, (
+                "per-row Python loop over a feature matrix: use the "
+                "batched/vectorized kernel instead"
+            )
+
+
+def check_tree(src_root: Path) -> List[str]:
+    violations: List[str] = []
+    for path in sorted((src_root / SCOPE).rglob("*.py")):
+        relative = path.relative_to(src_root).as_posix()
+        if relative in ALLOWLIST:
+            continue
+        for lineno, message in check_file(path):
+            violations.append(f"{path}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not src_root.is_dir():
+        print(f"error: {src_root} is not a directory", file=sys.stderr)
+        return 2
+    violations = check_tree(src_root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(
+            f"{len(violations)} scalar hot-loop site(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
