@@ -44,7 +44,7 @@ from repro.datagen.benchmark_dataset import BenchmarkDataset
 from repro.dataset.encoding import TableEncoder, encode_supervised
 from repro.dataset.splits import train_test_split
 from repro.dataset.table import Cell, Table
-from repro.detectors.base import DetectionResult, Detector
+from repro.detectors.base import BlockwiseDetector, DetectionResult, Detector
 from repro.metrics.detection import DetectionScores, detection_scores, iou_matrix
 from repro.metrics.model import f1_score, rmse, silhouette_score
 from repro.metrics.repair import repair_rmse, repair_scores_categorical
@@ -52,7 +52,7 @@ from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
 from repro.benchmark.scenarios import Scenario, scenario as get_scenario
 from repro.ml.model_zoo import build_model, get_spec
 from repro.observability.telemetry import current_telemetry, telemetry_scope
-from repro.parallel.engine import execute_plan
+from repro.parallel.engine import block_spans, execute_plan, execute_plan_blocked
 from repro.parallel.plan import ExecutionPlan, StageAdapter, UnitSpec
 from repro.repair.base import MLOrientedRepair, RepairMethod, RepairResult
 from repro.repository.store import nan_guard
@@ -76,6 +76,8 @@ def _run_staged_plan(
     executor,
     checkpoint,
     breaker,
+    blocks: Optional[Dict[int, List[Tuple[int, int]]]] = None,
+    merge_blocks=None,
     **stage_attrs: Any,
 ) -> List[Any]:
     """Drive one stage plan, bracketed by a telemetry stage span.
@@ -85,23 +87,39 @@ def _run_staged_plan(
     :func:`execute_plan` call (zero observability cost).  The scope is
     re-entrant, so callers that already installed the same telemetry
     (the CLI's suite span) compose cleanly.
+
+    With ``blocks``/``merge_blocks`` set, the plan runs in the engine's
+    ``(unit x row-block)`` sharding mode instead
+    (:func:`~repro.parallel.engine.execute_plan_blocked`).
     """
+
+    def drive(active_telemetry) -> List[Any]:
+        if blocks:
+            return execute_plan_blocked(
+                plan,
+                blocks,
+                merge_blocks,
+                executor=executor,
+                checkpoint=checkpoint,
+                breaker=breaker,
+                telemetry=active_telemetry,
+            )
+        return execute_plan(
+            plan,
+            executor=executor,
+            checkpoint=checkpoint,
+            breaker=breaker,
+            telemetry=active_telemetry,
+        )
+
     telemetry = telemetry if telemetry is not None else current_telemetry()
     if telemetry is None:
-        return execute_plan(
-            plan, executor=executor, checkpoint=checkpoint, breaker=breaker
-        )
+        return drive(None)
     with telemetry_scope(telemetry):
         with telemetry.stage(
             plan.adapter.stage, units=len(plan.units), **stage_attrs
         ):
-            return execute_plan(
-                plan,
-                executor=executor,
-                checkpoint=checkpoint,
-                breaker=breaker,
-                telemetry=telemetry,
-            )
+            return drive(telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -182,7 +200,12 @@ def _failed_detection_run(
 
 @dataclass(frozen=True)
 class _DetectionShared:
-    """Per-suite context shipped to every detection unit (picklable)."""
+    """Per-suite context shipped to every detection unit (picklable).
+
+    ``profiles``/``profile_seconds`` are populated only for blocked
+    runs: position-aligned whole-table fit results (and their fit times)
+    for blockwise detectors, ``None``/``0.0`` elsewhere.
+    """
 
     dataset: BenchmarkDataset
     detectors: Tuple[Detector, ...]
@@ -191,6 +214,8 @@ class _DetectionShared:
     retry: Optional[RetryPolicy]
     clock: Optional[Callable[[], float]]
     sleep: Callable[[float], None]
+    profiles: Tuple[Any, ...] = ()
+    profile_seconds: Tuple[float, ...] = ()
 
 
 def _unit_deadline(shared) -> Optional[Deadline]:
@@ -205,6 +230,9 @@ def _unit_deadline(shared) -> Optional[Deadline]:
 def _execute_detection_unit(
     shared: _DetectionShared, spec: UnitSpec
 ) -> DetectionRun:
+    span = spec.params.get("block")
+    if span is not None:
+        return _execute_detection_block(shared, spec, span)
     detector = shared.detectors[spec.params["position"]]
     deadline = _unit_deadline(shared)
     context = shared.dataset.context(
@@ -229,6 +257,86 @@ def _execute_detection_unit(
             detection_scores(result.cells, shared.dataset.error_cells),
         )
     return _failed_detection_run(shared.dataset, guarded.failure)
+
+
+def _execute_detection_block(
+    shared: _DetectionShared, spec: UnitSpec, span: Tuple[int, int]
+) -> DetectionRun:
+    """Run one detector on one row block (a blocked sub-unit).
+
+    The block run's cells carry global row indices; its scores are the
+    block's own partial view (the merged run recomputes scores from the
+    union, which is what the suite reports).
+    """
+    position = spec.params["position"]
+    detector = shared.detectors[position]
+    fitted = shared.profiles[position]
+    deadline = _unit_deadline(shared)
+    context = shared.dataset.context(
+        seed=shared.seed, deadline=deadline, clock=shared.clock
+    )
+    start, stop = int(span[0]), int(span[1])
+    block = context.dirty.block_view(start, stop)
+    guarded = guarded_call(
+        lambda: detector.detect_block(context, fitted, block, start),
+        method=detector.name,
+        stage="detection",
+        deadline=deadline,
+        retry=shared.retry,
+        clock=shared.clock,
+        sleep=shared.sleep,
+        dataset=shared.dataset.name,
+        seed=shared.seed,
+    )
+    if guarded.ok:
+        result = guarded.value
+        return DetectionRun(
+            detector.name,
+            result,
+            detection_scores(result.cells, shared.dataset.error_cells),
+        )
+    return _failed_detection_run(shared.dataset, guarded.failure)
+
+
+def _merge_detection_blocks(
+    shared: _DetectionShared, spec: UnitSpec, runs: List[DetectionRun]
+) -> DetectionRun:
+    """Fold one blocked unit's block runs into the whole-unit run.
+
+    Cells are the union of block cells (disjoint by construction) and
+    scores are recomputed from that union, so the merged run's cells and
+    scores are byte-identical to the unblocked run's.  Runtime is the
+    honest total: profile fit seconds plus the sum of block detect
+    seconds.  A failed block fails the unit with the first (canonical
+    block order) failure record, mirroring how a whole-table run dies on
+    the first block it would have reached.
+    """
+    position = spec.params["position"]
+    detector = shared.detectors[position]
+    runtime = shared.profile_seconds[position] + sum(
+        run.result.runtime_seconds for run in runs
+    )
+    failed = next((run for run in runs if run.failed), None)
+    if failed is not None:
+        record = failed.failure_record
+        empty = DetectionResult(detector.name, frozenset(), runtime)
+        return DetectionRun(
+            detector.name,
+            empty,
+            detection_scores(set(), shared.dataset.error_cells),
+            failed=True,
+            failure=record.describe() if record is not None else "",
+            failure_record=record,
+        )
+    cells: Set[Cell] = set()
+    for run in runs:
+        cells.update(run.result.cells)
+    result = DetectionResult(detector.name, frozenset(cells), runtime)
+    return DetectionRun(
+        detector.name,
+        result,
+        detection_scores(result.cells, shared.dataset.error_cells),
+    )
 
 
 def _detection_quarantine_run(
@@ -276,6 +384,7 @@ def run_detection_suite(
     sleep: Callable[[float], None] = time.sleep,
     executor=None,
     telemetry=None,
+    block_rows: Optional[int] = None,
 ) -> List[DetectionRun]:
     """Run each detector on the dataset; failures are recorded, not fatal.
 
@@ -293,10 +402,62 @@ def run_detection_suite(
     identical either way.  ``telemetry`` (or an installed telemetry
     scope) records a stage span, per-unit spans/metrics, and ledger
     events without perturbing any result.
+
+    ``block_rows`` turns on ``(unit x row-block)`` sharding for the
+    detectors that support it (:class:`BlockwiseDetector`): their
+    whole-table profiles are fitted once up front, inference streams
+    over zero-copy row blocks, and the per-unit cells and scores are
+    byte-identical to the unblocked run.  Detectors without blockwise
+    support run whole-table in the same plan.  A blockwise detector
+    whose profile fit fails falls back to whole-table execution, where
+    the guard records the failure through the ordinary taxonomy.
     """
     detectors = tuple(detectors)
+    profiles: Tuple[Any, ...] = ()
+    profile_seconds: Tuple[float, ...] = ()
+    blocks: Dict[int, List[Tuple[int, int]]] = {}
+    if block_rows is not None:
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        fit_clock = clock or time.perf_counter
+        fit_context = dataset.context(seed=seed, clock=clock)
+        fitted: List[Any] = []
+        fit_times: List[float] = []
+        spans = block_spans(dataset.dirty.n_rows, block_rows)
+        for index, detector in enumerate(detectors):
+            if not isinstance(detector, BlockwiseDetector):
+                fitted.append(None)
+                fit_times.append(0.0)
+                continue
+            started = fit_clock()
+            guarded = guarded_call(
+                lambda d=detector: d.fit_profile(fit_context),
+                method=detector.name,
+                stage="detection",
+                retry=retry,
+                clock=clock,
+                sleep=sleep,
+                dataset=dataset.name,
+                seed=seed,
+            )
+            fit_times.append(fit_clock() - started)
+            if guarded.ok:
+                fitted.append(guarded.value)
+                blocks[index] = spans
+            else:
+                fitted.append(None)
+        profiles = tuple(fitted)
+        profile_seconds = tuple(fit_times)
     shared = _DetectionShared(
-        dataset, detectors, seed, deadline_seconds, retry, clock, sleep
+        dataset,
+        detectors,
+        seed,
+        deadline_seconds,
+        retry,
+        clock,
+        sleep,
+        profiles=profiles,
+        profile_seconds=profile_seconds,
     )
     units = [
         UnitSpec(
@@ -310,8 +471,22 @@ def run_detection_suite(
         for index, detector in enumerate(detectors)
     ]
     plan = ExecutionPlan(_DETECTION_ADAPTER, shared, units)
+    stage_attrs: Dict[str, Any] = {"dataset": dataset.name}
+    if block_rows is not None:
+        stage_attrs["block_rows"] = block_rows
     return _run_staged_plan(
-        plan, telemetry, executor, checkpoint, breaker, dataset=dataset.name
+        plan,
+        telemetry,
+        executor,
+        checkpoint,
+        breaker,
+        blocks=blocks or None,
+        merge_blocks=(
+            (lambda spec, runs: _merge_detection_blocks(shared, spec, runs))
+            if blocks
+            else None
+        ),
+        **stage_attrs,
     )
 
 

@@ -10,6 +10,7 @@ from repro.cache.keys import (
     artifact_key,
     canonical_cell,
     config_fingerprint,
+    table_block_fingerprint,
     table_fingerprint,
 )
 from repro.cache.store import (
@@ -30,5 +31,6 @@ __all__ = [
     "config_fingerprint",
     "current_cache",
     "install_cache",
+    "table_block_fingerprint",
     "table_fingerprint",
 ]

@@ -83,6 +83,36 @@ def table_fingerprint(table: Table) -> str:
     return result
 
 
+def table_block_fingerprint(table: Table, start: int, stop: int) -> str:
+    """Content fingerprint of the row block ``[start, stop)`` of a table.
+
+    The digest equals :func:`table_fingerprint` of the corresponding
+    :meth:`~repro.dataset.table.Table.block_view`, so two blocks with
+    identical schema and cell payloads share a fingerprint regardless of
+    their row offsets or parent tables -- the property block-granular
+    cache entries need.
+
+    Memoization reuses the parent table's mutation counter: all block
+    digests computed since the last ``set_cell`` are kept in a per-table
+    memo dict keyed by ``(start, stop)`` and dropped wholesale when the
+    counter moves, mirroring the whole-table ``_fingerprint_memo``.
+    """
+    token = getattr(table, "_mutation_count", None)
+    memo = table.__dict__.get("_block_fingerprint_memo")
+    if token is not None and memo is not None and memo[0] == token:
+        cached = memo[1].get((start, stop))
+        if cached is not None:
+            return cached
+    block = table.block_view(start, stop)
+    result = table_fingerprint(block)
+    if token is not None:
+        if memo is None or memo[0] != token:
+            memo = (token, {})
+            table.__dict__["_block_fingerprint_memo"] = memo
+        memo[1][(start, stop)] = result
+    return result
+
+
 def config_fingerprint(config: Mapping[str, Any]) -> str:
     """SHA-256 hex digest of a JSON-serializable configuration mapping."""
     text = json.dumps(

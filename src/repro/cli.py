@@ -24,6 +24,10 @@ Resilience flags (available on every stage command):
 - ``--retries N``: attempts for transient failures (default 1 = none).
 - ``--workers N``: shard the stage's unit grid across N worker
   processes; output is byte-identical to the serial run for any N.
+- ``--block-rows N`` (``detect`` only): stream block-capable detectors
+  over N-row zero-copy blocks instead of materializing whole-table
+  intermediates; cells and scores are byte-identical to the unblocked
+  run for any N, and peak memory stays bounded by the block size.
 - ``--cache-dir PATH``: content-addressed artifact cache; encoded
   feature matrices and detector features are memoized on disk, keyed by
   table content + configuration, so re-runs (and repeated table
@@ -90,6 +94,18 @@ def _positive_seconds(text: str) -> float:
 _positive_seconds.__name__ = "seconds"  # argparse uses this in error text
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    return value
+
+
+_positive_int.__name__ = "int"  # argparse uses this in error text
+
+
 def _build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -148,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="disable the artifact cache even when --cache-dir is set",
         )
+        if command == "detect":
+            stage.add_argument(
+                "--block-rows", type=_positive_int, default=None, metavar="N",
+                help="row-block size for out-of-core detection; "
+                     "block-capable detectors stream over N-row blocks "
+                     "with byte-identical results",
+            )
         if command == "model":
             stage.add_argument("--model", default="DT")
             stage.add_argument("--seeds", type=int, default=4)
@@ -327,7 +350,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             _cache_session(args, telemetry):
         try:
             runs = run_detection_suite(
-                dataset, applicable, seed=args.seed, **guards
+                dataset, applicable, seed=args.seed,
+                block_rows=args.block_rows, **guards
             )
         finally:
             if checkpoint is not None:

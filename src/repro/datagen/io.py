@@ -46,10 +46,14 @@ def _predicate_from_dict(payload: Dict[str, Any]) -> Predicate:
 def _kb_to_dict(kb: KnowledgeBase) -> Dict[str, Any]:
     return {
         "domains": {k: sorted(v) for k, v in kb.domains.items()},
-        "relations": {
-            f"{a}|{b}": sorted(map(list, pairs))
-            for (a, b), pairs in kb.relations.items()
-        },
+        # Relations are explicit [concept_a, concept_b, pairs] triples.
+        # The previous format mangled concept pairs into "a|b" keys and
+        # re-split on the first "|", so any concept name containing a
+        # pipe (think "city|district") came back silently corrupted.
+        "relations": [
+            [a, b, sorted(map(list, pairs))]
+            for (a, b), pairs in sorted(kb.relations.items())
+        ],
     }
 
 
@@ -57,8 +61,14 @@ def _kb_from_dict(payload: Dict[str, Any]) -> KnowledgeBase:
     kb = KnowledgeBase()
     for concept, values in payload.get("domains", {}).items():
         kb.add_domain(concept, values)
-    for key, pairs in payload.get("relations", {}).items():
-        concept_a, concept_b = key.split("|", 1)
+    relations = payload.get("relations", [])
+    if isinstance(relations, dict):
+        # Legacy "a|b"-keyed format: still loadable (correctly only for
+        # pipe-free concept names, which is all it could express).
+        relations = [
+            [*key.split("|", 1), pairs] for key, pairs in relations.items()
+        ]
+    for concept_a, concept_b, pairs in relations:
         kb.add_relation(concept_a, concept_b, [tuple(p) for p in pairs])
     return kb
 

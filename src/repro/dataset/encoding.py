@@ -150,24 +150,28 @@ class TableEncoder:
         self._fitted = True
         return self
 
-    def transform(self, table: Table) -> np.ndarray:
-        if not self._fitted:
-            raise RuntimeError("TableEncoder used before fit")
-        blocks: List[np.ndarray] = []
+    def _transform_block(self, block: Table) -> np.ndarray:
+        """Encode one row block with the fitted statistics.
+
+        Imputation, scaling, and one-hot scattering are all elementwise
+        against fit-time state, so encoding block-by-block produces the
+        same bytes as encoding the whole table at once.
+        """
+        parts: List[np.ndarray] = []
         if self._numerical:
-            matrix = table.numeric_matrix(self._numerical)
+            matrix = block.numeric_matrix(self._numerical)
             # Mean-impute anything missing or corrupted-to-text, one
             # whole-matrix pass instead of a per-column loop.
             matrix = np.where(np.isnan(matrix), self._num_mean, matrix)
             if self.scale:
                 matrix = (matrix - self._num_mean) / self._num_std
-            blocks.append(matrix)
+            parts.append(matrix)
         for name in self._categorical:
             levels = self._cat_levels[name]
-            block = np.zeros((table.n_rows, len(levels)), dtype=np.float64)
+            onehot = np.zeros((block.n_rows, len(levels)), dtype=np.float64)
             index = self._cat_index[name]
             key = self._cat_key
-            cells = table.column(name)
+            cells = block.column(name)
             # One pass: map each cell to its level index (-1 for missing
             # or unseen), then scatter the hits in a single assignment.
             hits = np.fromiter(
@@ -179,11 +183,30 @@ class TableEncoder:
                 count=len(cells),
             )
             rows = np.flatnonzero(hits >= 0)
-            block[rows, hits[rows]] = 1.0
-            blocks.append(block)
-        if not blocks:
-            return np.zeros((table.n_rows, 0), dtype=np.float64)
-        return np.hstack(blocks)
+            onehot[rows, hits[rows]] = 1.0
+            parts.append(onehot)
+        if not parts:
+            return np.zeros((block.n_rows, 0), dtype=np.float64)
+        return np.hstack(parts)
+
+    def transform(
+        self, table: Table, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        """Encode a table into a dense float matrix.
+
+        With ``block_rows`` set, encoding streams over zero-copy row
+        blocks into a preallocated output: transient memory drops to one
+        block's intermediates while the result stays byte-identical to
+        the whole-table pass.
+        """
+        if not self._fitted:
+            raise RuntimeError("TableEncoder used before fit")
+        if block_rows is None:
+            return self._transform_block(table)
+        out = np.empty((table.n_rows, self.n_features), dtype=np.float64)
+        for start, block in table.iter_blocks(block_rows):
+            out[start:start + block.n_rows] = self._transform_block(block)
+        return out
 
     def fit_transform(self, table: Table, exclude: Sequence[str] = ()) -> np.ndarray:
         cache = current_cache()

@@ -47,9 +47,13 @@ def train_test_split(
         n_test = min(n_test, n_rows - 1)
         return np.sort(order[n_test:]), np.sort(order[:n_test])
 
+    # Group keys carry the label's type alongside its repr: keying on
+    # str(label) alone collapses distinct classes that merely print the
+    # same -- the int 1 with the string "1", or None with the string
+    # "None" -- silently merging their strata.
     groups: dict = {}
     for i, label in enumerate(stratify):
-        groups.setdefault(str(label), []).append(i)
+        groups.setdefault((type(label).__name__, str(label)), []).append(i)
     train: List[int] = []
     test: List[int] = []
     for label in sorted(groups):

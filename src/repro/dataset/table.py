@@ -118,6 +118,9 @@ class Table:
         # Bumped by every in-place cell write; content-keyed consumers
         # (the artifact cache's fingerprint memo) use it to detect staleness.
         self._mutation_count = 0
+        # Block views are read-only: a write through a view would bypass
+        # the parent's mutation counter and poison fingerprint memos.
+        self._readonly = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -142,6 +145,27 @@ class Table:
     @classmethod
     def empty(cls, schema: Schema) -> "Table":
         return cls(schema, {name: [] for name in schema.names})
+
+    @classmethod
+    def _wrap_arrays(
+        cls,
+        schema: Schema,
+        data: Dict[str, np.ndarray],
+        n_rows: int,
+        readonly: bool = False,
+    ) -> "Table":
+        """Internal no-copy constructor wrapping existing column arrays.
+
+        Used by :meth:`block_view` to build zero-copy views; callers own
+        the aliasing consequences, which is why this stays private.
+        """
+        table = cls.__new__(cls)
+        table._schema = schema
+        table._data = data
+        table._n_rows = n_rows
+        table._mutation_count = 0
+        table._readonly = readonly
+        return table
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -183,6 +207,10 @@ class Table:
         return self.column(column)[row]
 
     def set_cell(self, row: int, column: str, value: Any) -> None:
+        if self._readonly:
+            raise TypeError(
+                "block views are read-only; write through the parent table"
+            )
         self._check_row(row)
         self.column(column)[row] = value
         self._mutation_count += 1
@@ -233,6 +261,48 @@ class Table:
             for i in np.flatnonzero(self.missing_mask(name)):
                 cells.add((int(i), name))
         return cells
+
+    # ------------------------------------------------------------------
+    # Row-block views (zero-copy out-of-core substrate)
+    # ------------------------------------------------------------------
+    def block_view(self, start: int, stop: int) -> "Table":
+        """Return a zero-copy, read-only view of rows ``[start, stop)``.
+
+        The view shares the parent's column arrays through numpy basic
+        slicing: no cell payloads are copied, and later in-place writes to
+        the parent (via :meth:`set_cell`) remain visible through the view.
+        Writes *through* the view are rejected because they would bypass
+        the parent's mutation counter, on which the artifact cache's
+        fingerprint memo relies.
+        """
+        if not 0 <= start <= stop <= self._n_rows:
+            raise IndexError(
+                f"block [{start}, {stop}) out of range [0, {self._n_rows}]"
+            )
+        data: Dict[str, np.ndarray] = {}
+        for name in self._schema.names:
+            view = self._data[name][start:stop]
+            view.flags.writeable = False
+            data[name] = view
+        return Table._wrap_arrays(
+            self._schema, data, stop - start, readonly=True
+        )
+
+    def iter_blocks(
+        self, block_rows: int
+    ) -> Iterable[Tuple[int, "Table"]]:
+        """Yield ``(start_row, block_view)`` pairs covering all rows.
+
+        Every block except possibly the last spans exactly ``block_rows``
+        rows; blocks are yielded in row order and tile the table exactly
+        once, so streaming consumers can reassemble whole-table results
+        with plain ``out[start:start + block.n_rows]`` writes.
+        """
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        for start in range(0, self._n_rows, block_rows):
+            stop = min(start + block_rows, self._n_rows)
+            yield start, self.block_view(start, stop)
 
     # ------------------------------------------------------------------
     # Structural operations (all return new tables)

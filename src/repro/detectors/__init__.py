@@ -7,7 +7,13 @@ ML-supported: Metadata-driven, RAHA, ED2, Picket.
 
 from typing import Dict, List
 
-from repro.detectors.base import ML_SUPPORTED, NON_LEARNING, DetectionResult, Detector
+from repro.detectors.base import (
+    ML_SUPPORTED,
+    NON_LEARNING,
+    BlockwiseDetector,
+    DetectionResult,
+    Detector,
+)
 from repro.detectors.cleanlab import CleanLabDetector
 from repro.detectors.dboost import DBoostDetector
 from repro.detectors.duplicates import KeyCollisionDetector, ZeroERDetector
@@ -60,6 +66,7 @@ def detector_registry() -> Dict[str, Detector]:
 
 
 __all__ = [
+    "BlockwiseDetector",
     "CleanLabDetector",
     "DBoostDetector",
     "DetectionResult",

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set
+from typing import Any, Dict, FrozenSet, Set
 
 from repro.context import CleaningContext
-from repro.dataset.table import Cell
+from repro.dataset.table import Cell, Table
 
 #: Methodology categories from Table 1.
 NON_LEARNING = "non-learning"
@@ -77,3 +77,51 @@ class Detector:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BlockwiseDetector:
+    """Capability mixin for detectors that can stream over row blocks.
+
+    A detector qualifies when its per-cell decision is a pure function of
+    (a) whole-table *profile* statistics and (b) that cell's own row --
+    the profile-based detectors (missing values, SD, IQR).  The fit half
+    (:meth:`fit_profile`) sees the whole table exactly once; the
+    inference half (:meth:`detect_block`) is then evaluated per zero-copy
+    block view with a global row offset, and the union of block results
+    equals the whole-table :meth:`Detector.detect` cell set exactly.
+
+    Profiles must be picklable: the parallel engine ships them to worker
+    processes alongside the ``(unit x row-block)`` sub-units.
+    """
+
+    def fit_profile(self, context: CleaningContext) -> Any:
+        """Whole-table fit pass; returns the picklable profile."""
+        return None
+
+    def detect_block(
+        self,
+        context: CleaningContext,
+        fitted: Any,
+        block: Table,
+        start: int,
+    ) -> DetectionResult:
+        """Run inference on one row block, timing just that block.
+
+        ``start`` is the block's first row's global index; returned cells
+        carry global row indices.
+        """
+        context.check_deadline(f"{self.name}.detect_block")
+        clock = context.clock or time.perf_counter
+        started = clock()
+        cells = self._detect_block(context, fitted, block, start)
+        elapsed = clock() - started
+        return DetectionResult(self.name, frozenset(cells), elapsed)
+
+    def _detect_block(
+        self,
+        context: CleaningContext,
+        fitted: Any,
+        block: Table,
+        start: int,
+    ) -> Set[Cell]:
+        raise NotImplementedError

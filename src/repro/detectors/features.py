@@ -15,15 +15,25 @@ acquired.  This module provides the two feature families they draw on:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.cache.keys import artifact_key, table_fingerprint
+from repro.cache.keys import (
+    artifact_key,
+    config_fingerprint,
+    table_block_fingerprint,
+    table_fingerprint,
+)
 from repro.cache.store import current_cache
 from repro.dataset.table import Table, coerce_float, is_missing
 
 _SENTINEL_STRINGS = {"unknown", "unk", "xxx", "missing", "tbd", "-", "x"}
+
+#: Fixed widths of the two feature families (block assembly preallocates).
+N_STRATEGY_FEATURES = 11
+N_METADATA_FEATURES = 7
 
 
 def _shape_of(text: str) -> str:
@@ -38,32 +48,92 @@ def _shape_of(text: str) -> str:
     return "".join(out)
 
 
-def strategy_features(table: Table, column: str) -> np.ndarray:
-    """Binary strategy-output matrix for one column (n_rows x n_strategies).
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Whole-table statistics one column's cell features depend on.
 
-    Strategies: missing check, |z| > {2, 3, 4}, IQR k in {1.5, 3},
-    frequency < {1%, 0.1%}, shape deviates from dominant shape,
-    sentinel-lexicon membership, non-numeric payload in numeric column.
+    Fitting a profile is the only pass that must see every row at once;
+    given the profile, every per-cell feature is a pure elementwise
+    function of that cell's row, so inference can stream over row blocks
+    and stay byte-identical to the whole-table evaluation.  Instances are
+    plain picklable data so the parallel engine can ship them to workers.
     """
-    n_rows = table.n_rows
+
+    column: str
+    numerical: bool
+    has_z: bool
+    mean: float
+    std: float
+    has_iqr: bool
+    q1: float
+    q3: float
+    iqr: float
+    counts: Mapping[str, int]
+    total: int
+    dominant_shape: Optional[str]
+
+
+def fit_column_profile(table: Table, column: str) -> ColumnProfile:
+    """Fit the whole-table statistics for one column (the 'fit' half)."""
     values = table.column(column)
     numeric = table.as_float(column)
     finite = numeric[~np.isnan(numeric)]
+    keys = [None if is_missing(v) else str(v).strip().lower() for v in values]
+    counts = Counter(k for k in keys if k is not None)
+    total = sum(counts.values()) or 1
+    shape_counts = Counter(_shape_of(k) for k in keys if k is not None)
+    dominant = (
+        shape_counts.most_common(1)[0][0] if shape_counts else None
+    )
+    has_z = len(finite) >= 3 and float(finite.std()) > 0
+    has_iqr = len(finite) >= 4
+    if has_iqr:
+        q1, q3 = np.quantile(finite, [0.25, 0.75])
+        q1, q3 = float(q1), float(q3)
+    else:
+        q1 = q3 = 0.0
+    return ColumnProfile(
+        column=column,
+        numerical=table.schema.kind_of(column) == "numerical",
+        has_z=has_z,
+        mean=float(finite.mean()) if has_z else 0.0,
+        std=float(finite.std()) if has_z else 0.0,
+        has_iqr=has_iqr,
+        q1=q1,
+        q3=q3,
+        iqr=q3 - q1,
+        counts=dict(counts),
+        total=total,
+        dominant_shape=dominant,
+    )
+
+
+def strategy_features_block(
+    profile: ColumnProfile, block: Table
+) -> np.ndarray:
+    """Strategy-output matrix for one row block, given a fitted profile.
+
+    Every strategy decision is elementwise against the profile's scalar
+    statistics, so evaluating block-by-block yields exactly the bytes the
+    whole-table evaluation would produce for the same rows.
+    """
+    n_rows = block.n_rows
+    values = block.column(profile.column)
+    numeric = block.as_float(profile.column)
     missing = np.array([is_missing(v) for v in values], dtype=float)
 
     columns: List[np.ndarray] = [missing]
     # Z-score strategies.
-    if len(finite) >= 3 and finite.std() > 0:
-        z = np.abs(numeric - finite.mean()) / finite.std()
+    if profile.has_z:
+        z = np.abs(numeric - profile.mean) / profile.std
         z = np.where(np.isnan(z), 0.0, z)
         for threshold in (2.0, 3.0, 4.0):
             columns.append((z > threshold).astype(float))
     else:
         columns.extend([np.zeros(n_rows)] * 3)
     # IQR strategies.
-    if len(finite) >= 4:
-        q1, q3 = np.quantile(finite, [0.25, 0.75])
-        iqr = q3 - q1
+    if profile.has_iqr:
+        q1, q3, iqr = profile.q1, profile.q3, profile.iqr
         for k in (1.5, 3.0):
             if iqr > 0:
                 out = (numeric < q1 - k * iqr) | (numeric > q3 + k * iqr)
@@ -74,17 +144,15 @@ def strategy_features(table: Table, column: str) -> np.ndarray:
         columns.extend([np.zeros(n_rows)] * 2)
     # Frequency strategies.
     keys = [None if is_missing(v) else str(v).strip().lower() for v in values]
-    counts = Counter(k for k in keys if k is not None)
-    total = sum(counts.values()) or 1
+    counts, total = profile.counts, profile.total
     frequency = np.array(
         [counts.get(k, 0) / total if k is not None else 0.0 for k in keys]
     )
     columns.append((frequency < 0.01).astype(float))
     columns.append((frequency < 0.001).astype(float))
     # Shape deviation.
-    shape_counts = Counter(_shape_of(k) for k in keys if k is not None)
-    if shape_counts:
-        dominant, _ = shape_counts.most_common(1)[0]
+    if profile.dominant_shape is not None:
+        dominant = profile.dominant_shape
         deviates = np.array(
             [
                 0.0 if k is None else float(_shape_of(k) != dominant)
@@ -101,7 +169,7 @@ def strategy_features(table: Table, column: str) -> np.ndarray:
         )
     )
     # Non-numeric payload in a numeric column.
-    if table.schema.kind_of(column) == "numerical":
+    if profile.numerical:
         corrupted = np.array(
             [
                 float(not is_missing(v) and np.isnan(coerce_float(v)))
@@ -114,20 +182,28 @@ def strategy_features(table: Table, column: str) -> np.ndarray:
     return np.column_stack(columns)
 
 
-def metadata_features(table: Table, column: str) -> np.ndarray:
-    """Profile-statistic matrix for one column (n_rows x n_features).
+def strategy_features(table: Table, column: str) -> np.ndarray:
+    """Binary strategy-output matrix for one column (n_rows x n_strategies).
 
-    Features: value length, token count, digit fraction, frequency,
-    z-score (0 for non-numeric), is-missing, and the row's missing count
-    (tuple-level feature, per ED2).
+    Strategies: missing check, |z| > {2, 3, 4}, IQR k in {1.5, 3},
+    frequency < {1%, 0.1%}, shape deviates from dominant shape,
+    sentinel-lexicon membership, non-numeric payload in numeric column.
+
+    Equivalent to fitting a :class:`ColumnProfile` and evaluating the
+    whole table as one block.
     """
-    n_rows = table.n_rows
-    values = table.column(column)
-    numeric = table.as_float(column)
-    finite = numeric[~np.isnan(numeric)]
+    return strategy_features_block(fit_column_profile(table, column), table)
+
+
+def metadata_features_block(
+    profile: ColumnProfile, block: Table
+) -> np.ndarray:
+    """Metadata-feature matrix for one row block, given a fitted profile."""
+    n_rows = block.n_rows
+    values = block.column(profile.column)
+    numeric = block.as_float(profile.column)
     keys = [None if is_missing(v) else str(v).strip() for v in values]
-    counts = Counter(k.lower() for k in keys if k is not None)
-    total = sum(counts.values()) or 1
+    counts, total = profile.counts, profile.total
 
     lengths = np.array([0.0 if k is None else float(len(k)) for k in keys])
     tokens = np.array(
@@ -147,19 +223,29 @@ def metadata_features(table: Table, column: str) -> np.ndarray:
             for k in keys
         ]
     )
-    if len(finite) >= 3 and finite.std() > 0:
-        z = np.abs(numeric - finite.mean()) / finite.std()
+    if profile.has_z:
+        z = np.abs(numeric - profile.mean) / profile.std
         z = np.where(np.isnan(z), 0.0, np.minimum(z, 10.0))
     else:
         z = np.zeros(n_rows)
     missing = np.array([float(k is None) for k in keys])
     row_missing = np.zeros(n_rows)
-    for other in table.column_names:
-        row_missing += table.missing_mask(other).astype(float)
-    row_missing /= max(len(table.column_names), 1)
+    for other in block.column_names:
+        row_missing += block.missing_mask(other).astype(float)
+    row_missing /= max(len(block.column_names), 1)
     return np.column_stack(
         [lengths, tokens, digit_fraction, frequency, z, missing, row_missing]
     )
+
+
+def metadata_features(table: Table, column: str) -> np.ndarray:
+    """Profile-statistic matrix for one column (n_rows x n_features).
+
+    Features: value length, token count, digit fraction, frequency,
+    z-score (0 for non-numeric), is-missing, and the row's missing count
+    (tuple-level feature, per ED2).
+    """
+    return metadata_features_block(fit_column_profile(table, column), table)
 
 
 def _combined_features_fresh(table: Table) -> Dict[str, np.ndarray]:
@@ -171,7 +257,94 @@ def _combined_features_fresh(table: Table) -> Dict[str, np.ndarray]:
     }
 
 
-def combined_features(table: Table) -> Dict[str, np.ndarray]:
+def _profile_digest(profile: ColumnProfile) -> str:
+    """Content digest of a fitted profile (keys block-level cache entries)."""
+    return config_fingerprint(
+        {
+            "column": profile.column,
+            "numerical": profile.numerical,
+            "has_z": profile.has_z,
+            "mean": profile.mean,
+            "std": profile.std,
+            "has_iqr": profile.has_iqr,
+            "q1": profile.q1,
+            "q3": profile.q3,
+            "iqr": profile.iqr,
+            "counts": dict(profile.counts),
+            "total": profile.total,
+            "dominant_shape": profile.dominant_shape,
+        }
+    )
+
+
+def _combined_features_blocked(
+    table: Table, block_rows: int
+) -> Dict[str, np.ndarray]:
+    """Streamed evaluation of :func:`combined_features` over row blocks.
+
+    Profiles are fitted once against the whole table; each block is then
+    evaluated independently into a preallocated output, so peak transient
+    memory is one block's feature rows instead of the whole matrix.  When
+    a cache is installed, each block gets its own content-addressed entry
+    keyed by its :func:`table_block_fingerprint` plus the profiles that
+    shaped it, so unchanged blocks are reused even when sibling blocks of
+    the table changed.
+    """
+    cache = current_cache()
+    names = table.column_names
+    profiles = {name: fit_column_profile(table, name) for name in names}
+    block_config: Dict[str, Any] = {}
+    if cache is not None:
+        block_config = {
+            "profiles": {
+                name: _profile_digest(profiles[name]) for name in names
+            }
+        }
+    width = N_STRATEGY_FEATURES + N_METADATA_FEATURES
+    out = {
+        name: np.empty((table.n_rows, width), dtype=np.float64)
+        for name in names
+    }
+    for start, block in table.iter_blocks(block_rows):
+        stop = start + block.n_rows
+        arrays: Optional[Dict[str, np.ndarray]] = None
+        key = None
+        if cache is not None:
+            key = artifact_key(
+                "detector/combined_features@v1+block",
+                [table_block_fingerprint(table, start, stop)],
+                block_config,
+            )
+            entry = cache.get(key)
+            if entry is not None:
+                arrays = {
+                    name: entry.arrays[f"c{i}"]
+                    for i, name in enumerate(entry.meta["columns"])
+                }
+        if arrays is None:
+            arrays = {
+                name: np.hstack(
+                    [
+                        strategy_features_block(profiles[name], block),
+                        metadata_features_block(profiles[name], block),
+                    ]
+                )
+                for name in names
+            }
+            if cache is not None and key is not None:
+                cache.put(
+                    key,
+                    {f"c{i}": arrays[name] for i, name in enumerate(names)},
+                    {"columns": names},
+                )
+        for name in names:
+            out[name][start:stop] = arrays[name]
+    return out
+
+
+def combined_features(
+    table: Table, block_rows: Optional[int] = None
+) -> Dict[str, np.ndarray]:
     """Strategy + metadata features for every column.
 
     This is the dominant featurization cost of the ML-supported detectors
@@ -180,9 +353,15 @@ def combined_features(table: Table) -> Dict[str, np.ndarray]:
     installed.  Column names can be arbitrary strings, so the entry stores
     arrays under positional names with the real column order in the JSON
     metadata.
+
+    With ``block_rows`` set, evaluation streams over row blocks (fit
+    stays whole-table) and the result is byte-identical to the unblocked
+    call; both paths share the same whole-table cache entry.
     """
     cache = current_cache()
     if cache is None:
+        if block_rows is not None:
+            return _combined_features_blocked(table, block_rows)
         return _combined_features_fresh(table)
     key = artifact_key(
         "detector/combined_features@v1",
@@ -195,7 +374,10 @@ def combined_features(table: Table) -> Dict[str, np.ndarray]:
         return {
             name: entry.arrays[f"c{i}"] for i, name in enumerate(columns)
         }
-    features = _combined_features_fresh(table)
+    if block_rows is not None:
+        features = _combined_features_blocked(table, block_rows)
+    else:
+        features = _combined_features_fresh(table)
     columns = list(features)
     cache.put(
         key,

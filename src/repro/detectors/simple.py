@@ -3,22 +3,24 @@ Isolation-Forest outlier detectors of Table 1."""
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Any, Dict, Set, Tuple
 
 import numpy as np
 
 from repro.context import CleaningContext
-from repro.dataset.table import Cell
-from repro.detectors.base import NON_LEARNING, Detector
+from repro.dataset.table import Cell, Table
+from repro.detectors.base import NON_LEARNING, BlockwiseDetector, Detector
 from repro.errors import profile
 from repro.ml.forest import IsolationForest
 
 
-class MVDetector(Detector):
+class MVDetector(BlockwiseDetector, Detector):
     """Explicit missing-value detector (empty / NaN / null tokens).
 
     The paper attributes this to a pandas-style scan; it is exact for
-    explicit missing values and blind to disguised ones.
+    explicit missing values and blind to disguised ones.  Each cell's
+    missingness depends on that cell alone, so the detector streams over
+    row blocks with no profile at all.
     """
 
     name = "MVD"
@@ -28,12 +30,23 @@ class MVDetector(Detector):
     def _detect(self, context: CleaningContext) -> Set[Cell]:
         return context.dirty.missing_cells()
 
+    def _detect_block(
+        self,
+        context: CleaningContext,
+        fitted: Any,
+        block: Table,
+        start: int,
+    ) -> Set[Cell]:
+        return {(start + row, column) for row, column in block.missing_cells()}
 
-class SDDetector(Detector):
+
+class SDDetector(BlockwiseDetector, Detector):
     """Standard-deviation outlier detector.
 
     A numeric cell is an outlier when it lies more than ``n_sigmas``
-    standard deviations from its column mean.
+    standard deviations from its column mean.  The mean/std pair is the
+    whole-table profile; the threshold test is elementwise, so inference
+    streams over row blocks byte-identically.
     """
 
     name = "SD"
@@ -44,6 +57,27 @@ class SDDetector(Detector):
         if n_sigmas <= 0:
             raise ValueError("n_sigmas must be positive")
         self.n_sigmas = n_sigmas
+
+    def fit_profile(
+        self, context: CleaningContext
+    ) -> Dict[str, Tuple[float, float]]:
+        """Per-column ``(mean, std)`` over the whole dirty table.
+
+        Columns with fewer than 3 finite values or zero spread are
+        omitted, exactly as :meth:`_detect` skips them.
+        """
+        stats: Dict[str, Tuple[float, float]] = {}
+        table = context.dirty
+        for column in table.schema.numerical_names:
+            values = table.as_float(column)
+            finite = values[~np.isnan(values)]
+            if len(finite) < 3:
+                continue
+            mean, std = float(finite.mean()), float(finite.std())
+            if std == 0:
+                continue
+            stats[column] = (mean, std)
+        return stats
 
     def _detect(self, context: CleaningContext) -> Set[Cell]:
         cells: Set[Cell] = set()
@@ -61,12 +95,29 @@ class SDDetector(Detector):
                 cells.add((int(i), column))
         return cells
 
+    def _detect_block(
+        self,
+        context: CleaningContext,
+        fitted: Dict[str, Tuple[float, float]],
+        block: Table,
+        start: int,
+    ) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        for column, (mean, std) in fitted.items():
+            values = block.as_float(column)
+            deviant = np.abs(values - mean) > self.n_sigmas * std
+            for i in np.flatnonzero(deviant & ~np.isnan(values)):
+                cells.add((start + int(i), column))
+        return cells
 
-class IQRDetector(Detector):
+
+class IQRDetector(BlockwiseDetector, Detector):
     """Interquartile-range outlier detector.
 
     Flags values outside ``[Q1 - k*IQR, Q3 + k*IQR]`` -- the resistant
-    alternative to SD the paper describes.
+    alternative to SD the paper describes.  The fence pair is the
+    whole-table profile; the range test is elementwise, so inference
+    streams over row blocks byte-identically.
     """
 
     name = "IQR"
@@ -77,6 +128,28 @@ class IQRDetector(Detector):
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k
+
+    def fit_profile(
+        self, context: CleaningContext
+    ) -> Dict[str, Tuple[float, float]]:
+        """Per-column ``(low, high)`` fences over the whole dirty table.
+
+        Columns with fewer than 4 finite values or zero IQR are omitted,
+        exactly as :meth:`_detect` skips them.
+        """
+        fences: Dict[str, Tuple[float, float]] = {}
+        table = context.dirty
+        for column in table.schema.numerical_names:
+            values = table.as_float(column)
+            finite = values[~np.isnan(values)]
+            if len(finite) < 4:
+                continue
+            q1, q3 = np.quantile(finite, [0.25, 0.75])
+            iqr = q3 - q1
+            if iqr == 0:
+                continue
+            fences[column] = (q1 - self.k * iqr, q3 + self.k * iqr)
+        return fences
 
     def _detect(self, context: CleaningContext) -> Set[Cell]:
         cells: Set[Cell] = set()
@@ -94,6 +167,21 @@ class IQRDetector(Detector):
             deviant = (values < low) | (values > high)
             for i in np.flatnonzero(deviant & ~np.isnan(values)):
                 cells.add((int(i), column))
+        return cells
+
+    def _detect_block(
+        self,
+        context: CleaningContext,
+        fitted: Dict[str, Tuple[float, float]],
+        block: Table,
+        start: int,
+    ) -> Set[Cell]:
+        cells: Set[Cell] = set()
+        for column, (low, high) in fitted.items():
+            values = block.as_float(column)
+            deviant = (values < low) | (values > high)
+            for i in np.flatnonzero(deviant):
+                cells.add((start + int(i), column))
         return cells
 
 

@@ -18,7 +18,12 @@ from repro.metrics.model import (
     rmse,
     silhouette_score,
 )
-from repro.metrics.repair import RepairScores, repair_scores_categorical, repair_rmse
+from repro.metrics.repair import (
+    RepairScores,
+    repair_rmse,
+    repair_rmse_per_column,
+    repair_scores_categorical,
+)
 from repro.metrics.stats import WilcoxonResult, wilcoxon_signed_rank
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "iou_matrix",
     "precision_recall_f1",
     "repair_rmse",
+    "repair_rmse_per_column",
     "repair_scores_categorical",
     "rmse",
     "silhouette_score",

@@ -70,24 +70,76 @@ def repair_scores_categorical(
     )
 
 
+def repair_rmse_per_column(
+    repaired: Table,
+    clean: Table,
+    columns: Optional[Sequence[str]] = None,
+    normalize: bool = True,
+) -> "dict[str, float]":
+    """Per-column RMSE between repaired and ground-truth values.
+
+    Cells whose repaired payload is still non-numeric (e.g. an undetected
+    typo that turned a number into text) are filtered out, following the
+    paper.  With ``normalize`` (default) each column's errors are scaled
+    by the clean column's standard deviation so wide-range columns stay
+    comparable.  Columns with no valid (numeric-vs-numeric) cells are
+    omitted from the result.
+    """
+    if columns is None:
+        columns = clean.schema.numerical_names
+    per_column: "dict[str, float]" = {}
+    for name in columns:
+        repaired_values = repaired.as_float(name)
+        clean_values = clean.as_float(name)
+        valid = ~np.isnan(repaired_values) & ~np.isnan(clean_values)
+        if not valid.any():
+            continue
+        diff = repaired_values[valid] - clean_values[valid]
+        if normalize:
+            scale = float(np.nanstd(clean_values))
+            if scale > 0:
+                diff = diff / scale
+        per_column[name] = float(np.sqrt((diff**2).mean()))
+    return per_column
+
+
 def repair_rmse(
     repaired: Table,
     clean: Table,
     columns: Optional[Sequence[str]] = None,
     normalize: bool = True,
+    aggregate: str = "mean",
 ) -> float:
     """RMSE between repaired and ground-truth numerical values.
 
-    Cells whose repaired payload is still non-numeric (e.g. an undetected
-    typo that turned a number into text) are filtered out, following the
-    paper.  With ``normalize`` (default) each column's squared errors are
-    scaled by the clean column's standard deviation so wide-range columns
-    do not dominate; this keeps RMSE comparable across datasets.
+    ``aggregate="mean"`` (default) computes each column's RMSE
+    separately (:func:`repair_rmse_per_column`) and averages them, so
+    every column carries equal weight.  ``aggregate="pooled"`` is the
+    old behavior -- all valid cells in one pool -- which weights each
+    column by its *valid-cell count*: a column where repairs failed to
+    produce numbers (fewer valid cells) quietly counts for less, hiding
+    exactly the columns that repaired worst.  Pooled remains available
+    for cell-population-weighted comparisons.
+
+    Cell filtering and ``normalize`` follow
+    :func:`repair_rmse_per_column`.  Returns 0.0 when there are no
+    numerical columns and NaN when no column has a valid cell.
     """
+    if aggregate not in ("mean", "pooled"):
+        raise ValueError(
+            f"aggregate must be 'mean' or 'pooled', got {aggregate!r}"
+        )
     if columns is None:
         columns = clean.schema.numerical_names
     if not columns:
         return 0.0
+    if aggregate == "mean":
+        per_column = repair_rmse_per_column(
+            repaired, clean, columns, normalize=normalize
+        )
+        if not per_column:
+            return math.nan
+        return float(np.mean(list(per_column.values())))
     squared_errors = []
     for name in columns:
         repaired_values = repaired.as_float(name)

@@ -53,9 +53,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             self.trees_.append(tree)
         return self
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        self._require_fitted("trees_")
-        features, _ = check_arrays(features)
+    def _predict_proba_rows(self, features: np.ndarray) -> np.ndarray:
         n_classes = len(self.classes_)
         votes = np.zeros((len(features), n_classes))
         for tree in self.trees_:
@@ -69,8 +67,31 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         totals[totals == 0] = 1.0
         return votes / totals
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+    def predict_proba(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        self._require_fitted("trees_")
+        features, _ = check_arrays(features)
+        if block_rows is None:
+            return self._predict_proba_rows(features)
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        n = len(features)
+        out = np.empty((n, len(self.classes_)), dtype=np.float64)
+        # Each row's votes are independent, so blocking bounds the
+        # transient per-tree probability matrices at one block of rows
+        # while leaving the output byte-identical.
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            out[start:stop] = self._predict_proba_rows(features[start:stop])
+        return out
+
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        return self._decode_labels(
+            np.argmax(self.predict_proba(features, block_rows), axis=1)
+        )
 
 
 class RandomForestRegressor(BaseEstimator, RegressorMixin):
@@ -111,11 +132,32 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
             self.trees_.append(tree)
         return self
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def _predict_mean_rows(self, features: np.ndarray) -> np.ndarray:
+        # Sequential accumulation in tree order: each output element sees
+        # the same addition order whatever the row-batch width, unlike
+        # ``vstack(...).mean(axis=0)`` whose reduction order varies with
+        # the inner axis length -- which would break blocked/unblocked
+        # byte-identity at the last ulp.
+        total = np.zeros(len(features), dtype=np.float64)
+        for tree in self.trees_:
+            total += tree.predict(features)
+        return total / len(self.trees_)
+
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
         self._require_fitted("trees_")
         features, _ = check_arrays(features)
-        predictions = np.vstack([tree.predict(features) for tree in self.trees_])
-        return predictions.mean(axis=0)
+        if block_rows is None:
+            return self._predict_mean_rows(features)
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        n = len(features)
+        out = np.empty(n, dtype=np.float64)
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            out[start:stop] = self._predict_mean_rows(features[start:stop])
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -268,13 +310,7 @@ class IsolationForest(BaseEstimator):
         )
         return self
 
-    def score_samples(self, features: np.ndarray) -> np.ndarray:
-        """Anomaly scores in (0, 1); higher means more anomalous."""
-        self._require_fitted("trees_")
-        features, _ = check_arrays(features)
-        c_norm = _average_path_length(float(self.subsample_size_)) or 1.0
-        if self._flat_trees_ is None:  # unpickled from an older snapshot
-            self._flat_trees_ = [_flatten_iso_tree(tree) for tree in self.trees_]
+    def _score_rows(self, features: np.ndarray, c_norm: float) -> np.ndarray:
         n = len(features)
         total_path = np.zeros(n)
         for feature, threshold, left, right, path_value in self._flat_trees_:
@@ -289,7 +325,31 @@ class IsolationForest(BaseEstimator):
         mean_path = total_path / max(len(self._flat_trees_), 1)
         return 2.0 ** (-mean_path / c_norm)
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def score_samples(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        """Anomaly scores in (0, 1); higher means more anomalous."""
+        self._require_fitted("trees_")
+        features, _ = check_arrays(features)
+        c_norm = _average_path_length(float(self.subsample_size_)) or 1.0
+        if self._flat_trees_ is None:  # unpickled from an older snapshot
+            self._flat_trees_ = [_flatten_iso_tree(tree) for tree in self.trees_]
+        if block_rows is None:
+            return self._score_rows(features, c_norm)
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        n = len(features)
+        out = np.empty(n, dtype=np.float64)
+        # Rows isolate independently, so scoring block-by-block bounds
+        # the routing state per slice and stays byte-identical.
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            out[start:stop] = self._score_rows(features[start:stop], c_norm)
+        return out
+
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
         """Return +1 for inliers, -1 for outliers (sklearn convention)."""
-        scores = self.score_samples(features)
+        scores = self.score_samples(features, block_rows=block_rows)
         return np.where(scores > self.threshold_, -1, 1)

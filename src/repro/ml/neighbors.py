@@ -62,18 +62,27 @@ class _KNNBase(BaseEstimator):
         self._targets = targets
         self._ref_norms = np.sum(features**2, axis=1)
 
-    def _neighbor_indices(self, queries: np.ndarray) -> np.ndarray:
+    def _neighbor_indices(
+        self, queries: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
         self._require_fitted("_features")
         queries, _ = check_arrays(queries)
         k = min(self.n_neighbors, len(self._features))
         if self._ref_norms is None:  # unpickled from an older snapshot
             self._ref_norms = np.sum(self._features**2, axis=1)
+        # Queries already stream in fixed-size chunks; ``block_rows``
+        # overrides the chunk width for one call so inference obeys the
+        # suite-wide block size.  Each query row's neighbour set depends
+        # only on that row, so any chunking yields identical output.
+        chunk_size = self.chunk_size if block_rows is None else block_rows
+        if chunk_size < 1:
+            raise ValueError(f"block_rows must be >= 1, got {chunk_size}")
         out = np.empty((len(queries), k), dtype=np.int64)
         scratch = np.empty(
-            (min(self.chunk_size, len(queries)), len(self._features))
+            (min(chunk_size, len(queries)), len(self._features))
         )
-        for start in range(0, len(queries), self.chunk_size):
-            chunk = queries[start : start + self.chunk_size]
+        for start in range(0, len(queries), chunk_size):
+            chunk = queries[start : start + chunk_size]
             distances = _pairwise_sq_distances(
                 chunk,
                 self._features,
@@ -95,8 +104,10 @@ class KNNClassifier(_KNNBase, ClassifierMixin):
         self._store(features, encoded)
         return self
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        neighbors = self._neighbor_indices(features)
+    def predict_proba(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        neighbors = self._neighbor_indices(features, block_rows=block_rows)
         n_classes = len(self.classes_)
         n, k = neighbors.shape
         votes = np.zeros((n, n_classes))
@@ -107,8 +118,12 @@ class KNNClassifier(_KNNBase, ClassifierMixin):
         votes /= k
         return votes
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        return self._decode_labels(
+            np.argmax(self.predict_proba(features, block_rows), axis=1)
+        )
 
 
 class KNNRegressor(_KNNBase, RegressorMixin):
@@ -119,6 +134,8 @@ class KNNRegressor(_KNNBase, RegressorMixin):
         self._store(features, targets.astype(np.float64))
         return self
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        neighbors = self._neighbor_indices(features)
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        neighbors = self._neighbor_indices(features, block_rows=block_rows)
         return self._targets[neighbors].mean(axis=1)

@@ -310,8 +310,33 @@ def _flatten_tree(root: _Node) -> FlatTree:
     )
 
 
-def _predict_batch(flat: FlatTree, features: np.ndarray) -> np.ndarray:
+def _predict_batch(
+    flat: FlatTree,
+    features: np.ndarray,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
     """Route all rows down a flattened tree; returns (n, pred_dim).
+
+    With ``block_rows`` set, rows are routed in fixed-size slices into a
+    preallocated output so peak transient memory is bounded by one block
+    of routing state.  Each row's descent is independent, so the blocked
+    result is byte-identical to the single-pass one.
+    """
+    if block_rows is not None:
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        predictions = flat[4]
+        n = len(features)
+        out = np.empty((n, predictions.shape[1]), dtype=predictions.dtype)
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            out[start:stop] = _route_rows(flat, features[start:stop])
+        return out
+    return _route_rows(flat, features)
+
+
+def _route_rows(flat: FlatTree, features: np.ndarray) -> np.ndarray:
+    """Single-pass iterative routing of a row batch down a flat tree.
 
     Routing decisions are the same ``row[feature] <= threshold``
     comparisons the per-row descent makes, so leaf assignment -- and
@@ -382,15 +407,21 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self._flat = _flatten_tree(self.root_)
         return self
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+    def predict_proba(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
         self._require_fitted("root_")
         features, _ = check_arrays(features)
         if self._flat is None:  # e.g. unpickled from an older snapshot
             self._flat = _flatten_tree(self.root_)
-        return _predict_batch(self._flat, features)
+        return _predict_batch(self._flat, features, block_rows=block_rows)
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        return self._decode_labels(np.argmax(self.predict_proba(features), axis=1))
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
+        return self._decode_labels(
+            np.argmax(self.predict_proba(features, block_rows), axis=1)
+        )
 
     @property
     def depth(self) -> int:
@@ -431,12 +462,14 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         self._flat = _flatten_tree(self.root_)
         return self
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(
+        self, features: np.ndarray, block_rows: Optional[int] = None
+    ) -> np.ndarray:
         self._require_fitted("root_")
         features, _ = check_arrays(features)
         if self._flat is None:
             self._flat = _flatten_tree(self.root_)
-        return _predict_batch(self._flat, features)[:, 0]
+        return _predict_batch(self._flat, features, block_rows=block_rows)[:, 0]
 
     @property
     def depth(self) -> int:

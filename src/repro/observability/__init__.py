@@ -42,11 +42,17 @@ from repro.observability.ledger import (
     RunLedger,
     read_ledger,
 )
+from repro.observability.memory import (
+    AllocationProbe,
+    peak_rss_bytes,
+    traced_allocation,
+)
 from repro.observability.metrics import (
     DURATION_BUCKETS,
     Counter,
     Gauge,
     Histogram,
+    MaxGauge,
     MetricsRegistry,
 )
 from repro.observability.telemetry import (
@@ -58,12 +64,14 @@ from repro.observability.telemetry import (
 from repro.observability.trace import Span, Tracer
 
 __all__ = [
+    "AllocationProbe",
     "BENCH_SCHEMA_VERSION",
     "Counter",
     "DURATION_BUCKETS",
     "Gauge",
     "Histogram",
     "LEDGER_SCHEMA_VERSION",
+    "MaxGauge",
     "MetricsRegistry",
     "RunLedger",
     "Span",
@@ -73,9 +81,11 @@ __all__ = [
     "chrome_trace_from_ledger",
     "current_telemetry",
     "install_telemetry",
+    "peak_rss_bytes",
     "read_ledger",
     "render_metrics_summary",
     "runtimes_from_ledger",
     "telemetry_scope",
+    "traced_allocation",
     "write_bench_snapshot",
 ]

@@ -99,6 +99,15 @@ def render_metrics_summary(
                 ["counter", "value"], counter_rows, title=f"{title}: counters"
             )
         )
+    max_gauge_rows = metrics.max_gauge_rows()
+    if max_gauge_rows:
+        blocks.append(
+            render_table(
+                ["max_gauge", "peak"],
+                max_gauge_rows,
+                title=f"{title}: max gauges",
+            )
+        )
     histogram_rows = metrics.histogram_rows()
     if histogram_rows:
         blocks.append(

@@ -1,0 +1,84 @@
+"""Peak-memory readings for the scalability story (Fig 3d-e).
+
+Two complementary probes:
+
+- :func:`peak_rss_bytes` -- the OS-reported resident-set high-water
+  mark for the whole process (``ru_maxrss``).  Cheap and always-on, but
+  *process-monotone*: it never decreases, so within one process a later
+  sweep point inherits the peak of everything before it.  Good for "did
+  this run ever exceed X"; useless for comparing sweep points.
+- :func:`traced_allocation` -- a ``tracemalloc`` bracket measuring the
+  peak *Python-allocated* bytes inside a ``with`` block, reset at
+  entry.  This is what the scale benchmark uses to compare blocked vs
+  unblocked inference at different row counts: each measurement starts
+  from a clean peak, so sweep points are independent.
+
+Both feed :meth:`Telemetry.gauge_max` / the ``max_gauges`` section of a
+metrics snapshot, which merges by maximum so the recorded peak is
+completion-order independent across workers.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def peak_rss_bytes() -> float:
+    """Process-lifetime peak resident set size in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to bytes.  Returns 0.0 where the ``resource`` module is missing
+    (non-POSIX platforms) so callers can record it unconditionally.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only module
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return float(peak)
+    return float(peak) * 1024.0
+
+
+@dataclass
+class AllocationProbe:
+    """Mutable result handle yielded by :func:`traced_allocation`.
+
+    ``peak_bytes`` is populated when the ``with`` block exits; reading
+    it earlier gives the running peak so far.
+    """
+
+    peak_bytes: float = 0.0
+
+    def sample(self) -> float:
+        """Running peak inside the block (also updates ``peak_bytes``)."""
+        _, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = max(self.peak_bytes, float(peak))
+        return self.peak_bytes
+
+
+@contextmanager
+def traced_allocation() -> Iterator[AllocationProbe]:
+    """Measure peak Python allocation inside the block.
+
+    Starts tracemalloc if it is not already running (and stops it again
+    on exit in that case); when a caller already traces, only the peak
+    counter is reset so nested brackets stay independent without
+    tearing down the outer trace.
+    """
+    probe = AllocationProbe()
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        yield probe
+    finally:
+        probe.sample()
+        if started_here:
+            tracemalloc.stop()

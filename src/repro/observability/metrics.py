@@ -8,8 +8,9 @@ compute time).  Fixed buckets are what make the registry mergeable:
 worker processes ship :meth:`MetricsRegistry.snapshot` dicts back with
 their unit results and the driver folds them in with
 :meth:`MetricsRegistry.merge` -- addition for counters and bucket
-counts, last-write for gauges -- so the merged totals are independent
-of completion order.
+counts, last-write for gauges, maximum for max-gauges (high-water
+marks like peak memory) -- so the merged totals are independent of
+completion order.
 """
 
 from __future__ import annotations
@@ -45,6 +46,25 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+
+class MaxGauge:
+    """A high-water-mark float reading (maximum wins on merge).
+
+    Peak-memory readings need this: a last-write gauge would let a
+    worker that finished *later* with a *smaller* peak overwrite the
+    true high-water mark, making the merged value depend on completion
+    order.  Max-merge is commutative and idempotent, so the merged peak
+    is identical for any executor and any completion order.
+    """
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if value > self.value:
+            self.value = value
 
 
 class Histogram:
@@ -87,6 +107,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._max_gauges: Dict[str, MaxGauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
@@ -101,6 +122,11 @@ class MetricsRegistry:
         if name not in self._gauges:
             self._gauges[name] = Gauge()
         return self._gauges[name]
+
+    def max_gauge(self, name: str) -> MaxGauge:
+        if name not in self._max_gauges:
+            self._max_gauges[name] = MaxGauge()
+        return self._max_gauges[name]
 
     def histogram(
         self, name: str, boundaries: Sequence[float] = DURATION_BUCKETS
@@ -128,6 +154,9 @@ class MetricsRegistry:
             "gauges": {
                 name: g.value for name, g in sorted(self._gauges.items())
             },
+            "max_gauges": {
+                name: g.value for name, g in sorted(self._max_gauges.items())
+            },
             "histograms": {
                 name: {
                     "boundaries": list(h.boundaries),
@@ -143,13 +172,16 @@ class MetricsRegistry:
         """Fold another registry's snapshot into this one.
 
         Counters and histogram bucket counts add; gauges take the
-        snapshot's value (last write wins).  Histograms with mismatched
-        boundaries are a programming error and raise.
+        snapshot's value (last write wins); max-gauges keep the larger
+        value (maximum wins).  Histograms with mismatched boundaries
+        are a programming error and raise.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(int(value))
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
+        for name, value in snapshot.get("max_gauges", {}).items():
+            self.max_gauge(name).record(value)
         for name, data in snapshot.get("histograms", {}).items():
             histogram = self.histogram(name, data["boundaries"])
             if list(histogram.boundaries) != [
@@ -173,17 +205,28 @@ class MetricsRegistry:
         """Drop every metric (worker buffers reset after each drain)."""
         self._counters.clear()
         self._gauges.clear()
+        self._max_gauges.clear()
         self._histograms.clear()
 
     @property
     def empty(self) -> bool:
-        return not (self._counters or self._gauges or self._histograms)
+        return not (
+            self._counters
+            or self._gauges
+            or self._max_gauges
+            or self._histograms
+        )
 
     # ------------------------------------------------------------------
     # Rendering support
     # ------------------------------------------------------------------
     def counter_rows(self) -> List[List[Any]]:
         return [[name, c.value] for name, c in sorted(self._counters.items())]
+
+    def max_gauge_rows(self) -> List[List[Any]]:
+        return [
+            [name, g.value] for name, g in sorted(self._max_gauges.items())
+        ]
 
     def histogram_rows(self) -> List[List[Any]]:
         rows: List[List[Any]] = []

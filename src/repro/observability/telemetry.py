@@ -34,6 +34,7 @@ from repro.observability.ledger import (
     STAGE_STARTED,
     RunLedger,
 )
+from repro.observability.memory import peak_rss_bytes
 from repro.observability.metrics import DURATION_BUCKETS, MetricsRegistry
 from repro.observability.trace import STAGE, Tracer
 
@@ -64,6 +65,10 @@ class Telemetry:
 
     def observe(self, name: str, value: float, boundaries=DURATION_BUCKETS) -> None:
         self.metrics.histogram(name, boundaries).observe(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """High-water-mark reading (peak memory); maximum wins on merge."""
+        self.metrics.max_gauge(name).record(value)
 
     def event(self, event: str, **fields: Any) -> None:
         """Ledger event; silently dropped when no ledger is attached
@@ -111,14 +116,22 @@ class Telemetry:
 
     @contextmanager
     def stage(self, stage_name: str, **attrs: Any) -> Iterator[None]:
-        """Span + ledger bracket around one suite stage."""
+        """Span + ledger bracket around one suite stage.
+
+        Also books the process peak-RSS high-water mark at stage exit
+        (``memory.peak_rss_bytes`` max-gauge + the stage-finished event)
+        so scalability runs get a memory reading for free.
+        """
         self.event(STAGE_STARTED, stage=stage_name, **attrs)
         with self.span(stage_name, STAGE, **attrs) as span:
             yield
+        peak = peak_rss_bytes()
+        self.gauge_max("memory.peak_rss_bytes", peak)
         self.event(
             STAGE_FINISHED,
             stage=stage_name,
             duration_seconds=span.duration_seconds,
+            peak_rss_bytes=peak,
             **attrs,
         )
 

@@ -28,7 +28,10 @@ from repro.parallel.engine import (
     ProcessPoolExecutor,
     SerialExecutor,
     ShuffledExecutor,
+    block_spans,
+    block_unit_key,
     execute_plan,
+    execute_plan_blocked,
     make_executor,
     null_sleep,
 )
@@ -41,7 +44,10 @@ __all__ = [
     "ShuffledExecutor",
     "StageAdapter",
     "UnitSpec",
+    "block_spans",
+    "block_unit_key",
     "execute_plan",
+    "execute_plan_blocked",
     "make_executor",
     "null_sleep",
 ]

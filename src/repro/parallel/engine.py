@@ -405,3 +405,134 @@ def execute_plan(
             f"{missing[:5]}"
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# (unit x row-block) sharding
+# ----------------------------------------------------------------------
+def block_spans(n_rows: int, block_rows: int) -> List[Tuple[int, int]]:
+    """Canonical ``[start, stop)`` row spans tiling ``n_rows`` rows.
+
+    Every span except possibly the last covers exactly ``block_rows``
+    rows.  An empty table yields one empty span so a blocked unit still
+    produces exactly one run to merge.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+    if n_rows == 0:
+        return [(0, 0)]
+    return [
+        (start, min(start + block_rows, n_rows))
+        for start in range(0, n_rows, block_rows)
+    ]
+
+
+def block_unit_key(key: str, start: int, stop: int) -> str:
+    """Checkpoint key of one row-block sub-unit of a blocked unit."""
+    return f"{key}@rows{start}-{stop}"
+
+
+def execute_plan_blocked(
+    plan: ExecutionPlan,
+    blocks: Dict[int, List[Tuple[int, int]]],
+    merge_blocks: Callable[[UnitSpec, List[Any]], Any],
+    executor: Any = None,
+    checkpoint: Any = None,
+    breaker: Any = None,
+    progress: Optional[Callable[[UnitSpec, Any], None]] = None,
+    telemetry: Any = None,
+) -> List[Any]:
+    """Run a plan in ``(unit x row-block)`` sharding mode.
+
+    ``blocks`` maps a unit's canonical index to its row spans (from
+    :func:`block_spans`); units absent from the mapping execute whole, so
+    a stage can mix blockable and whole-table methods in one plan.  Each
+    blocked unit is expanded into per-block sub-units whose params carry
+    a ``"block": (start, stop)`` entry and whose checkpoint keys get a
+    ``@rows<start>-<stop>`` suffix; the expanded plan then runs through
+    the ordinary :func:`execute_plan` driver, so sub-units shard across
+    workers, checkpoint individually (intra-unit resume), and replay
+    circuit-breaker bookkeeping deterministically.
+
+    The fold back to whole-unit runs happens here, in the single-writer
+    driver, strictly in canonical unit order with each unit's block runs
+    in canonical block order -- which is why a blocked run's merged
+    output is byte-identical to the unblocked run for any executor and
+    worker count.  Merged runs are checkpointed under the unit's
+    *original* key, so a unit finished by an earlier run (blocked or
+    not) is reused without re-expanding, and later unblocked resumes can
+    consume blocked results transparently.
+
+    ``progress`` fires once per *original* unit, after its merge, in
+    canonical order.  Breaker failure counts accrue per sub-unit (one
+    poisoned block counts one failure), which only makes quarantine
+    trip earlier than a whole-unit run -- never later.
+    """
+    telemetry = telemetry if telemetry is not None else current_telemetry()
+    merged: List[Any] = [None] * len(plan.units)
+    # (spec, n_subunits, is_blocked); n_subunits == 0 -> checkpoint hit.
+    origin: List[Tuple[UnitSpec, int, bool]] = []
+    expanded: List[UnitSpec] = []
+    for spec in plan.units:
+        payload = checkpoint.get(spec.key) if checkpoint is not None else None
+        if payload is not None:
+            merged[spec.index] = plan.adapter.from_payload(payload)
+            origin.append((spec, 0, False))
+            if telemetry is not None:
+                telemetry.count("units.cached")
+            continue
+        spans = blocks.get(spec.index)
+        if not spans:
+            expanded.append(
+                UnitSpec(len(expanded), spec.key, spec.method, dict(spec.params))
+            )
+            origin.append((spec, 1, False))
+        else:
+            for start, stop in spans:
+                expanded.append(
+                    UnitSpec(
+                        len(expanded),
+                        block_unit_key(spec.key, start, stop),
+                        spec.method,
+                        {**spec.params, "block": (start, stop)},
+                    )
+                )
+            origin.append((spec, len(spans), True))
+    sub_plan = ExecutionPlan(plan.adapter, plan.shared, expanded)
+    sub_results = execute_plan(
+        sub_plan,
+        executor=executor,
+        checkpoint=checkpoint,
+        breaker=breaker,
+        telemetry=telemetry,
+    )
+    cursor = 0
+    try:
+        for spec, count, is_blocked in origin:
+            if count == 0:
+                run = merged[spec.index]
+            else:
+                group = sub_results[cursor : cursor + count]
+                cursor += count
+                run = merge_blocks(spec, group) if is_blocked else group[0]
+                merged[spec.index] = run
+                if is_blocked:
+                    if checkpoint is not None:
+                        checkpoint.put(spec.key, plan.adapter.to_payload(run))
+                    if telemetry is not None:
+                        telemetry.count("units.block_merged")
+                        telemetry.event(
+                            "unit_block_merged",
+                            unit=spec.key,
+                            method=spec.method,
+                            stage=plan.adapter.stage,
+                            n_blocks=count,
+                        )
+            if progress is not None:
+                progress(spec, run)
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
+    return merged

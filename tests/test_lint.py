@@ -8,6 +8,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
+import check_block_paths  # noqa: E402
 import check_clocks  # noqa: E402
 import check_exceptions  # noqa: E402
 import check_hot_loops  # noqa: E402
@@ -170,3 +171,68 @@ def test_hot_loop_lint_cli_exit_codes(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "bad.py:2" in out
     assert check_hot_loops.main(["prog", str(tmp_path / "nope")]) == 2
+
+
+def test_no_whole_table_access_in_block_paths():
+    violations = check_block_paths.check_tree(REPO_ROOT / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def _block_path_tree(tmp_path, text, name="repro/detectors/simple.py"):
+    """A fake src tree with every declared block-path module present."""
+    for rel in check_block_paths.BLOCK_PATH_MODULES:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("")
+    (tmp_path / name).write_text(text)
+    return tmp_path
+
+
+def test_block_path_lint_flags_whole_table_materializer(tmp_path):
+    _block_path_tree(
+        tmp_path,
+        "def _detect_block(self, context, fitted, block, start):\n"
+        "    values = context.dirty.as_float('n')\n"
+        "    return set()\n",
+    )
+    violations = check_block_paths.check_tree(tmp_path)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "simple.py:2" in violations[0]
+    assert "context.dirty.as_float" in violations[0]
+
+
+def test_block_path_lint_allows_block_receiver(tmp_path):
+    _block_path_tree(
+        tmp_path,
+        "def _detect_block(self, context, fitted, block, start):\n"
+        "    values = block.as_float('n')\n"
+        "    cells = block.missing_cells()\n"
+        "    return cells\n"
+        # Outside *_block functions whole-table access is the norm.
+        "def fit_profile(self, context):\n"
+        "    return context.dirty.as_float('n')\n",
+    )
+    assert check_block_paths.check_tree(tmp_path) == []
+
+
+def test_block_path_lint_flags_missing_declared_module(tmp_path):
+    tree = _block_path_tree(tmp_path, "")
+    (tree / "repro/ml/tree.py").unlink()
+    violations = check_block_paths.check_tree(tmp_path)
+    assert len(violations) == 1
+    assert "missing" in violations[0]
+
+
+def test_block_path_lint_cli_exit_codes(tmp_path, capsys):
+    _block_path_tree(
+        tmp_path,
+        "def encode_block(table):\n"
+        "    return table.numeric_matrix()\n",
+        name="repro/dataset/encoding.py",
+    )
+    assert check_block_paths.main(["prog", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "encoding.py:2" in out
+    (tmp_path / "repro/dataset/encoding.py").write_text("")
+    assert check_block_paths.main(["prog", str(tmp_path)]) == 0
+    assert check_block_paths.main(["prog", str(tmp_path / "nope")]) == 2

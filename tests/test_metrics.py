@@ -16,6 +16,7 @@ from repro.metrics import (
     iou_matrix,
     precision_recall_f1,
     repair_rmse,
+    repair_rmse_per_column,
     repair_scores_categorical,
     rmse,
     silhouette_score,
@@ -128,6 +129,41 @@ class TestRepairScores:
         schema = Schema.from_pairs([("c", CATEGORICAL)])
         t = Table(schema, {"c": ["a"]})
         assert repair_rmse(t, t) == 0.0
+
+    def test_rmse_per_column_values(self):
+        schema = Schema.from_pairs([("a", NUMERICAL), ("b", NUMERICAL)])
+        clean = Table(schema, {"a": [0.0, 0.0, 0.0, 0.0], "b": [0.0, 0.0, 0.0, 0.0]})
+        bad = Table(schema, {"a": [2.0, 2.0, 2.0, 2.0], "b": ["x", "x", "x", 4.0]})
+        per = repair_rmse_per_column(bad, clean, normalize=False)
+        assert per == {"a": pytest.approx(2.0), "b": pytest.approx(4.0)}
+
+    def test_rmse_mean_weights_columns_equally(self):
+        # Regression: pooling all cells weighted each column by its
+        # valid-cell count, so a column whose repairs left mostly
+        # non-numeric text (few valid cells) was nearly invisible even
+        # when its surviving cells were far off.  Column "b" has one
+        # valid cell at distance 4; pooled RMSE buries it among "a"'s
+        # four cells at distance 2, while the per-column mean keeps both
+        # columns at equal weight.
+        schema = Schema.from_pairs([("a", NUMERICAL), ("b", NUMERICAL)])
+        clean = Table(schema, {"a": [0.0, 0.0, 0.0, 0.0], "b": [0.0, 0.0, 0.0, 0.0]})
+        bad = Table(schema, {"a": [2.0, 2.0, 2.0, 2.0], "b": ["x", "x", "x", 4.0]})
+        mean_rmse = repair_rmse(bad, clean, normalize=False)
+        pooled = repair_rmse(bad, clean, normalize=False, aggregate="pooled")
+        assert mean_rmse == pytest.approx((2.0 + 4.0) / 2)
+        assert pooled == pytest.approx(math.sqrt((4 * 4.0 + 16.0) / 5))
+        assert mean_rmse > pooled
+
+    def test_rmse_aggregate_validation(self):
+        _, clean, dirty = _repair_fixture()
+        with pytest.raises(ValueError):
+            repair_rmse(dirty, clean, aggregate="median")
+
+    def test_rmse_single_column_agrees_across_aggregates(self):
+        _, clean, dirty = _repair_fixture()
+        assert repair_rmse(dirty, clean) == pytest.approx(
+            repair_rmse(dirty, clean, aggregate="pooled")
+        )
 
 
 class TestClassificationMetrics:

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Lint: forbid whole-table materialization inside block-path functions.
+
+The out-of-core substrate's contract is that ``*_block`` functions touch
+only the row block handed to them: the caller fits whole-table profiles
+once, then streams zero-copy block views through the block path, keeping
+peak memory proportional to the block size.  One stray
+``table.as_float(...)`` inside a block path silently re-materializes a
+whole-table column *per block* -- correctness survives (the result is
+still byte-identical) but memory and runtime quietly regress to
+super-linear, which is exactly the failure mode this substrate exists to
+prevent and the hardest one to catch in review.
+
+The rule: inside any function whose name ends in ``_block`` (or is
+``detect_block``) in a declared block-path module, the table
+materializer methods in ``MATERIALIZERS`` may only be called on a
+receiver literally named ``block`` -- the conventional name for the
+row-block view parameter.  Calls on ``table``, ``context.dirty``,
+``self._table``, or any other receiver are violations.
+
+Intentional exceptions live in ``ALLOWLIST`` with the reason recorded
+next to each entry.  The tier-1 suite asserts ``check_tree`` is clean
+(see ``tests/test_lint.py``), mirroring ``check_hot_loops.py``.
+
+Usage::
+
+    python tools/check_block_paths.py [src-root]
+
+Exit status 0 means clean; 1 means violations (printed one per line
+as ``path:lineno: message``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Modules whose ``*_block`` functions are held to the block-only
+#: contract, relative to the src root.
+BLOCK_PATH_MODULES = {
+    "repro/detectors/features.py",
+    "repro/detectors/simple.py",
+    "repro/dataset/encoding.py",
+    "repro/ml/tree.py",
+    "repro/ml/forest.py",
+    "repro/ml/neighbors.py",
+}
+
+#: Table methods that materialize whole-table state (columns, masks,
+#: row sets) -- exactly what a block path must never do on the parent.
+MATERIALIZERS = {
+    "as_float",
+    "numeric_matrix",
+    "missing_mask",
+    "missing_cells",
+    "column",
+    "row",
+    "select_rows",
+    "iter_blocks",
+}
+
+# (module, function) pairs allowed to break the rule.  Each entry must
+# document why.
+ALLOWLIST: set = set()
+
+
+def _block_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node.name.endswith("_block") or node.name == "detect_block"
+        ):
+            yield node
+
+
+def _offending_calls(
+    function: ast.AST,
+) -> Iterator[Tuple[int, str, str]]:
+    """(lineno, method, receiver description) for non-block materializers."""
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in MATERIALIZERS:
+            continue
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "block":
+            continue
+        yield node.lineno, func.attr, ast.unparse(receiver)
+
+
+def check_file(path: Path, relative: str) -> Iterator[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for function in _block_functions(tree):
+        if (relative, function.name) in ALLOWLIST:
+            continue
+        for lineno, method, receiver in _offending_calls(function):
+            yield lineno, (
+                f"{function.name} calls {receiver}.{method}(...): block "
+                f"paths may materialize only from the 'block' view; "
+                f"whole-table access belongs in the fit/profile step"
+            )
+
+
+def check_tree(src_root: Path) -> List[str]:
+    violations: List[str] = []
+    for relative in sorted(BLOCK_PATH_MODULES):
+        path = src_root / relative
+        if not path.exists():
+            violations.append(f"{path}:0: declared block-path module missing")
+            continue
+        for lineno, message in check_file(path, relative):
+            violations.append(f"{path}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not src_root.is_dir():
+        print(f"error: {src_root} is not a directory", file=sys.stderr)
+        return 2
+    violations = check_tree(src_root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(
+            f"{len(violations)} whole-table access(es) in block paths",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
