@@ -7,6 +7,9 @@ Usage::
     python -m repro model   <dataset> [--rows N] [--seed S] [--model NAME]
     python -m repro list
     python -m repro trace   <ledger.jsonl> [--out trace.json]
+    python -m repro serve   --queue q.sqlite [--workers N] [--port P]
+    python -m repro submit  <dataset> [--kind K] (--inline | --url URL)
+    python -m repro jobs    --url URL [--stats]
 
 ``detect`` prints the Figure 2-style accuracy/IoU/runtime panels, ``repair``
 the Figure 4/5-style detector x repair grid, and ``model`` the Figure
@@ -44,12 +47,19 @@ Observability flags (global, on every command):
   after the stage report.
 - ``--quiet``/``-q``: suppress the stdout report (exit codes and
   ``--events`` output are unaffected).
+
+Exit codes are stable and distinct so scripts can branch on failure
+class: 0 success, 1 runtime failure, 2 usage error (argparse), 3
+malformed benchmark config, 4 missing/unopenable path (checkpoint
+store, events ledger, cache directory, queue database), 5 benchmark
+service unreachable.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sqlite3
 import sys
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence
@@ -80,6 +90,20 @@ from repro.resilience import (
     SuiteCheckpoint,
     run_id_for,
 )
+
+# Stable, distinct exit codes (documented in the module docstring).
+EXIT_USAGE = 2
+EXIT_BAD_CONFIG = 3
+EXIT_MISSING_PATH = 4
+EXIT_SERVICE_UNREACHABLE = 5
+
+
+class CliError(Exception):
+    """A user-facing CLI failure with its one-line message and exit code."""
+
+    def __init__(self, message: str, code: int) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def _positive_seconds(text: str) -> float:
@@ -182,6 +206,93 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the Chrome trace JSON here instead of stdout",
     )
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the benchmark service (queue + worker pool + HTTP API)",
+    )
+    serve.add_argument(
+        "--queue", required=True, metavar="PATH",
+        help="SQLite job-queue database (created if absent)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="worker processes executing leased jobs (default 2)",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="checkpoint store jobs resume from after a worker kill",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="API port (0 picks an ephemeral port; default 8321)",
+    )
+    serve.add_argument(
+        "--lease-seconds", type=_positive_seconds, default=30.0,
+        metavar="SECONDS",
+        help="worker lease duration; a silent worker forfeits its job "
+             "after this long (default 30)",
+    )
+    serve.add_argument(
+        "--max-depth", type=_positive_int, default=256, metavar="N",
+        help="queued-job admission bound before HTTP 429 backpressure",
+    )
+    serve.add_argument(
+        "--max-attempts", type=_positive_int, default=3, metavar="N",
+        help="executions per job before it fails terminally (default 3)",
+    )
+
+    submit = sub.add_parser(
+        "submit", parents=[common],
+        help="submit one benchmark job (to a service, or run inline)",
+    )
+    submit.add_argument("dataset", choices=sorted(DATASET_NAMES))
+    submit.add_argument(
+        "--kind", choices=("detect", "repair", "model"), default="detect",
+    )
+    submit.add_argument("--rows", type=_positive_int, default=400)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--options", default=None, metavar="JSON",
+        help="job options as a JSON object (detectors, repairs, model, "
+             "scenarios, n_seeds, sample_rows, block_rows)",
+    )
+    submit.add_argument(
+        "--url", default=None, metavar="URL",
+        help="service base URL (e.g. http://127.0.0.1:8321)",
+    )
+    submit.add_argument(
+        "--inline", action="store_true",
+        help="execute the job locally and print its canonical result "
+             "(byte-identical to the service's result endpoint)",
+    )
+    submit.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="checkpoint store for --inline execution",
+    )
+    submit.add_argument("--priority", default=None, metavar="CLASS",
+                        help="priority class (interactive/batch/bulk)")
+    submit.add_argument("--submitter", default=None, metavar="NAME")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the submitted job finishes, then print its "
+             "canonical result",
+    )
+    submit.add_argument(
+        "--timeout", type=_positive_seconds, default=300.0,
+        metavar="SECONDS", help="--wait deadline (default 300)",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", parents=[common],
+        help="list a service's jobs or queue statistics",
+    )
+    jobs.add_argument("--url", required=True, metavar="URL")
+    jobs.add_argument(
+        "--stats", action="store_true",
+        help="print queue statistics JSON instead of the job table",
+    )
     return parser
 
 
@@ -190,7 +301,13 @@ def _open_checkpoint(args: argparse.Namespace) -> Optional[SuiteCheckpoint]:
     if args.store is None:
         return None
     run_id = run_id_for(args.command, args.dataset, args.rows, args.seed)
-    return SuiteCheckpoint.open(args.store, run_id, resume=args.resume)
+    try:
+        return SuiteCheckpoint.open(args.store, run_id, resume=args.resume)
+    except sqlite3.OperationalError as exc:
+        raise CliError(
+            f"cannot open checkpoint store {args.store!r}: {exc}",
+            EXIT_MISSING_PATH,
+        ) from exc
 
 
 def _guard_kwargs(args: argparse.Namespace) -> dict:
@@ -210,7 +327,13 @@ def _make_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
     """Telemetry for this invocation, or None (the zero-cost default)."""
     if args.events is None and not args.verbose:
         return None
-    ledger = RunLedger(args.events) if args.events is not None else None
+    try:
+        ledger = RunLedger(args.events) if args.events is not None else None
+    except OSError as exc:
+        raise CliError(
+            f"cannot open events ledger {args.events!r}: {exc}",
+            EXIT_MISSING_PATH,
+        ) from exc
     return Telemetry(ledger=ledger)
 
 
@@ -230,7 +353,7 @@ def _telemetry_session(
             dataset=args.dataset,
             rows=args.rows,
             seed=args.seed,
-            workers=args.workers,
+            workers=getattr(args, "workers", 1),
         )
         status = "error"
         try:
@@ -259,7 +382,13 @@ def _cache_session(
     if args.no_cache or args.cache_dir is None:
         yield None
         return
-    cache = ArtifactCache(args.cache_dir)
+    try:
+        cache = ArtifactCache(args.cache_dir)
+    except OSError as exc:
+        raise CliError(
+            f"cannot open cache directory {args.cache_dir!r}: {exc}",
+            EXIT_MISSING_PATH,
+        ) from exc
     with cache_scope(cache):
         try:
             yield cache
@@ -308,8 +437,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         trace = chrome_trace_from_ledger(args.ledger)
     except (OSError, ValueError) as exc:
-        print(f"cannot read ledger {args.ledger!r}: {exc}", file=sys.stderr)
-        return 2
+        raise CliError(
+            f"cannot read ledger {args.ledger!r}: {exc}", EXIT_MISSING_PATH
+        ) from exc
     text = json.dumps(trace, sort_keys=True, indent=2, allow_nan=False)
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -480,17 +610,195 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Service commands
+# ----------------------------------------------------------------------
+def _parse_job_spec(args: argparse.Namespace):
+    """Build the JobSpec the submit flags describe (exit 3 when bad)."""
+    from repro.service import JobSpec
+
+    options = {}
+    if args.options is not None:
+        try:
+            options = json.loads(args.options)
+        except json.JSONDecodeError as exc:
+            raise CliError(
+                f"--options is not valid JSON: {exc}", EXIT_BAD_CONFIG
+            ) from exc
+        if not isinstance(options, dict):
+            raise CliError(
+                "--options must be a JSON object", EXIT_BAD_CONFIG
+            )
+    try:
+        return JobSpec(
+            kind=args.kind, dataset=args.dataset, rows=args.rows,
+            seed=args.seed, options=options,
+        )
+    except ValueError as exc:
+        raise CliError(
+            f"malformed job config: {exc}", EXIT_BAD_CONFIG
+        ) from exc
+
+
+def _service_client(url: str, timeout: float = 30.0):
+    from repro.service import ServiceClient
+
+    return ServiceClient(url, timeout=timeout)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import BenchService, SchedulerPolicy
+    from repro.service.workers import DEFAULT_EXECUTE_REF
+
+    policy = SchedulerPolicy(
+        max_depth=args.max_depth,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+    )
+    service = BenchService(
+        args.queue,
+        n_workers=args.workers,
+        policy=policy,
+        execute_ref=DEFAULT_EXECUTE_REF,
+        store_path=args.store,
+        events_path=args.events,
+        host=args.host,
+        port=args.port,
+    )
+    try:
+        service.start()
+    except (sqlite3.OperationalError, OSError) as exc:
+        raise CliError(
+            f"cannot start service (queue {args.queue!r}, "
+            f"http {args.host}:{args.port}): {exc}",
+            EXIT_MISSING_PATH,
+        ) from exc
+    try:
+        if not args.quiet:
+            print(
+                f"serving {args.workers} worker(s) on {service.address} "
+                f"(queue {args.queue}); SIGTERM/SIGINT drains",
+                flush=True,
+            )
+        clean = service.serve_until_signalled()
+    finally:
+        service.drain()
+    return 0 if clean else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import (
+        RetryLater,
+        ServiceError,
+        ServiceUnavailable,
+        canonical_result_text,
+        execute_job,
+    )
+
+    spec = _parse_job_spec(args)
+    if args.inline:
+        checkpoint_args = argparse.Namespace(
+            store=args.store, command=args.kind, dataset=args.dataset,
+            rows=args.rows, seed=args.seed, resume=True,
+        )
+        if args.store is not None:
+            # Probe the store path now for the distinct exit code; the
+            # job itself opens its own per-job-id checkpoint view.
+            _open_checkpoint(checkpoint_args).close()
+        with _telemetry_session(args) as telemetry:
+            result = execute_job(
+                spec, store_path=args.store, telemetry=telemetry
+            )
+        # The canonical text is the deliverable (the bytes the service's
+        # result endpoint serves for this config); --quiet never hides it.
+        print(canonical_result_text(result))
+        return 0
+    if args.url is None:
+        raise CliError(
+            "submit needs --inline or --url URL", EXIT_USAGE
+        )
+    client = _service_client(args.url, timeout=min(args.timeout, 30.0))
+    try:
+        receipt = client.submit_with_backoff(
+            spec.to_payload(), priority=args.priority,
+            submitter=args.submitter, deadline_seconds=args.timeout,
+        )
+        if not args.quiet:
+            dedup = " (deduplicated)" if receipt.get("deduplicated") else ""
+            print(f"job {receipt['job_id']} {receipt['state']}{dedup}")
+        if args.wait:
+            client.wait(
+                receipt["job_id"], deadline_seconds=args.timeout
+            )
+            print(client.result_text(receipt["job_id"]))
+    except ServiceUnavailable as exc:
+        raise CliError(str(exc), EXIT_SERVICE_UNREACHABLE) from exc
+    except TimeoutError as exc:
+        raise CliError(str(exc), 1) from exc
+    except RetryLater as exc:
+        raise CliError(
+            f"service is saturated: {exc} "
+            f"(retry after {exc.retry_after_seconds:g}s)", 1
+        ) from exc
+    except ServiceError as exc:
+        raise CliError(f"submission rejected: {exc}", 1) from exc
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceUnavailable
+
+    client = _service_client(args.url)
+    try:
+        if args.stats:
+            stats = client.stats()
+            if not args.quiet:
+                print(json.dumps(stats, sort_keys=True, indent=2))
+            return 0
+        records = client.jobs()
+    except ServiceUnavailable as exc:
+        raise CliError(str(exc), EXIT_SERVICE_UNREACHABLE) from exc
+    if args.quiet:
+        return 0
+    rows = [
+        [
+            record["job_id"],
+            record["spec"].get("kind", "?"),
+            record["spec"].get("dataset", "?"),
+            record["state"],
+            record["priority"],
+            record["attempts"],
+            record["requeues"],
+            record["submitter"],
+        ]
+        for record in records
+    ]
+    print(render_table(
+        ["job", "kind", "dataset", "state", "priority", "attempts",
+         "requeues", "submitter"],
+        rows, title=f"jobs at {args.url}"))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "trace": _cmd_trace,
+    "detect": _cmd_detect,
+    "repair": _cmd_repair,
+    "model": _cmd_model,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "detect":
-        return _cmd_detect(args)
-    if args.command == "repair":
-        return _cmd_repair(args)
-    return _cmd_model(args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CliError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return exc.code
 
 
 if __name__ == "__main__":

@@ -7,15 +7,23 @@ evaluation module writes experiment records into.
 """
 
 from repro.repository.store import (
+    BUSY_TIMEOUT_SECONDS,
     CheckpointStore,
     DataRepository,
     ResultRecord,
     ResultsStore,
+    busy_retry,
+    connect,
+    is_busy_error,
 )
 
 __all__ = [
+    "BUSY_TIMEOUT_SECONDS",
     "CheckpointStore",
     "DataRepository",
     "ResultRecord",
     "ResultsStore",
+    "busy_retry",
+    "connect",
+    "is_busy_error",
 ]

@@ -5,8 +5,9 @@ from __future__ import annotations
 import json
 import math
 import sqlite3
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -18,6 +19,85 @@ DIRTY = "dirty"
 REPAIRED = "repaired"
 
 _VERSION_KINDS = (GROUND_TRUTH, DIRTY, REPAIRED)
+
+#: Default time one connection waits for another's write lock before
+#: surfacing SQLITE_BUSY.  Service workers hammer one queue/checkpoint
+#: database concurrently, so the window is generous; one-shot CLI runs
+#: never notice it.
+BUSY_TIMEOUT_SECONDS = 5.0
+
+_T = TypeVar("_T")
+
+
+def connect(
+    path: str,
+    busy_timeout_seconds: float = BUSY_TIMEOUT_SECONDS,
+    check_same_thread: bool = True,
+) -> sqlite3.Connection:
+    """Open one concurrency-hardened SQLite connection.
+
+    Every store in the repository (and the service job queue built on
+    top of it) goes through here so they share the same survival kit:
+    WAL journal mode (readers never block the writer, a killed process
+    leaves a recoverable log instead of a corrupt file), a
+    ``busy_timeout`` so concurrent writers queue behind the lock instead
+    of dying instantly with "database is locked", and ``synchronous
+    NORMAL`` (durable at checkpoint boundaries, no fsync per statement).
+    In-memory databases ignore the WAL pragma, which is harmless.
+    """
+    connection = sqlite3.connect(
+        path, timeout=busy_timeout_seconds, check_same_thread=check_same_thread
+    )
+    connection.execute(
+        f"PRAGMA busy_timeout={int(busy_timeout_seconds * 1000)}"
+    )
+    connection.execute("PRAGMA journal_mode=WAL")
+    connection.execute("PRAGMA synchronous=NORMAL")
+    return connection
+
+
+def is_busy_error(exc: BaseException) -> bool:
+    """True for SQLITE_BUSY / SQLITE_LOCKED shaped operational errors."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def busy_retry(
+    operation: Callable[[], _T],
+    key: str = "sqlite",
+    max_attempts: int = 4,
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Run one store operation, retrying SQLITE_BUSY contention.
+
+    The busy timeout handles the common case; this guard covers the
+    residue (lock acquired and released repeatedly under heavy worker
+    concurrency).  Backoff delays come from the resilience layer's
+    deterministic :class:`~repro.resilience.guards.RetryPolicy` schedule,
+    and exhaustion re-raises as a taxonomy ``transient`` failure so
+    callers under ``guarded_call`` classify (and may retry) it correctly.
+    """
+    # Imported lazily: repro.resilience.checkpoint imports this module,
+    # so a module-level import here would be circular.
+    from repro.resilience.failures import TransientError
+    from repro.resilience.guards import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=max_attempts, base_delay=0.02)
+    last: Optional[BaseException] = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return operation()
+        except sqlite3.OperationalError as exc:
+            if not is_busy_error(exc):
+                raise
+            last = exc
+            if attempt < max_attempts:
+                sleep(policy.delay(key, attempt))
+    raise TransientError(
+        f"database busy after {max_attempts} attempts: {last}"
+    ) from last
 
 
 def encode_cell_value(value: Any) -> Any:
@@ -72,7 +152,7 @@ class DataRepository:
     """
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+        self._connection = connect(path)
         self._connection.execute(
             """
             CREATE TABLE IF NOT EXISTS versions (
@@ -203,7 +283,7 @@ class ResultsStore:
     """Experiment-result log with simple aggregation queries."""
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+        self._connection = connect(path)
         self._connection.execute(
             """
             CREATE TABLE IF NOT EXISTS results (
@@ -319,9 +399,7 @@ class CheckpointStore:
             raise ValueError("commit_interval must be >= 1")
         self.commit_interval = commit_interval
         self._pending = 0
-        self._connection = sqlite3.connect(path)
-        self._connection.execute("PRAGMA journal_mode=WAL")
-        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection = connect(path)
         self._connection.execute(
             """
             CREATE TABLE IF NOT EXISTS checkpoints (
@@ -335,8 +413,13 @@ class CheckpointStore:
         self._connection.commit()
 
     def commit(self) -> None:
-        """Flush any batched writes to durable storage."""
-        self._connection.commit()
+        """Flush any batched writes to durable storage.
+
+        Commits contend with concurrent service workers sharing one
+        checkpoint database, so SQLITE_BUSY is retried before being
+        surfaced as a transient failure.
+        """
+        busy_retry(self._connection.commit, key="checkpoint-commit")
         self._pending = 0
 
     def close(self) -> None:
@@ -359,15 +442,15 @@ class CheckpointStore:
         current batch transaction and becomes durable at the next
         :meth:`commit` (automatic every ``commit_interval`` puts).
         """
-        self._connection.execute(
-            "INSERT OR REPLACE INTO checkpoints VALUES (?, ?, ?)",
-            (
-                run_id,
-                unit,
-                json.dumps(
-                    sanitize_payload(payload), sort_keys=True, allow_nan=False
-                ),
+        text = json.dumps(
+            sanitize_payload(payload), sort_keys=True, allow_nan=False
+        )
+        busy_retry(
+            lambda: self._connection.execute(
+                "INSERT OR REPLACE INTO checkpoints VALUES (?, ?, ?)",
+                (run_id, unit, text),
             ),
+            key=f"checkpoint-put/{unit}",
         )
         self._pending += 1
         if self._pending >= self.commit_interval:

@@ -1,0 +1,431 @@
+"""JSON HTTP API over the job queue (stdlib ``http.server`` only).
+
+Endpoints (all JSON)::
+
+    POST /v1/jobs              submit a job spec     202 / 200 dedup
+    GET  /v1/jobs              recent jobs           200
+    GET  /v1/jobs/{id}         job status            200
+    GET  /v1/jobs/{id}/result  canonical result      200 / 409 pending
+    POST /v1/jobs/{id}/cancel  cancel a queued job   200 / 409
+    GET  /v1/queue/stats       depths + counters     200
+    GET  /v1/metrics           service telemetry     200
+    GET  /v1/health            liveness              200 / 503 draining
+
+Every route declares a request timeout (enforced on the client socket,
+linted by ``tools/check_service_endpoints.py``), and every failure --
+raised anywhere in a handler -- is mapped through the PR 1 failure
+taxonomy to an HTTP status: ``transient`` 503 (with ``Retry-After``),
+``capability`` 504, ``data`` 422, ``bug`` 500.  Typed service errors
+(:class:`~repro.service.scheduler.QueueFull` -> 429, draining -> 503)
+ride on top of that base mapping.
+
+The result endpoint serves the stored canonical result text *verbatim*,
+so the bytes a client receives are exactly the bytes ``repro submit
+--inline`` prints for the same config -- the acceptance contract.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.resilience.failures import (
+    BUG,
+    CAPABILITY,
+    DATA,
+    TRANSIENT,
+    classify_exception,
+)
+from repro.service.jobs import JobSpec
+from repro.service.queue import (
+    DONE,
+    FAILED,
+    JobStateError,
+    UnknownJobError,
+)
+from repro.service.scheduler import QueueDraining, QueueFull
+
+#: Failure-taxonomy category -> HTTP status code.
+STATUS_BY_CATEGORY = {
+    TRANSIENT: 503,
+    CAPABILITY: 504,
+    DATA: 422,
+    BUG: 500,
+}
+
+#: Submission bodies larger than this are rejected outright.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ApiError(Exception):
+    """An error with an explicit HTTP status and JSON body."""
+
+    status = 500
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        headers: Optional[Dict[str, str]] = None,
+        **extra: Any,
+    ) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+        self.headers = headers or {}
+        self.extra = extra
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = {"error": str(self), "status": self.status}
+        payload.update(self.extra)
+        return payload
+
+
+class BadRequest(ApiError):
+    status = 400
+
+
+class NotFound(ApiError):
+    status = 404
+
+
+class MethodNotAllowed(ApiError):
+    status = 405
+
+
+class Conflict(ApiError):
+    status = 409
+
+
+class PayloadTooLarge(ApiError):
+    status = 413
+
+
+@dataclass(frozen=True)
+class Request:
+    """What a handler sees: path parameters and the parsed JSON body."""
+
+    params: Dict[str, str]
+    body: Optional[Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class Response:
+    """What a handler returns; ``text`` bypasses JSON encoding (used to
+    serve stored canonical result bytes verbatim)."""
+
+    status: int = 200
+    payload: Optional[Dict[str, Any]] = None
+    text: Optional[str] = None
+    headers: Optional[Dict[str, str]] = None
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    timeout: float
+    handler: Callable[..., Response]
+    _regex: "re.Pattern[str]" = None  # type: ignore[assignment]
+
+    def match(self, path: str) -> Optional[Dict[str, str]]:
+        found = self._regex.fullmatch(path)
+        return dict(found.groupdict()) if found else None
+
+
+ROUTES: List[Route] = []
+
+
+def _compile(pattern: str) -> "re.Pattern[str]":
+    parts = []
+    for piece in re.split(r"(\{[a-z_]+\})", pattern):
+        if piece.startswith("{") and piece.endswith("}"):
+            parts.append(f"(?P<{piece[1:-1]}>[^/]+)")
+        else:
+            parts.append(re.escape(piece))
+    return re.compile("".join(parts))
+
+
+def route(method: str, pattern: str, *, timeout: float):
+    """Register one API handler with its mandatory request timeout."""
+    if not isinstance(timeout, (int, float)) or timeout <= 0:
+        raise ValueError("every route must declare a positive timeout")
+
+    def register(handler: Callable[..., Response]) -> Callable[..., Response]:
+        ROUTES.append(
+            Route(
+                method=method,
+                pattern=pattern,
+                timeout=float(timeout),
+                handler=handler,
+                _regex=_compile(pattern),
+            )
+        )
+        return handler
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# Handlers.  Each takes (service, request) and returns a Response; the
+# dispatcher owns timeouts, serialization and failure mapping.
+# ----------------------------------------------------------------------
+@route("POST", "/v1/jobs", timeout=30.0)
+def submit_job(service, request: Request) -> Response:
+    if request.body is None:
+        raise BadRequest("submission body must be a JSON object")
+    body = dict(request.body)
+    priority = body.pop("priority", None)
+    submitter = body.pop("submitter", "anonymous")
+    if not isinstance(submitter, str) or not submitter:
+        raise BadRequest("submitter must be a non-empty string")
+    try:
+        spec = JobSpec.from_payload(body)
+        receipt = service.queue.submit(
+            spec, priority=priority, submitter=submitter
+        )
+    except ValueError as exc:
+        raise BadRequest(f"malformed job config: {exc}") from exc
+    payload = receipt.to_payload()
+    payload["location"] = f"/v1/jobs/{receipt.job_id}"
+    return Response(
+        status=200 if receipt.deduplicated else 202, payload=payload
+    )
+
+
+@route("GET", "/v1/jobs", timeout=10.0)
+def list_jobs(service, request: Request) -> Response:
+    return Response(payload={"jobs": service.queue.list_jobs()})
+
+
+@route("GET", "/v1/jobs/{job_id}", timeout=10.0)
+def job_status(service, request: Request) -> Response:
+    return Response(payload=service.queue.get(request.params["job_id"]))
+
+
+@route("GET", "/v1/jobs/{job_id}/result", timeout=10.0)
+def job_result(service, request: Request) -> Response:
+    job_id = request.params["job_id"]
+    record = service.queue.get(job_id)
+    if record["state"] == DONE:
+        return Response(text=service.queue.result_text(job_id))
+    if record["state"] == FAILED:
+        failure = record.get("failure") or {}
+        status = STATUS_BY_CATEGORY.get(failure.get("category"), 500)
+        return Response(
+            status=status,
+            payload={
+                "error": f"job {job_id} failed",
+                "status": status,
+                "failure": failure,
+            },
+        )
+    raise Conflict(
+        f"job {job_id} is {record['state']}; result not available yet",
+        state=record["state"],
+    )
+
+
+@route("POST", "/v1/jobs/{job_id}/cancel", timeout=10.0)
+def cancel_job(service, request: Request) -> Response:
+    job_id = request.params["job_id"]
+    try:
+        state = service.queue.cancel(job_id)
+    except JobStateError as exc:
+        raise Conflict(str(exc)) from exc
+    return Response(payload={"job_id": job_id, "state": state})
+
+
+@route("GET", "/v1/queue/stats", timeout=10.0)
+def queue_stats(service, request: Request) -> Response:
+    return Response(payload=service.queue.stats())
+
+
+@route("GET", "/v1/metrics", timeout=10.0)
+def metrics(service, request: Request) -> Response:
+    return Response(payload=service.metrics_snapshot())
+
+
+@route("GET", "/v1/health", timeout=5.0)
+def health(service, request: Request) -> Response:
+    if service.queue.draining():
+        return Response(
+            status=503, payload={"status": "draining"},
+            headers={"Retry-After": "5"},
+        )
+    return Response(payload={"status": "ok"})
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def error_response(exc: BaseException) -> Response:
+    """Map any failure to its HTTP shape.
+
+    Typed API errors carry their own status; typed queue/scheduler
+    errors get their conventional codes; everything else goes through
+    :func:`classify_exception` so the taxonomy decides.
+    """
+    if isinstance(exc, ApiError):
+        return Response(
+            status=exc.status, payload=exc.to_payload(), headers=exc.headers
+        )
+    if isinstance(exc, QueueFull):
+        return Response(
+            status=429,
+            payload={
+                "error": str(exc),
+                "status": 429,
+                "retry_after_seconds": exc.retry_after_seconds,
+            },
+            headers={
+                "Retry-After": str(max(1, int(exc.retry_after_seconds)))
+            },
+        )
+    if isinstance(exc, QueueDraining):
+        return Response(
+            status=503,
+            payload={"error": str(exc), "status": 503, "draining": True},
+            headers={"Retry-After": "5"},
+        )
+    if isinstance(exc, UnknownJobError):
+        return Response(
+            status=404, payload={"error": str(exc), "status": 404}
+        )
+    category = classify_exception(exc)
+    status = STATUS_BY_CATEGORY[category]
+    headers = {"Retry-After": "1"} if category == TRANSIENT else {}
+    return Response(
+        status=status,
+        payload={
+            "error": f"{type(exc).__name__}: {exc}",
+            "status": status,
+            "category": category,
+        },
+        headers=headers,
+    )
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the registered handlers.
+
+    One instance per request (``http.server``'s model); the long-lived
+    state lives on ``self.server.service``.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-bench"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence stdlib request logging; the ledger is the log."""
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _find_route(self) -> Tuple[Route, Dict[str, str]]:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        methods_seen = []
+        for candidate in ROUTES:
+            params = candidate.match(path)
+            if params is None:
+                continue
+            if candidate.method == self.command:
+                return candidate, params
+            methods_seen.append(candidate.method)
+        if methods_seen:
+            raise MethodNotAllowed(
+                f"{self.command} not allowed for {path}; "
+                f"try {sorted(set(methods_seen))}"
+            )
+        raise NotFound(f"no such endpoint: {path}")
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds "
+                f"{MAX_BODY_BYTES}"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise BadRequest("request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        try:
+            found, params = self._find_route()
+            # The declared per-route timeout bounds the whole exchange:
+            # a stuck client or a wedged handler read can hold this
+            # socket (and its thread) no longer than this.
+            self.connection.settimeout(found.timeout)
+            response = found.handler(
+                service, Request(params=params, body=self._read_body())
+            )
+        except Exception as exc:  # the API's designated failure boundary
+            response = error_response(exc)
+            service.note_request_error(exc, response.status)
+        self._send(response)
+
+    def _send(self, response: Response) -> None:
+        if response.text is not None:
+            body = response.text.encode("utf-8")
+        else:
+            body = json.dumps(
+                response.payload or {}, sort_keys=True, allow_nan=False
+            ).encode("utf-8")
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (response.headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client hung up or the route timeout fired mid-write;
+            # nothing to salvage, the thread just finishes.
+            self.close_connection = True
+
+
+class BenchAPIServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`BenchService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: Any) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+def start_api_server(
+    service: Any, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[BenchAPIServer, threading.Thread]:
+    """Bind and serve in a daemon thread; returns (server, thread).
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``server.server_address``.
+    """
+    server = BenchAPIServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="bench-api",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,239 @@
+"""A small urllib client for the service API (tests, CLI, benchmarks).
+
+Typed errors mirror the server's status mapping so callers branch on
+exception type, not status-code integers: :class:`RetryLater` for 429
+and 503 (carries the server's ``Retry-After`` hint), and
+:class:`ServiceUnavailable` when the service cannot be reached at all --
+the CLI maps that one to its distinct exit code.
+
+All waiting (:meth:`ServiceClient.wait`) happens on deadlines from
+``time.monotonic``, consistent with the rest of the codebase.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.service.queue import DONE, FAILED, CANCELLED
+
+#: States a job can never leave; waiting past them is pointless.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(
+        self, message: str, status: int, payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class RetryLater(ServiceError):
+    """Backpressure (429) or draining (503): try again after a delay."""
+
+    def __init__(
+        self,
+        message: str,
+        status: int,
+        payload: Optional[Dict[str, Any]] = None,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        super().__init__(message, status, payload)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class JobFailed(ServiceError):
+    """The job itself failed; ``payload['failure']`` has the record."""
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service endpoint could not be reached at all."""
+
+
+class ServiceClient:
+    """Talks to one running service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> "_Reply":
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return _Reply(reply.status, reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            text = exc.read().decode("utf-8", errors="replace")
+            raise _error_for(exc.code, text) from exc
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+            raise ServiceUnavailable(
+                f"service at {self.base_url} unreachable: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec_payload: Dict[str, Any],
+        priority: Optional[str] = None,
+        submitter: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        body = dict(spec_payload)
+        if priority is not None:
+            body["priority"] = priority
+        if submitter is not None:
+            body["submitter"] = submitter
+        return self._request("POST", "/v1/jobs", body).json()
+
+    def submit_with_backoff(
+        self,
+        spec_payload: Dict[str, Any],
+        priority: Optional[str] = None,
+        submitter: Optional[str] = None,
+        deadline_seconds: float = 60.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict[str, Any]:
+        """Submit, honouring the server's Retry-After under backpressure."""
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            try:
+                return self.submit(
+                    spec_payload, priority=priority, submitter=submitter
+                )
+            except RetryLater as exc:
+                if time.monotonic() >= deadline:
+                    raise
+                sleep(min(exc.retry_after_seconds,
+                          max(0.0, deadline - time.monotonic())))
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}").json()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs").json()["jobs"]
+
+    def result_text(self, job_id: str) -> str:
+        """The canonical result JSON exactly as the service stores it."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result").text
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.result_text(job_id))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel").json()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/queue/stats").json()
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics").json()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness payload; a draining service reports 503 but that is
+        still an *answer*, so it comes back as ``{"status": "draining"}``
+        instead of an exception."""
+        try:
+            return self._request("GET", "/v1/health").json()
+        except RetryLater as exc:
+            return exc.payload or {"status": "draining"}
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        deadline_seconds: float = 120.0,
+        poll_seconds: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final status record for ``done``; raises
+        :class:`JobFailed` for ``failed``/``cancelled`` and
+        :class:`TimeoutError` when the deadline passes first.
+        """
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            record = self.status(job_id)
+            state = record["state"]
+            if state == DONE:
+                return record
+            if state in (FAILED, CANCELLED):
+                raise JobFailed(
+                    f"job {job_id} ended {state}", status=500, payload=record
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {deadline_seconds}s"
+                )
+            sleep(poll_seconds)
+
+    def wait_all(
+        self,
+        job_ids: Iterable[str],
+        deadline_seconds: float = 300.0,
+        poll_seconds: float = 0.1,
+    ) -> Dict[str, Dict[str, Any]]:
+        deadline = time.monotonic() + deadline_seconds
+        records: Dict[str, Dict[str, Any]] = {}
+        for job_id in job_ids:
+            remaining = max(0.0, deadline - time.monotonic())
+            records[job_id] = self.wait(
+                job_id, deadline_seconds=remaining, poll_seconds=poll_seconds
+            )
+        return records
+
+
+class _Reply:
+    def __init__(self, status: int, text: str) -> None:
+        self.status = status
+        self.text = text
+
+    def json(self) -> Dict[str, Any]:
+        return json.loads(self.text)
+
+
+def _error_for(status: int, text: str) -> ServiceError:
+    try:
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            payload = {"error": text}
+    except json.JSONDecodeError:
+        payload = {"error": text}
+    message = payload.get("error", f"HTTP {status}")
+    if status in (429, 503):
+        return RetryLater(
+            message,
+            status,
+            payload,
+            retry_after_seconds=float(
+                payload.get("retry_after_seconds", 1.0)
+            ),
+        )
+    if "failure" in payload:
+        return JobFailed(message, status, payload)
+    return ServiceError(message, status, payload)

@@ -1,0 +1,207 @@
+"""The benchmark service daemon: worker pool + queue + HTTP API.
+
+:class:`BenchService` owns the whole deployment for one queue database:
+
+1. it ensures the queue schema exists, then **starts the worker pool
+   before opening its own connection** -- forked children must not
+   inherit an open SQLite handle (a child GC'ing an inherited connection
+   can release the parent's POSIX locks);
+2. it serves the JSON API from a thread pool
+   (:class:`~repro.service.api.BenchAPIServer`);
+3. on SIGTERM/SIGINT it *drains*: flips the persisted drain flag (which
+   stops all leasing, in-process and in every worker process), SIGTERMs
+   the workers so each finishes its in-flight job, joins them, flushes
+   its telemetry into the run ledger, and only then stops the API and
+   closes the queue.  Queued jobs stay queued -- durable across
+   restarts; nothing in flight is abandoned mid-execution.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Dict, Optional
+
+from repro.observability import RunLedger, Telemetry
+from repro.service.api import BenchAPIServer, start_api_server
+from repro.service.queue import JobQueue
+from repro.service.scheduler import SchedulerPolicy
+from repro.service.workers import DEFAULT_EXECUTE_REF, WorkerPool
+
+SERVICE_STARTED = "service_started"
+SERVICE_DRAINED = "service_drained"
+
+
+class BenchService:
+    """One running benchmark service (pool + queue + API)."""
+
+    def __init__(
+        self,
+        queue_path: str,
+        n_workers: int = 2,
+        policy: Optional[SchedulerPolicy] = None,
+        execute_ref: str = DEFAULT_EXECUTE_REF,
+        store_path: Optional[str] = None,
+        events_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_seconds: float = 0.1,
+    ) -> None:
+        self.queue_path = str(queue_path)
+        self.n_workers = n_workers
+        self.policy = policy or SchedulerPolicy()
+        self.execute_ref = execute_ref
+        self.store_path = store_path
+        self.events_path = events_path
+        self.host = host
+        self.requested_port = port
+        self.poll_seconds = poll_seconds
+        self.queue: Optional[JobQueue] = None
+        self.pool: Optional[WorkerPool] = None
+        self.httpd: Optional[BenchAPIServer] = None
+        self.telemetry: Optional[Telemetry] = None
+        self._ledger: Optional[RunLedger] = None
+        self._api_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._drained = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "BenchService":
+        if self.queue is not None:
+            raise RuntimeError("service already started")
+        # Create the schema with a throwaway connection, close it, THEN
+        # fork the pool: the pool parent holds no open queue handle.
+        # The drain flag left by a previous shutdown must be cleared
+        # *before* the fork -- a worker that wins the race against an
+        # un-drain issued afterwards would see it and exit for good.
+        bootstrap = JobQueue(self.queue_path, policy=self.policy)
+        bootstrap.set_draining(False)
+        bootstrap.close()
+        self.pool = WorkerPool(
+            self.queue_path,
+            self.n_workers,
+            policy=self.policy,
+            execute_ref=self.execute_ref,
+            store_path=self.store_path,
+            events_path=self.events_path,
+            poll_seconds=self.poll_seconds,
+        )
+        self.pool.start()
+        started = False
+        try:
+            self.queue = JobQueue(self.queue_path, policy=self.policy)
+            if self.events_path is not None:
+                self._ledger = RunLedger(self.events_path)
+            self.telemetry = Telemetry(ledger=self._ledger)
+            self.httpd, self._api_thread = start_api_server(
+                self, host=self.host, port=self.requested_port
+            )
+            self.telemetry.event(
+                SERVICE_STARTED,
+                queue_path=self.queue_path,
+                n_workers=self.n_workers,
+                address=self.address,
+            )
+            started = True
+        finally:
+            if not started:
+                # A failed boot (unwritable ledger path, port already
+                # bound, ...) must not leak live worker processes; the
+                # original exception propagates past this cleanup.
+                self.drain(timeout=5.0)
+        return self
+
+    @property
+    def address(self) -> str:
+        if self.httpd is None:
+            raise RuntimeError("service not started")
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        if self.httpd is None:
+            raise RuntimeError("service not started")
+        return self.httpd.server_address[1]
+
+    def __enter__(self) -> "BenchService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # API-facing surface (used by the request handlers)
+    # ------------------------------------------------------------------
+    def note_request_error(self, exc: BaseException, status: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count("service.api.errors")
+            self.telemetry.count(f"service.api.status.{status}")
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        snapshot: Dict[str, Any] = {
+            "workers": {
+                "configured": self.n_workers,
+                "alive": self.pool.alive_count() if self.pool else 0,
+            },
+            "queue": self.queue.stats() if self.queue else {},
+        }
+        if self.telemetry is not None:
+            snapshot["metrics"] = self.telemetry.metrics.snapshot()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown; True when every worker exited in time.
+
+        Safe to call twice (signal handler + finally block): the second
+        call is a no-op.
+        """
+        if self._drained:
+            return True
+        self._drained = True
+        clean = True
+        if self.queue is not None:
+            self.queue.set_draining(True)
+        if self.pool is not None:
+            self.pool.stop()
+            clean = self.pool.join(timeout=timeout)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                SERVICE_DRAINED,
+                clean=clean,
+                stats=self.queue.stats() if self.queue else {},
+            )
+            self.telemetry.flush_to_ledger()
+        if self._ledger is not None:
+            self._ledger.close()
+            self._ledger = None
+        if self.httpd is not None:
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            if self._api_thread is not None:
+                self._api_thread.join(timeout=5.0)
+        if self.queue is not None:
+            self.queue.close()
+            self.queue = None
+        return clean
+
+    def serve_until_signalled(self) -> bool:
+        """Block until SIGTERM/SIGINT, then drain.  Returns drain's
+        cleanliness; the CLI turns it into the exit code."""
+
+        def _signalled(signum, frame):  # noqa: ARG001 - handler shape
+            self._stop.set()
+
+        previous_term = signal.signal(signal.SIGTERM, _signalled)
+        previous_int = signal.signal(signal.SIGINT, _signalled)
+        try:
+            self._stop.wait()
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+        return self.drain()

@@ -1,0 +1,598 @@
+"""Durable SQLite-backed job queue with worker leases.
+
+One ``jobs`` table is the whole truth: every state transition is a
+single SQL transaction on a WAL-mode database
+(:func:`repro.repository.store.connect`), so the queue survives killed
+workers, killed daemons and concurrent access from API threads and
+worker processes alike.
+
+Job lifecycle::
+
+    submit ──> queued ──lease──> leased ──start──> running ──> done
+                 ^                 │                  │  \\
+                 │   lease expiry  │    lease expiry  │   └──> failed
+                 └─────────────────┴──────────────────┘   (attempts
+                 (requeued; attempts < max_attempts)       exhausted)
+
+    queued ──cancel──> cancelled          failed/cancelled ──submit──>
+                                          queued (revived, same job_id)
+
+Leases are the at-least-once delivery mechanism: a worker owns a job
+only while its lease is live, heartbeats extend the lease on the
+**monotonic** clock (``time.monotonic`` is system-wide on this single
+host -- seconds since boot -- so readings from different processes are
+comparable), and :meth:`JobQueue.requeue_expired` returns any job whose
+worker went silent to the queue.  Completion is guarded by an ownership
+check, so a worker that lost its lease (and whose job was re-executed
+elsewhere) cannot overwrite the result: a killed worker never loses a
+job *and* never duplicates one.
+
+Deduplication: jobs are keyed by the content-addressed
+:attr:`~repro.service.jobs.JobSpec.job_id`.  Re-submitting an active or
+finished config returns the existing job (the CleanML insight: standing
+benchmark infrastructure that many users *query* rather than re-run);
+re-submitting a failed or cancelled one revives it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.repository.store import connect
+from repro.service.jobs import JobSpec, canonical_result_text
+from repro.service.scheduler import (
+    NEXT_JOB_SQL,
+    QueueDraining,
+    SchedulerPolicy,
+)
+
+# Job states.
+QUEUED = "queued"
+LEASED = "leased"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, LEASED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States in which a job will still produce (or has produced) a result.
+ACTIVE_STATES = (QUEUED, LEASED, RUNNING)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    spec_json TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    priority INTEGER NOT NULL DEFAULT 1,
+    submitter TEXT NOT NULL DEFAULT 'anonymous',
+    seq INTEGER NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    requeues INTEGER NOT NULL DEFAULT 0,
+    lease_owner TEXT,
+    lease_expires REAL,
+    submitted_at REAL,
+    started_at REAL,
+    finished_at REAL,
+    result_json TEXT,
+    failure_json TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, priority, seq);
+CREATE TABLE IF NOT EXISTS control (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+class UnknownJobError(KeyError):
+    """No job with that id exists in the queue."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        return f"unknown job {self.job_id!r}"
+
+
+class JobStateError(RuntimeError):
+    """The requested transition is illegal from the job's current state."""
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """What a submitter learns: the job's identity and whether it was new."""
+
+    job_id: str
+    state: str
+    deduplicated: bool
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "deduplicated": self.deduplicated,
+        }
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """One unit of leased work handed to a worker."""
+
+    job_id: str
+    spec: JobSpec
+    attempts: int
+    lease_expires: float
+
+
+class JobQueue:
+    """The durable queue.  Safe for many threads and many processes.
+
+    Thread safety inside one process comes from a lock around the shared
+    connection; cross-process safety comes from SQLite itself (WAL +
+    busy timeout + ``BEGIN IMMEDIATE`` transactions for every
+    read-modify-write decision).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        policy: Optional[SchedulerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = str(path)
+        self.policy = policy or SchedulerPolicy()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._connection = connect(self.path, check_same_thread=False)
+        # Explicit transactions only: every mutate below brackets its
+        # own BEGIN IMMEDIATE .. COMMIT so decisions and writes are one
+        # atomic unit even under cross-process contention.
+        self._connection.isolation_level = None
+        with self._lock:
+            self._connection.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _transaction(self):
+        return _Transaction(self._connection, self._lock)
+
+    def _bump(self, cursor, name: str, amount: int = 1) -> None:
+        cursor.execute(
+            "INSERT INTO counters VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + ?",
+            (name, amount, amount),
+        )
+
+    def _next_seq(self, cursor) -> int:
+        self._bump(cursor, "seq")
+        row = cursor.execute(
+            "SELECT value FROM counters WHERE name = 'seq'"
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    # Submission (dedup + admission control)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        priority: Optional[str] = None,
+        submitter: str = "anonymous",
+    ) -> SubmitReceipt:
+        """Admit one job; deduplicates on the content-addressed id.
+
+        Raises :class:`~repro.service.scheduler.QueueFull` on
+        backpressure and :class:`QueueDraining` during shutdown --
+        deduplicated submissions of known jobs bypass both, because they
+        add no work.
+        """
+        policy = self.policy
+        class_name = priority if priority is not None else policy.default_class
+        priority_number = policy.priority_for(class_name)
+        job_id = spec.job_id
+        now = self._clock()
+        with self._transaction() as cursor:
+            row = cursor.execute(
+                "SELECT state FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+            if row is not None and row[0] not in (FAILED, CANCELLED):
+                self._bump(cursor, "jobs.deduplicated")
+                return SubmitReceipt(job_id, row[0], deduplicated=True)
+            if self._draining(cursor):
+                raise QueueDraining(
+                    "service is draining and admits no new jobs"
+                )
+            depth = cursor.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = ?", (QUEUED,)
+            ).fetchone()[0]
+            pending = cursor.execute(
+                "SELECT COUNT(*) FROM jobs WHERE submitter = ? "
+                "AND state IN (?, ?, ?)",
+                (submitter, QUEUED, LEASED, RUNNING),
+            ).fetchone()[0]
+            policy.admit(depth, pending, submitter)
+            seq = self._next_seq(cursor)
+            if row is None:
+                cursor.execute(
+                    "INSERT INTO jobs (job_id, spec_json, state, priority, "
+                    "submitter, seq, submitted_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        job_id,
+                        spec.to_json(),
+                        QUEUED,
+                        priority_number,
+                        submitter,
+                        seq,
+                        now,
+                    ),
+                )
+            else:
+                # Revive a failed/cancelled job under the new submission.
+                cursor.execute(
+                    "UPDATE jobs SET state = ?, priority = ?, submitter = ?, "
+                    "seq = ?, attempts = 0, requeues = 0, lease_owner = NULL, "
+                    "lease_expires = NULL, submitted_at = ?, started_at = NULL, "
+                    "finished_at = NULL, result_json = NULL, "
+                    "failure_json = NULL WHERE job_id = ?",
+                    (QUEUED, priority_number, submitter, seq, now, job_id),
+                )
+            self._bump(cursor, "jobs.submitted")
+            return SubmitReceipt(job_id, QUEUED, deduplicated=False)
+
+    # ------------------------------------------------------------------
+    # Leasing / heartbeats / expiry
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str) -> Optional[LeasedJob]:
+        """Atomically claim the next job per the scheduling policy.
+
+        Expired leases are swept first, so every polling worker doubles
+        as the lease reaper -- no separate supervisor is required for
+        liveness.  Returns None when nothing is runnable (or the queue
+        is draining: draining stops *leasing*, not in-flight work).
+        """
+        now = self._clock()
+        with self._transaction() as cursor:
+            self._requeue_expired(cursor, now)
+            if self._draining(cursor):
+                return None
+            row = cursor.execute(NEXT_JOB_SQL).fetchone()
+            if row is None:
+                return None
+            job_id = row[0]
+            expires = now + self.policy.lease_seconds
+            cursor.execute(
+                "UPDATE jobs SET state = ?, lease_owner = ?, "
+                "lease_expires = ?, attempts = attempts + 1, "
+                "started_at = COALESCE(started_at, ?) WHERE job_id = ?",
+                (LEASED, worker_id, expires, now, job_id),
+            )
+            spec_json, attempts = cursor.execute(
+                "SELECT spec_json, attempts FROM jobs WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+            self._bump(cursor, "jobs.leased")
+            return LeasedJob(
+                job_id, JobSpec.from_json(spec_json), attempts, expires
+            )
+
+    def mark_running(self, job_id: str, worker_id: str) -> bool:
+        """Leased -> running (execution actually began)."""
+        with self._transaction() as cursor:
+            changed = cursor.execute(
+                "UPDATE jobs SET state = ? WHERE job_id = ? "
+                "AND lease_owner = ? AND state = ?",
+                (RUNNING, job_id, worker_id, LEASED),
+            ).rowcount
+            return changed == 1
+
+    def heartbeat(self, job_id: str, worker_id: str) -> bool:
+        """Extend a live lease.  False means the lease was lost: the job
+        expired and was requeued (or finished elsewhere), so the worker
+        should abandon it -- its eventual ``complete`` would be rejected
+        anyway."""
+        now = self._clock()
+        with self._transaction() as cursor:
+            changed = cursor.execute(
+                "UPDATE jobs SET lease_expires = ? WHERE job_id = ? "
+                "AND lease_owner = ? AND state IN (?, ?)",
+                (now + self.policy.lease_seconds, job_id, worker_id,
+                 LEASED, RUNNING),
+            ).rowcount
+            return changed == 1
+
+    def _requeue_expired(self, cursor, now: float) -> List[str]:
+        rows = cursor.execute(
+            "SELECT job_id, attempts FROM jobs "
+            "WHERE state IN (?, ?) AND lease_expires < ?",
+            (LEASED, RUNNING, now),
+        ).fetchall()
+        requeued: List[str] = []
+        for job_id, attempts in rows:
+            if attempts >= self.policy.max_attempts:
+                failure = {
+                    "category": "capability",
+                    "error_type": "LeaseExpired",
+                    "message": (
+                        f"worker lease expired {attempts} time(s); "
+                        "attempts exhausted"
+                    ),
+                }
+                cursor.execute(
+                    "UPDATE jobs SET state = ?, lease_owner = NULL, "
+                    "lease_expires = NULL, finished_at = ?, "
+                    "failure_json = ? WHERE job_id = ?",
+                    (FAILED, now, json.dumps(failure, sort_keys=True),
+                     job_id),
+                )
+                self._bump(cursor, "jobs.failed")
+            else:
+                cursor.execute(
+                    "UPDATE jobs SET state = ?, lease_owner = NULL, "
+                    "lease_expires = NULL, requeues = requeues + 1 "
+                    "WHERE job_id = ?",
+                    (QUEUED, job_id),
+                )
+                requeued.append(job_id)
+                self._bump(cursor, "jobs.requeued")
+        return requeued
+
+    def requeue_expired(self) -> List[str]:
+        """Sweep expired leases now; returns the requeued job ids."""
+        now = self._clock()
+        with self._transaction() as cursor:
+            return self._requeue_expired(cursor, now)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(
+        self, job_id: str, worker_id: str, result: Dict[str, Any]
+    ) -> bool:
+        """Store a finished job's canonical result (ownership-checked).
+
+        Returns False for a stale worker whose lease was stolen: the
+        authoritative execution's result wins and the duplicate is
+        dropped, preserving exactly-once *results* on top of
+        at-least-once *execution*.
+        """
+        text = canonical_result_text(result)
+        now = self._clock()
+        with self._transaction() as cursor:
+            completed = cursor.execute(
+                "UPDATE jobs SET state = ?, result_json = ?, "
+                "finished_at = ?, lease_owner = NULL, lease_expires = NULL "
+                "WHERE job_id = ? AND lease_owner = ? AND state IN (?, ?)",
+                (DONE, text, now, job_id, worker_id, LEASED, RUNNING),
+            ).rowcount == 1
+            if completed:
+                self._bump(cursor, "jobs.completed")
+            else:
+                self._bump(cursor, "jobs.stale_results_dropped")
+            return completed
+
+    def fail(
+        self,
+        job_id: str,
+        worker_id: str,
+        failure: Dict[str, Any],
+        retryable: bool = False,
+    ) -> Optional[str]:
+        """Record an execution failure; transient ones may retry.
+
+        Returns the job's new state (``queued`` for a retry, ``failed``
+        terminally) or None when the worker no longer owned the job.
+        """
+        now = self._clock()
+        with self._transaction() as cursor:
+            row = cursor.execute(
+                "SELECT attempts FROM jobs WHERE job_id = ? "
+                "AND lease_owner = ? AND state IN (?, ?)",
+                (job_id, worker_id, LEASED, RUNNING),
+            ).fetchone()
+            if row is None:
+                return None
+            attempts = int(row[0])
+            if retryable and attempts < self.policy.max_attempts:
+                cursor.execute(
+                    "UPDATE jobs SET state = ?, lease_owner = NULL, "
+                    "lease_expires = NULL, requeues = requeues + 1 "
+                    "WHERE job_id = ?",
+                    (QUEUED, job_id),
+                )
+                self._bump(cursor, "jobs.requeued")
+                return QUEUED
+            cursor.execute(
+                "UPDATE jobs SET state = ?, failure_json = ?, "
+                "finished_at = ?, lease_owner = NULL, lease_expires = NULL "
+                "WHERE job_id = ?",
+                (FAILED, json.dumps(failure, sort_keys=True), now, job_id),
+            )
+            self._bump(cursor, "jobs.failed")
+            return FAILED
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a queued job.  Leased/running/finished jobs refuse
+        (their fate is already decided); the caller maps the refusal to
+        HTTP 409."""
+        with self._transaction() as cursor:
+            row = cursor.execute(
+                "SELECT state FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise UnknownJobError(job_id)
+            state = row[0]
+            if state != QUEUED:
+                raise JobStateError(
+                    f"job {job_id} is {state}; only queued jobs cancel"
+                )
+            now = self._clock()
+            cursor.execute(
+                "UPDATE jobs SET state = ?, finished_at = ? WHERE job_id = ?",
+                (CANCELLED, now, job_id),
+            )
+            self._bump(cursor, "jobs.cancelled")
+            return CANCELLED
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Dict[str, Any]:
+        """One job's public record (no result body; see :meth:`result`)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT spec_json, state, priority, submitter, attempts, "
+                "requeues, submitted_at, started_at, finished_at, "
+                "failure_json FROM jobs WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        if row is None:
+            raise UnknownJobError(job_id)
+        (spec_json, state, priority, submitter, attempts, requeues,
+         submitted_at, started_at, finished_at, failure_json) = row
+        record: Dict[str, Any] = {
+            "job_id": job_id,
+            "spec": json.loads(spec_json),
+            "state": state,
+            "priority": self.policy.class_name(priority),
+            "submitter": submitter,
+            "attempts": attempts,
+            "requeues": requeues,
+        }
+        if submitted_at is not None and finished_at is not None:
+            record["latency_seconds"] = finished_at - submitted_at
+        if failure_json is not None:
+            record["failure"] = json.loads(failure_json)
+        return record
+
+    def result_text(self, job_id: str) -> Optional[str]:
+        """The stored canonical result JSON, verbatim, or None."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT state, result_json FROM jobs WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        if row is None:
+            raise UnknownJobError(job_id)
+        return row[1]
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        text = self.result_text(job_id)
+        return None if text is None else json.loads(text)
+
+    def list_jobs(self, limit: int = 200) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT job_id FROM jobs ORDER BY seq DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        return [self.get(job_id) for (job_id,) in rows]
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue-depth and counter snapshot for the stats endpoint."""
+        with self._lock:
+            states = dict(
+                self._connection.execute(
+                    "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+                ).fetchall()
+            )
+            counters = dict(
+                self._connection.execute(
+                    "SELECT name, value FROM counters WHERE name != 'seq'"
+                ).fetchall()
+            )
+            in_flight = dict(
+                self._connection.execute(
+                    "SELECT submitter, COUNT(*) FROM jobs "
+                    "WHERE state IN (?, ?) GROUP BY submitter",
+                    (LEASED, RUNNING),
+                ).fetchall()
+            )
+            draining = self._draining(self._connection)
+        return {
+            "states": {state: states.get(state, 0) for state in STATES},
+            "depth": states.get(QUEUED, 0),
+            "max_depth": self.policy.max_depth,
+            "in_flight_by_submitter": in_flight,
+            "counters": counters,
+            "draining": draining,
+        }
+
+    # ------------------------------------------------------------------
+    # Drain control
+    # ------------------------------------------------------------------
+    def _draining(self, cursor) -> bool:
+        row = cursor.execute(
+            "SELECT value FROM control WHERE key = 'draining'"
+        ).fetchone()
+        return row is not None and row[0] == "1"
+
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining(self._connection)
+
+    def set_draining(self, draining: bool = True) -> None:
+        """Flip the drain flag (persisted, visible to worker processes)."""
+        with self._transaction() as cursor:
+            cursor.execute(
+                "INSERT INTO control VALUES ('draining', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                ("1" if draining else "0",),
+            )
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return int(
+                self._connection.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?)",
+                    (LEASED, RUNNING),
+                ).fetchone()[0]
+            )
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` bracket: one atomic read-modify-write unit."""
+
+    def __init__(self, connection, lock: threading.RLock) -> None:
+        self._connection = connection
+        self._lock = lock
+
+    def __enter__(self):
+        self._lock.acquire()
+        began = False
+        try:
+            self._connection.execute("BEGIN IMMEDIATE")
+            began = True
+        finally:
+            if not began:
+                self._lock.release()
+        return self._connection
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self._connection.execute("COMMIT")
+            else:
+                self._connection.execute("ROLLBACK")
+        finally:
+            self._lock.release()

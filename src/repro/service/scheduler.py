@@ -1,0 +1,151 @@
+"""Scheduling policy: priority classes, fair share, admission control.
+
+The queue stores jobs; this module decides *which* queued job a worker
+leases next and *whether* a new submission is admitted at all.  Cleaning
+evaluation is an iterative workload -- many users submitting many small
+variant configurations -- so the scheduler optimizes for fairness under
+contention rather than raw FIFO:
+
+- **Priority classes** (``interactive`` < ``batch`` < ``bulk``): a lower
+  class number always wins.  Interactive probes jump the bulk sweeps.
+- **Per-submitter fair share**: within a priority class, the next lease
+  goes to the submitter with the fewest jobs currently in flight
+  (leased or running) -- max-min fairness on in-flight work, so one user
+  enqueueing 500 configs cannot starve a user submitting one.
+- **Admission control**: the queue depth is bounded.  Past
+  ``max_depth`` (or a per-submitter pending cap) a submission is
+  rejected with the typed, retryable :class:`QueueFull` instead of
+  accepting unbounded work -- the API maps it to HTTP 429 with a
+  ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+#: Built-in priority classes (name -> class number; lower runs first).
+DEFAULT_PRIORITY_CLASSES: Mapping[str, int] = {
+    "interactive": 0,
+    "batch": 1,
+    "bulk": 2,
+}
+
+
+class QueueFull(RuntimeError):
+    """Typed backpressure: the queue refuses new work *for now*.
+
+    Carries a ``retry_after_seconds`` hint so clients back off instead
+    of hammering the submission endpoint.  This is a ``transient``
+    condition in the failure taxonomy -- the same job submitted later
+    will be accepted.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class QueueDraining(RuntimeError):
+    """The service is shutting down and no longer admits new jobs."""
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Tunable knobs for one service's queueing behaviour."""
+
+    priority_classes: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_PRIORITY_CLASSES)
+    )
+    default_class: str = "batch"
+    #: Queued (not yet leased) jobs admitted before backpressure.
+    max_depth: int = 256
+    #: Queued + in-flight jobs any single submitter may hold.
+    max_pending_per_submitter: int = 64
+    #: Lease duration; a worker silent for this long forfeits its job.
+    lease_seconds: float = 30.0
+    #: Executions (initial + retries after lease expiry / transient
+    #: failure) before a job is declared failed.
+    max_attempts: int = 3
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.max_pending_per_submitter < 1:
+            raise ValueError("max_pending_per_submitter must be >= 1")
+        if self.lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.default_class not in self.priority_classes:
+            raise ValueError(
+                f"default_class {self.default_class!r} is not a "
+                f"priority class {sorted(self.priority_classes)}"
+            )
+
+    def priority_for(self, name: str) -> int:
+        """Class number for a priority name; ValueError when unknown."""
+        try:
+            return self.priority_classes[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority class {name!r}; "
+                f"choose from {sorted(self.priority_classes)}"
+            ) from None
+
+    def class_name(self, priority: int) -> str:
+        for name, number in self.priority_classes.items():
+            if number == priority:
+                return name
+        return str(priority)
+
+    # ------------------------------------------------------------------
+    # Decisions (pure functions of queue snapshots, easy to unit-test)
+    # ------------------------------------------------------------------
+    def admit(
+        self, queued_depth: int, submitter_pending: int, submitter: str
+    ) -> None:
+        """Admission check for one new (non-deduplicated) submission."""
+        if queued_depth >= self.max_depth:
+            raise QueueFull(
+                f"queue depth {queued_depth} at capacity "
+                f"({self.max_depth}); retry later",
+                retry_after_seconds=self.retry_after_seconds,
+            )
+        if submitter_pending >= self.max_pending_per_submitter:
+            raise QueueFull(
+                f"submitter {submitter!r} already has "
+                f"{submitter_pending} pending jobs "
+                f"(cap {self.max_pending_per_submitter}); retry later",
+                retry_after_seconds=self.retry_after_seconds,
+            )
+
+
+#: The fair-share lease query.  Among queued jobs: lowest priority class
+#: first; within a class, the submitter with the fewest in-flight jobs;
+#: submission order breaks the remaining ties deterministically.
+NEXT_JOB_SQL = """
+SELECT job_id FROM jobs
+WHERE state = 'queued'
+ORDER BY
+    priority ASC,
+    (
+        SELECT COUNT(*) FROM jobs active
+        WHERE active.submitter = jobs.submitter
+          AND active.state IN ('leased', 'running')
+    ) ASC,
+    seq ASC
+LIMIT 1
+"""
+
+
+def fair_share_counts(
+    rows: Tuple[Tuple[str, str], ...]
+) -> Dict[str, int]:
+    """In-flight job count per submitter from (submitter, state) rows."""
+    counts: Dict[str, int] = {}
+    for submitter, state in rows:
+        if state in ("leased", "running"):
+            counts[submitter] = counts.get(submitter, 0) + 1
+    return counts

@@ -190,9 +190,80 @@ class TestCliObservability:
         assert stdout_trace == trace
 
     def test_trace_rejects_missing_or_corrupt_ledger(self, tmp_path, capsys):
-        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 4
         assert "cannot read ledger" in capsys.readouterr().err
         corrupt = tmp_path / "corrupt.jsonl"
         corrupt.write_text("not json\n")
-        assert main(["trace", str(corrupt)]) == 2
+        assert main(["trace", str(corrupt)]) == 4
         assert "cannot read ledger" in capsys.readouterr().err
+
+
+class TestCliExitCodes:
+    """The documented exit-code taxonomy: 2 usage, 3 malformed config,
+    4 missing/unopenable path, 5 service unreachable."""
+
+    def test_submit_without_destination_is_usage_error(self, capsys):
+        assert main(["submit", "Nasa", "--kind", "detect"]) == 2
+        assert "--inline or --url" in capsys.readouterr().err
+
+    def test_submit_malformed_options_json(self, capsys):
+        assert main(
+            ["submit", "Nasa", "--kind", "detect", "--inline",
+             "--options", "{not json"]
+        ) == 3
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_submit_non_object_options(self, capsys):
+        assert main(
+            ["submit", "Nasa", "--kind", "detect", "--inline",
+             "--options", "[1, 2]"]
+        ) == 3
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_submit_invalid_spec_config(self, capsys):
+        assert main(
+            ["submit", "Nasa", "--kind", "detect", "--inline",
+             "--options", '{"detectors": ["NoSuchDetector"]}']
+        ) == 3
+        assert "malformed job config" in capsys.readouterr().err
+
+    def test_submit_unopenable_store_path(self, tmp_path, capsys):
+        assert main(
+            ["submit", "Nasa", "--kind", "detect", "--inline",
+             "--store", str(tmp_path / "no" / "such" / "dir" / "s.sqlite")]
+        ) == 4
+        assert capsys.readouterr().err.startswith("repro submit:")
+
+    def test_submit_unreachable_service(self, capsys):
+        assert main(
+            ["submit", "Nasa", "--kind", "detect",
+             "--url", "http://127.0.0.1:9", "--timeout", "2"]
+        ) == 5
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_jobs_unreachable_service(self, capsys):
+        assert main(["jobs", "--url", "http://127.0.0.1:9"]) == 5
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_detect_unopenable_events_path(self, tmp_path, capsys):
+        assert main(
+            ["detect", "Nasa", "--rows", "60", "-q",
+             "--events", str(tmp_path / "no" / "such" / "events.jsonl")]
+        ) == 4
+
+    def test_inline_submit_is_byte_deterministic(self, tmp_path, capsys):
+        argv = [
+            "submit", "Nasa", "--kind", "detect", "--rows", "60",
+            "--seed", "3", "--options", '{"detectors": ["MVD"]}',
+            "--inline", "--quiet",
+            "--store", str(tmp_path / "store.sqlite"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        payload = json.loads(first)
+        assert payload["spec"]["dataset"] == "Nasa"

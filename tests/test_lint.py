@@ -12,6 +12,7 @@ import check_block_paths  # noqa: E402
 import check_clocks  # noqa: E402
 import check_exceptions  # noqa: E402
 import check_hot_loops  # noqa: E402
+import check_service_endpoints  # noqa: E402
 
 
 def test_no_broad_exception_handlers_outside_sanctioned_sites():
@@ -221,6 +222,120 @@ def test_block_path_lint_flags_missing_declared_module(tmp_path):
     violations = check_block_paths.check_tree(tmp_path)
     assert len(violations) == 1
     assert "missing" in violations[0]
+
+
+def test_service_endpoints_declare_timeouts_and_map_failures():
+    violations = check_service_endpoints.check_tree(REPO_ROOT / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def _api_module(tmp_path, text):
+    path = tmp_path / "repro" / "service" / "api.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return tmp_path
+
+
+#: A minimal API module that satisfies every endpoint-lint rule.
+_API_OK = (
+    "@route('GET', '/v1/health', timeout=5.0)\n"
+    "def health(service, request):\n"
+    "    return Response()\n"
+    "def _dispatch(self):\n"
+    "    try:\n"
+    "        pass\n"
+    "    except Exception as exc:\n"
+    "        response = error_response(exc)\n"
+    "def error_response(exc):\n"
+    "    return classify_exception(exc)\n"
+)
+
+
+def test_endpoint_lint_accepts_well_formed_module(tmp_path):
+    assert check_service_endpoints.check_tree(
+        _api_module(tmp_path, _API_OK)
+    ) == []
+
+
+def test_endpoint_lint_flags_missing_timeout(tmp_path):
+    tree = _api_module(
+        tmp_path,
+        _API_OK + "@route('GET', '/v1/naked')\ndef naked(s, r):\n    pass\n",
+    )
+    violations = check_service_endpoints.check_tree(tree)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "'naked' declares no timeout" in violations[0]
+
+
+def test_endpoint_lint_flags_computed_or_nonpositive_timeout(tmp_path):
+    tree = _api_module(
+        tmp_path,
+        _API_OK
+        + "@route('GET', '/a', timeout=LIMIT)\ndef a(s, r):\n    pass\n"
+        + "@route('GET', '/b', timeout=0)\ndef b(s, r):\n    pass\n",
+    )
+    violations = check_service_endpoints.check_tree(tree)
+    assert len(violations) == 2, "\n".join(violations)
+    assert all("positive numeric literal" in v for v in violations)
+
+
+def test_endpoint_lint_flags_swallowing_handler(tmp_path):
+    tree = _api_module(
+        tmp_path,
+        _API_OK
+        + "@route('GET', '/c', timeout=1)\n"
+        "def c(s, r):\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        pass\n",
+    )
+    violations = check_service_endpoints.check_tree(tree)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "propagate to the dispatch boundary" in violations[0]
+
+
+def test_endpoint_lint_flags_missing_taxonomy_boundary(tmp_path):
+    tree = _api_module(
+        tmp_path,
+        "@route('GET', '/v1/health', timeout=5.0)\n"
+        "def health(service, request):\n"
+        "    return Response()\n",
+    )
+    violations = check_service_endpoints.check_tree(tree)
+    assert any("no dispatch boundary" in v for v in violations)
+    assert any("classify_exception" in v for v in violations)
+
+
+def test_endpoint_lint_flags_boundary_without_error_response(tmp_path):
+    tree = _api_module(
+        tmp_path,
+        _API_OK
+        + "def other():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except Exception:\n"
+        "        return None\n",
+    )
+    violations = check_service_endpoints.check_tree(tree)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "does not map the failure through error_response" in violations[0]
+
+
+def test_endpoint_lint_flags_missing_module(tmp_path):
+    violations = check_service_endpoints.check_tree(tmp_path)
+    assert len(violations) == 1
+    assert "missing" in violations[0]
+
+
+def test_endpoint_lint_cli_exit_codes(tmp_path, capsys):
+    _api_module(tmp_path, _API_OK)
+    assert check_service_endpoints.main(["prog", str(tmp_path)]) == 0
+    _api_module(tmp_path, "try:\n    pass\nexcept:\n    pass\n")
+    assert check_service_endpoints.main(["prog", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "api.py:3" in out
+    assert check_service_endpoints.main(["prog", str(tmp_path / "nope")]) == 2
 
 
 def test_block_path_lint_cli_exit_codes(tmp_path, capsys):

@@ -36,6 +36,13 @@ ALLOWLIST = {
     # Applies user-derived transformation lambdas speculatively; a raise
     # means the candidate transformation does not apply.
     "repro/repair/baran.py",
+    # The service worker's designated failure boundary: every job
+    # execution failure becomes a categorized FailureRecord on the queue.
+    "repro/service/workers.py",
+    # The HTTP dispatch boundary: every handler failure is mapped through
+    # the taxonomy to a status code (check_service_endpoints.py enforces
+    # the mapping's presence).
+    "repro/service/api.py",
 }
 
 BROAD_NAMES = {"Exception", "BaseException"}

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Lint: every service API endpoint declares a timeout and maps failures.
+
+The HTTP API (``repro/service/api.py``) makes two promises that are
+easy to erode one handler at a time:
+
+1. Every route declares a *positive numeric literal* ``timeout`` in its
+   ``@route(...)`` decorator, so a wedged handler or a stalled client
+   can hold a socket thread only for a bounded time.
+2. Handlers themselves contain no broad/bare ``except`` -- failures
+   must propagate to the single dispatch boundary, which maps them
+   through the failure taxonomy (``classify_exception``) via
+   ``error_response``.
+
+This script parses the API module and fails if either promise is
+broken, or if the taxonomy boundary itself has gone missing.
+
+Usage::
+
+    python tools/check_service_endpoints.py [src-root]
+
+Exit status 0 means clean; 1 means violations (printed one per line
+as ``path:lineno: message``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: The one module this lint governs, relative to the src root.
+API_MODULE = "repro/service/api.py"
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return ""
+
+
+def _route_decorator(func: ast.FunctionDef) -> "ast.Call | None":
+    for decorator in func.decorator_list:
+        if isinstance(decorator, ast.Call) and _decorator_name(decorator) == "route":
+            return decorator
+    return None
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in BROAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(elt, (ast.Name, ast.Attribute))
+            and (elt.id if isinstance(elt, ast.Name) else elt.attr)
+            in BROAD_NAMES
+            for elt in node.elts
+        )
+    return False
+
+
+def _calls(node: ast.AST, name: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and _decorator_name(child) == name:
+            return True
+    return False
+
+
+def _check_timeout(func: ast.FunctionDef, call: ast.Call) -> Iterator[Tuple[int, str]]:
+    timeout = next(
+        (kw for kw in call.keywords if kw.arg == "timeout"), None
+    )
+    if timeout is None:
+        yield call.lineno, (
+            f"route handler '{func.name}' declares no timeout; every "
+            "endpoint must bound its request with timeout=<seconds>"
+        )
+        return
+    value = timeout.value
+    ok = (
+        isinstance(value, ast.Constant)
+        and isinstance(value.value, (int, float))
+        and not isinstance(value.value, bool)
+        and value.value > 0
+    )
+    if not ok:
+        yield call.lineno, (
+            f"route handler '{func.name}' must declare its timeout as a "
+            "positive numeric literal, not a computed value"
+        )
+
+
+def _check_handler_body(func: ast.FunctionDef) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+            what = "bare except" if node.type is None else "broad except"
+            yield node.lineno, (
+                f"{what} inside route handler '{func.name}'; let failures "
+                "propagate to the dispatch boundary so the taxonomy maps "
+                "them to a status code"
+            )
+
+
+def check_file(path: Path) -> Iterator[Tuple[int, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+
+    routed = 0
+    in_handlers = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            call = _route_decorator(node)
+            if call is not None:
+                routed += 1
+                yield from _check_timeout(node, call)
+                yield from _check_handler_body(node)
+                in_handlers.update(id(child) for child in ast.walk(node))
+
+    boundaries: List[ast.ExceptHandler] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or id(node) in in_handlers:
+            continue
+        if node.type is None:
+            yield node.lineno, (
+                "bare except in the API module; even the dispatch "
+                "boundary must name Exception explicitly"
+            )
+        elif _is_broad(node):
+            boundaries.append(node)
+
+    if routed == 0:
+        yield 1, "no @route-decorated handlers found; API module is empty"
+    if not boundaries:
+        yield 1, (
+            "no dispatch boundary (broad except mapping failures via "
+            "error_response) found in the API module"
+        )
+    for boundary in boundaries:
+        if not any(_calls(stmt, "error_response") for stmt in boundary.body):
+            yield boundary.lineno, (
+                "broad except in the API module that does not map the "
+                "failure through error_response"
+            )
+    if not _calls(tree, "classify_exception"):
+        yield 1, (
+            "API module never calls classify_exception; unexpected "
+            "failures must be mapped through the failure taxonomy"
+        )
+
+
+def check_tree(src_root: Path) -> List[str]:
+    path = src_root / API_MODULE
+    if not path.is_file():
+        return [f"{path}:1: service API module missing"]
+    return [
+        f"{path}:{lineno}: {message}" for lineno, message in check_file(path)
+    ]
+
+
+def main(argv: List[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not src_root.is_dir():
+        print(f"error: {src_root} is not a directory", file=sys.stderr)
+        return 2
+    violations = check_tree(src_root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(
+            f"{len(violations)} service endpoint violation(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
