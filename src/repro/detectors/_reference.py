@@ -1,0 +1,217 @@
+"""Frozen pre-vectorization detector kernels (equivalence oracles).
+
+This module preserves the *original* scalar implementations of the
+detector hot paths exactly as they were before the cleaning-stage
+vectorization pass (mirroring :mod:`repro.ml._reference`):
+
+- dBoost histogram scoring by a per-value Python bin-assignment loop;
+- ZeroER candidate-pair enumeration by nested Python loops inside each
+  block, and pair featurization by one Python call per pair that
+  re-derives character trigram sets from scratch;
+- KATARA domain/relation checking by per-row membership loops.
+
+One deliberate deviation is documented inline:
+:func:`reference_enumerate_block_pairs` iterates blocks in sorted-key
+order rather than dict-insertion order.  The original insertion-order
+scan made the surviving pair prefix -- and therefore which duplicate
+row becomes the canonical (unflagged) representative -- depend on row
+arrival order whenever the ``max_pairs`` cap binds.  The determinism
+fix (sorted block keys, canonical sorted-group representative) applies
+to the reference and the vectorized kernel alike so the equivalence
+contract stays exact.
+
+These functions must not be "improved": the property suite
+(``tests/test_cleaning_kernels.py``) proves the vectorized kernels
+bit-identical to them, and ``benchmarks/test_cleaning_speed.py``
+measures speedups against them for the committed
+``BENCH_cleaning.json``.  ``tools/check_hot_loops.py`` forbids these
+patterns elsewhere under ``src/repro/detectors/``; this file is the
+documented allowlist entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.dataset.table import Table, coerce_float, is_missing
+
+# ----------------------------------------------------------------------
+# dBoost: histogram scoring
+# ----------------------------------------------------------------------
+
+
+def reference_histogram_outliers(
+    values: np.ndarray, threshold: float, n_bins: int
+) -> np.ndarray:
+    """Original per-value bin-assignment loop."""
+    finite = values[~np.isnan(values)]
+    if len(finite) < n_bins:
+        return np.zeros(len(values), dtype=bool)
+    counts, edges = np.histogram(finite, bins=n_bins)
+    frequencies = counts / counts.sum()
+    rare_bins = frequencies < threshold
+    flagged = np.zeros(len(values), dtype=bool)
+    for i, value in enumerate(values):
+        if np.isnan(value):
+            continue
+        bin_index = int(np.clip(np.searchsorted(edges, value) - 1, 0, n_bins - 1))
+        flagged[i] = rare_bins[bin_index]
+    return flagged
+
+
+# ----------------------------------------------------------------------
+# ZeroER: blocking and pair features
+# ----------------------------------------------------------------------
+
+
+def reference_build_blocks(table: Table) -> Dict[str, List[int]]:
+    """Original per-cell blocking-key construction loop.
+
+    One Python iteration per cell, re-deriving ``coerce_float`` and the
+    lowercased token split from scratch for every row even when a column
+    holds a handful of distinct values.
+    """
+    from collections import defaultdict
+
+    blocks: Dict[str, List[int]] = defaultdict(list)
+    for i in range(table.n_rows):
+        for column in table.column_names:
+            value = table.get_cell(i, column)
+            if is_missing(value):
+                continue
+            numeric = coerce_float(value)
+            if not np.isnan(numeric):
+                blocks[f"{column}:{round(numeric, 1)}"].append(i)
+            else:
+                for token in str(value).strip().lower().split():
+                    blocks[f"{column}:{token}"].append(i)
+    return blocks
+
+
+def reference_enumerate_block_pairs(
+    blocks: Mapping[str, List[int]],
+    max_pairs: int,
+    max_block_rows: int = 60,
+) -> List[Tuple[int, int]]:
+    """Original nested-loop within-block pair enumeration.
+
+    Blocks are visited in sorted-key order (the determinism fix; see the
+    module docstring) but each block's pairs are still enumerated by the
+    original quadratic Python loops, stopping at the exact pair on which
+    the running ``max_pairs`` cap is reached.
+    """
+    pairs: Set[Tuple[int, int]] = set()
+    for key in sorted(blocks):
+        rows = blocks[key]
+        if len(rows) > max_block_rows:  # ubiquitous token: useless block
+            continue
+        unique_rows = sorted(set(rows))
+        for a in range(len(unique_rows)):
+            for b in range(a + 1, len(unique_rows)):
+                pairs.add((unique_rows[a], unique_rows[b]))
+                if len(pairs) >= max_pairs:
+                    return sorted(pairs)
+    return sorted(pairs)
+
+
+def _reference_string_similarity(a: str, b: str) -> float:
+    """Jaccard similarity over character trigrams (original)."""
+    def grams(s: str) -> Set[str]:
+        padded = f"  {s.lower()} "
+        return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+    ga, gb = grams(a), grams(b)
+    union = ga | gb
+    if not union:
+        return 1.0
+    return len(ga & gb) / len(union)
+
+
+def reference_pair_features(
+    table: Table, i: int, j: int, column_stds: Dict[str, float]
+) -> np.ndarray:
+    """Original per-pair scalar featurization."""
+    features = []
+    for column in table.column_names:
+        a, b = table.get_cell(i, column), table.get_cell(j, column)
+        if is_missing(a) or is_missing(b):
+            features.append(0.5)
+            continue
+        fa, fb = coerce_float(a), coerce_float(b)
+        if not np.isnan(fa) and not np.isnan(fb):
+            scale = column_stds.get(column, 1.0) or 1.0
+            features.append(max(0.0, 1.0 - abs(fa - fb) / scale))
+        else:
+            features.append(_reference_string_similarity(str(a), str(b)))
+    return np.array(features)
+
+
+def reference_pair_feature_matrix(
+    table: Table,
+    pairs: Sequence[Tuple[int, int]],
+    column_stds: Dict[str, float],
+) -> np.ndarray:
+    """Original ``np.vstack`` of one Python featurization call per pair."""
+    return np.vstack(
+        [reference_pair_features(table, i, j, column_stds) for i, j in pairs]
+    )
+
+
+# ----------------------------------------------------------------------
+# KATARA: domain and relation checking
+# ----------------------------------------------------------------------
+
+
+def reference_katara_align_column(
+    kb, table: Table, column: str, min_overlap: float
+) -> object:
+    """Original per-value domain-overlap scoring loop."""
+    values = [
+        kb.normalize(v)
+        for v in table.column(column)
+        if not is_missing(v)
+    ]
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    best_concept, best_score = None, min_overlap
+    for concept, domain in kb.domains.items():
+        if not domain:
+            continue
+        score = sum(1 for v in values if v in domain) / len(values)
+        if score > best_score:
+            best_concept, best_score = concept, score
+    return best_concept
+
+
+def reference_katara_violations(
+    kb, table: Table, alignment: Dict[str, str]
+) -> Set[Tuple[int, str]]:
+    """Original per-row domain/relation membership loops."""
+    cells: Set[Tuple[int, str]] = set()
+    for column, concept in alignment.items():
+        domain = kb.domains[concept]
+        for i, value in enumerate(table.column(column)):
+            normalized = kb.normalize(value)
+            if normalized is not None and normalized not in domain:
+                cells.add((i, column))
+    columns = list(alignment)
+    for col_a in columns:
+        for col_b in columns:
+            if col_a == col_b:
+                continue
+            key = (alignment[col_a], alignment[col_b])
+            if key not in kb.relations:
+                continue
+            valid_pairs = kb.relations[key]
+            for i in range(table.n_rows):
+                a = kb.normalize(table.get_cell(i, col_a))
+                b = kb.normalize(table.get_cell(i, col_b))
+                if a is None or b is None:
+                    continue
+                if (a, b) not in valid_pairs:
+                    cells.add((i, col_a))
+                    cells.add((i, col_b))
+    return cells

@@ -16,8 +16,10 @@ import numpy as np
 
 from repro.context import CleaningContext
 from repro.dataset.table import Cell, Table
+from repro.detectors._reference import reference_histogram_outliers
 from repro.detectors.base import NON_LEARNING, Detector
 from repro.errors import profile
+from repro.kernels import kernel_stage, use_reference_kernels
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,8 @@ def _gaussian_outliers(values: np.ndarray, threshold: float) -> np.ndarray:
 def _histogram_outliers(
     values: np.ndarray, threshold: float, n_bins: int
 ) -> np.ndarray:
+    if use_reference_kernels():
+        return reference_histogram_outliers(values, threshold, n_bins)
     finite = values[~np.isnan(values)]
     if len(finite) < n_bins:
         return np.zeros(len(values), dtype=bool)
@@ -46,11 +50,9 @@ def _histogram_outliers(
     frequencies = counts / counts.sum()
     rare_bins = frequencies < threshold
     flagged = np.zeros(len(values), dtype=bool)
-    for i, value in enumerate(values):
-        if np.isnan(value):
-            continue
-        bin_index = int(np.clip(np.searchsorted(edges, value) - 1, 0, n_bins - 1))
-        flagged[i] = rare_bins[bin_index]
+    valid = ~np.isnan(values)
+    bins = np.clip(np.searchsorted(edges, values[valid]) - 1, 0, n_bins - 1)
+    flagged[valid] = rare_bins[bins]
     return flagged
 
 
@@ -157,6 +159,10 @@ class DBoostDetector(Detector):
         return float(gap - 2.0 * fraction)
 
     def _detect(self, context: CleaningContext) -> Set[Cell]:
+        with kernel_stage("dboost"):
+            return self._detect_columns(context)
+
+    def _detect_columns(self, context: CleaningContext) -> Set[Cell]:
         rng = context.rng(17)
         table = context.dirty
         cells: Set[Cell] = set()

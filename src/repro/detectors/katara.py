@@ -7,17 +7,35 @@ The crowdsourced KB of the original is replaced by a synthetic
 relations (valid value pairs across two concepts).  Column-to-concept
 alignment is discovered automatically by domain overlap, mirroring KATARA's
 table-pattern discovery step.
+
+Alignment scoring and violation checking run on precomputed per-distinct
+value indexes instead of per-row membership loops: each column is
+normalized once per distinct payload, interned to integer ids, and
+domain/relation membership is decided once per distinct value (or value
+pair) then scattered back to rows.  ``tests/test_cleaning_kernels.py``
+proves the results identical to the frozen scalars in
+:mod:`repro.detectors._reference`.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.context import CleaningContext
+from repro.dataset.columnar import intern_values, normalized_column
 from repro.dataset.table import Cell, Table, is_missing
+from repro.detectors._reference import (
+    reference_katara_align_column,
+    reference_katara_violations,
+)
 from repro.detectors.base import NON_LEARNING, Detector
 from repro.errors import profile
+from repro.kernels import kernel_stage, use_reference_kernels
 
 
 @dataclass
@@ -59,24 +77,85 @@ class KnowledgeBase:
 
         Overlap is row-weighted (fraction of non-missing *cells* inside the
         concept's domain) so a long tail of dirty variants cannot mask an
-        otherwise clear alignment.
+        otherwise clear alignment.  Membership is resolved once per
+        distinct value; the score divides the same integers the scalar
+        per-cell scan divides, so alignments are identical.
         """
-        values = [
-            self.normalize(v)
-            for v in table.column(column)
-            if not is_missing(v)
-        ]
-        values = [v for v in values if v is not None]
-        if not values:
+        if use_reference_kernels():
+            return reference_katara_align_column(
+                self, table, column, min_overlap
+            )
+        normalized = normalized_column(table.column(column), self.normalize)
+        counts = Counter(v for v in normalized if v is not None)
+        total = sum(counts.values())
+        if not total:
             return None
         best_concept, best_score = None, min_overlap
         for concept, domain in self.domains.items():
             if not domain:
                 continue
-            score = sum(1 for v in values if v in domain) / len(values)
+            hits = sum(c for v, c in counts.items() if v in domain)
+            score = hits / total
             if score > best_score:
                 best_concept, best_score = concept, score
         return best_concept
+
+
+def katara_violations(
+    kb: KnowledgeBase, table: Table, alignment: Dict[str, str]
+) -> Set[Cell]:
+    """Domain and relation violations for aligned columns.
+
+    Domain membership is decided once per distinct normalized value and
+    relation membership once per distinct value *pair*, then scattered to
+    rows through the interned id arrays.
+    """
+    if use_reference_kernels():
+        return reference_katara_violations(kb, table, alignment)
+    cells: Set[Cell] = set()
+    interned: Dict[str, Tuple[np.ndarray, List[Optional[str]]]] = {
+        column: intern_values(
+            normalized_column(table.column(column), kb.normalize)
+        )
+        for column in alignment
+    }
+    for column, concept in alignment.items():
+        domain = kb.domains[concept]
+        uids, distinct = interned[column]
+        if not distinct:
+            continue
+        outside = np.fromiter(
+            (v not in domain for v in distinct), bool, count=len(distinct)
+        )
+        flagged = (uids >= 0) & outside[np.maximum(uids, 0)]
+        cells.update((i, column) for i in np.flatnonzero(flagged).tolist())
+    columns = list(alignment)
+    for col_a, col_b in itertools.permutations(columns, 2):
+        key = (alignment[col_a], alignment[col_b])
+        valid_pairs = kb.relations.get(key)
+        if valid_pairs is None:
+            continue
+        ua, da = interned[col_a]
+        ub, db = interned[col_b]
+        present = (ua >= 0) & (ub >= 0)
+        present_rows = np.flatnonzero(present)
+        if not len(present_rows):
+            continue
+        base = max(len(db), 1)
+        codes = ua[present] * base + ub[present]
+        distinct_codes, inverse = np.unique(codes, return_inverse=True)
+        invalid = np.fromiter(
+            (
+                (da[code // base], db[code % base]) not in valid_pairs
+                for code in distinct_codes.tolist()
+            ),
+            bool,
+            count=len(distinct_codes),
+        )
+        for i in present_rows[invalid[inverse.ravel()]].tolist():
+            cells.add((i, col_a))
+            cells.add((i, col_b))
+    return cells
 
 
 class KataraDetector(Detector):
@@ -105,35 +184,10 @@ class KataraDetector(Detector):
         if not isinstance(kb, KnowledgeBase):
             return set()
         table = context.dirty
-        alignment: Dict[str, str] = {}
-        for column in table.column_names:
-            concept = kb.align_column(table, column, self.min_overlap)
-            if concept is not None:
-                alignment[column] = concept
-        cells: Set[Cell] = set()
-        # Domain violations.
-        for column, concept in alignment.items():
-            domain = kb.domains[concept]
-            for i, value in enumerate(table.column(column)):
-                normalized = kb.normalize(value)
-                if normalized is not None and normalized not in domain:
-                    cells.add((i, column))
-        # Relation violations.
-        columns = list(alignment)
-        for col_a in columns:
-            for col_b in columns:
-                if col_a == col_b:
-                    continue
-                key = (alignment[col_a], alignment[col_b])
-                if key not in kb.relations:
-                    continue
-                valid_pairs = kb.relations[key]
-                for i in range(table.n_rows):
-                    a = kb.normalize(table.get_cell(i, col_a))
-                    b = kb.normalize(table.get_cell(i, col_b))
-                    if a is None or b is None:
-                        continue
-                    if (a, b) not in valid_pairs:
-                        cells.add((i, col_a))
-                        cells.add((i, col_b))
-        return cells
+        with kernel_stage("katara"):
+            alignment: Dict[str, str] = {}
+            for column in table.column_names:
+                concept = kb.align_column(table, column, self.min_overlap)
+                if concept is not None:
+                    alignment[column] = concept
+            return katara_violations(kb, table, alignment)

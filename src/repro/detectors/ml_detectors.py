@@ -141,10 +141,29 @@ class RahaDetector(Detector):
         self, features: np.ndarray, n_clusters: int
     ) -> List[List[int]]:
         """Group rows by feature vector, then merge nearest groups."""
-        signature_groups: Dict[bytes, List[int]] = {}
-        for i, row in enumerate(features):
-            signature_groups.setdefault(row.tobytes(), []).append(i)
-        groups = list(signature_groups.values())
+        n = len(features)
+        if n == 0:
+            return []
+        flat = np.ascontiguousarray(features).reshape(n, -1)
+        if flat.shape[1] == 0:
+            groups: List[List[int]] = [list(range(n))]
+        else:
+            # Byte-exact signature grouping (matches row.tobytes() keys):
+            # unique void rows, renumbered by first appearance so group
+            # order and within-group row order match the scalar dict build.
+            signatures = flat.view(
+                np.dtype((np.void, flat.dtype.itemsize * flat.shape[1]))
+            ).ravel()
+            _, first_seen, inverse = np.unique(
+                signatures, return_index=True, return_inverse=True
+            )
+            appearance = np.argsort(first_seen, kind="stable")
+            rank = np.empty(len(appearance), dtype=np.int64)
+            rank[appearance] = np.arange(len(appearance))
+            codes = rank[inverse]
+            order = np.argsort(codes, kind="stable")
+            boundaries = np.flatnonzero(np.diff(codes[order])) + 1
+            groups = [chunk.tolist() for chunk in np.split(order, boundaries)]
         if len(groups) <= n_clusters:
             return groups
         centroids = np.array(

@@ -32,8 +32,11 @@ SUITE = "suite"
 STAGE = "stage"
 UNIT = "unit"
 ATTEMPT = "attempt"
+#: One cleaning-kernel invocation (detector/constraint/repair hot path);
+#: nests under whatever suite/stage/unit span is currently open.
+KERNEL = "kernel"
 
-CATEGORIES = (SUITE, STAGE, UNIT, ATTEMPT)
+CATEGORIES = (SUITE, STAGE, UNIT, ATTEMPT, KERNEL)
 
 
 @dataclass

@@ -14,6 +14,18 @@ Labels: a small budget of corrected tuples (the paper's user labels; here
 the ground-truth oracle) trains per-model reliability weights, updated
 incrementally after every labeled tuple.  An external revision corpus
 (standing in for Wikipedia page histories) can seed extra value-model pairs.
+
+The correction pass is batched: after the (small) labeled training loop,
+every remaining detected cell in a column is scored in one numpy pass.
+The candidate stream is generated segment by segment in the exact order
+the scalar scorer touched its ``scores`` dict -- transformations, typo
+scan, vicinity per context column, domain top-5 -- so ``np.add.at``
+reproduces each cell's float accumulation sequence and ``np.minimum.at``
+over stream positions reproduces dict-insertion first-touch order, the
+tie-breaker of ``max(proposals, key=proposals.get)``.  The frozen scalar
+pipeline lives in :func:`repro.repair._reference.reference_baran_repair`
+and ``tests/test_cleaning_kernels.py`` proves the two produce identical
+repaired tables.
 """
 
 from __future__ import annotations
@@ -25,10 +37,23 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.context import CleaningContext
+from repro.dataset.columnar import (
+    first_occurrence_order,
+    intern_values,
+    normalized_column,
+)
 from repro.dataset.table import Cell, Table, is_missing
+from repro.kernels import kernel_stage, use_reference_kernels
+from repro.repair._reference import reference_baran_repair
 from repro.repair.base import GENERIC, RepairMethod
 
 Transformation = Callable[[str], Optional[str]]
+
+#: Cells scored per numpy batch; bounds the (cells x candidates) score
+#: matrix while amortizing the per-distinct candidate generation.
+_SCORE_CHUNK = 1024
+
+_NEVER = np.iinfo(np.int64).max
 
 
 def _learn_transformations(error: str, correction: str) -> List[Tuple[str, Transformation]]:
@@ -95,6 +120,396 @@ def edit_distance(a: str, b: str, cutoff: int = 3) -> int:
     return previous[-1]
 
 
+def _strip_or_none(value: object) -> Optional[str]:
+    return None if is_missing(value) else str(value).strip()
+
+
+def _char_matrix(strings: List[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad strings into an ``ord`` matrix (``-1`` pad) plus lengths."""
+    lengths = np.fromiter(
+        (len(s) for s in strings), np.int64, count=len(strings)
+    )
+    width = int(lengths.max()) if len(strings) else 0
+    chars = np.full((len(strings), width), -1, dtype=np.int64)
+    for k, s in enumerate(strings):
+        if s:
+            chars[k, : len(s)] = np.fromiter(map(ord, s), np.int64, count=len(s))
+    return chars, lengths
+
+
+def _edit_distances_capped(
+    text: str, chars: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """``min(edit_distance(text, cand, cutoff=2) , 3)`` for all candidates.
+
+    One banded Levenshtein DP over every candidate at once.  The inner
+    ``current[j-1] + 1`` dependency is resolved with the prefix-min
+    identity ``current = j + running_min(temp[k] - k)``, which is exact
+    on integers.  The scalar's early exits (length band, per-row
+    minimum above the cutoff) only ever produce values ``> 2``, so
+    capping at 3 preserves every ``distance < best_distance`` decision
+    the scalar typo scan makes.
+    """
+    n, width = chars.shape
+    la = len(text)
+    result = np.full(n, 3, dtype=np.int64)
+    live = np.abs(lengths - la) <= 2
+    if la == 0:
+        result[live] = np.minimum(lengths[live], 3)
+        return result
+    if not live.any():
+        return result
+    cols = np.arange(width + 1, dtype=np.int64)
+    previous = np.repeat(cols[None, :], n, axis=0)
+    valid = cols[None, 1:] <= lengths[:, None]
+    for i, ch in enumerate(text, start=1):
+        cost = (chars != ord(ch)).astype(np.int64)
+        stacked = np.empty((n, width + 1), dtype=np.int64)
+        stacked[:, 0] = i
+        if width:
+            stacked[:, 1:] = np.minimum(
+                previous[:, 1:] + 1, previous[:, :-1] + cost
+            )
+        current = (
+            np.minimum.accumulate(stacked - cols[None, :], axis=1)
+            + cols[None, :]
+        )
+        if width:
+            row_min = np.minimum(
+                i, np.where(valid, current[:, 1:], _NEVER).min(axis=1)
+            )
+        else:
+            row_min = np.full(n, i, dtype=np.int64)
+        live &= row_min <= 2
+        if not live.any():
+            return result
+        previous = current
+    final = previous[np.arange(n), lengths]
+    result[live] = np.minimum(final[live], 3)
+    return result
+
+
+def _build_context_models(
+    table: Table, categorical: Sequence[str]
+) -> Tuple[
+    Dict[str, List[Optional[str]]],
+    Dict[Tuple[str, str, str], Counter],
+    Dict[str, Counter],
+]:
+    """Vicinity and domain statistics, identical to the scalar build.
+
+    The scalar kernel walked every row once per column pair, updating
+    Counters cell by cell.  Here each column is interned once and every
+    (context value, target value) pair is counted with one vectorized
+    group-by per column pair; the Counters are then rebuilt in
+    first-occurrence order so their key insertion order -- which
+    ``most_common`` tie-breaking observes -- matches the scalar build
+    exactly.
+    """
+    normalized = {
+        c: normalized_column(table.column(c), _strip_or_none)
+        for c in categorical
+    }
+    uids: Dict[str, np.ndarray] = {}
+    distinct: Dict[str, List[str]] = {}
+    for c in categorical:
+        uids[c], distinct[c] = intern_values(normalized[c])
+    vicinity: Dict[Tuple[str, str, str], Counter] = defaultdict(Counter)
+    for col_a in categorical:
+        for col_b in categorical:
+            if col_b == col_a:
+                continue
+            both = (uids[col_a] >= 0) & (uids[col_b] >= 0)
+            if not both.any():
+                continue
+            width = len(distinct[col_b])
+            codes = uids[col_a][both] * width + uids[col_b][both]
+            pair_codes, pair_counts, _, _ = first_occurrence_order(codes)
+            names_a, names_b = distinct[col_a], distinct[col_b]
+            for code, count in zip(pair_codes.tolist(), pair_counts.tolist()):
+                key = (col_a, names_a[code // width], col_b)
+                vicinity[key][names_b[code % width]] = count
+    domain: Dict[str, Counter] = {}
+    for c in categorical:
+        present = uids[c][uids[c] >= 0]
+        values, counts, _, _ = first_occurrence_order(present)
+        counter: Counter = Counter()
+        names = distinct[c]
+        for uid, count in zip(values.tolist(), counts.tolist()):
+            counter[names[uid]] = count
+        domain[c] = counter
+    return normalized, vicinity, domain
+
+
+def _score_pending_cells(
+    table: Table,
+    repaired: Table,
+    pending: List[Cell],
+    transformations: Dict[str, Transformation],
+    model_weights: Dict[str, float],
+    categorical: Sequence[str],
+    normalized: Dict[str, List[Optional[str]]],
+    vicinity: Dict[Tuple[str, str, str], Counter],
+    domain: Dict[str, Counter],
+) -> None:
+    """Score and correct every unlabeled detected cell, batched by column."""
+    by_column: Dict[str, List[int]] = {}
+    for cell_row, column in pending:
+        by_column.setdefault(column, []).append(cell_row)
+    numeric_means: Dict[str, float] = {}
+    for column, cell_rows in by_column.items():
+        _score_column(
+            table, repaired, column, cell_rows, transformations,
+            model_weights, categorical, normalized, vicinity, domain,
+            numeric_means,
+        )
+
+
+def _score_column(
+    table: Table,
+    repaired: Table,
+    column: str,
+    cell_rows: List[int],
+    transformations: Dict[str, Transformation],
+    model_weights: Dict[str, float],
+    categorical: Sequence[str],
+    normalized: Dict[str, List[Optional[str]]],
+    vicinity: Dict[Tuple[str, str, str], Counter],
+    domain: Dict[str, Counter],
+    numeric_means: Dict[str, float],
+) -> None:
+    is_cat = column in categorical
+    if is_cat:
+        texts_all = normalized[column]
+        texts = [texts_all[i] for i in cell_rows]
+        column_domain = domain[column]
+        eligible = [c for c, count in column_domain.items() if count >= 2]
+        eligible_chars, eligible_lens = _char_matrix(eligible)
+        domain_total = sum(column_domain.values()) or 1
+        domain_entries = [
+            (cand, model_weights["domain"] * count / domain_total)
+            for cand, count in column_domain.most_common(5)
+        ]
+    else:
+        # Numeric columns only need the detected cells' texts; normalizing
+        # the full column would cost O(rows) for O(detections) work.
+        column_values = table.column(column)
+        texts = normalized_column(
+            [column_values[i] for i in cell_rows], _strip_or_none
+        )
+        column_domain = None
+        eligible = []
+        domain_entries = []
+    transform_fns = list(transformations.values())
+    value_weight = model_weights["value"]
+
+    # Candidate generation is memoized per *distinct* payload/context
+    # value; entry lists preserve the scalar scorer's touch order.
+    transform_cache: Dict[str, List[Tuple[str, float]]] = {}
+    typo_cache: Dict[str, Optional[Tuple[str, float]]] = {}
+    vicinity_cache: Dict[Tuple[str, str], List[Tuple[str, float]]] = {}
+
+    def transform_entries(text: str) -> List[Tuple[str, float]]:
+        entries = transform_cache.get(text)
+        if entries is None:
+            entries = transform_cache[text] = []
+            for fn in transform_fns:
+                try:
+                    out = fn(text)
+                except Exception:  # noqa: BLE001 - user-derived lambdas
+                    continue
+                if out and out != text:
+                    weight = value_weight
+                    if is_cat and column_domain.get(out, 0) < 2:
+                        # A transform whose output never occurs in the
+                        # column is likely misfiring on this cell.
+                        weight *= 0.1
+                    entries.append((out, weight))
+        return entries
+
+    def typo_entry(text: str) -> Optional[Tuple[str, float]]:
+        # Character-level value model: a rare payload close (by edit
+        # distance) to a *frequent* domain value is almost certainly a
+        # typo of it.
+        if text in typo_cache:
+            return typo_cache[text]
+        entry = None
+        if eligible:
+            distances = _edit_distances_capped(
+                text, eligible_chars, eligible_lens
+            )
+            best = int(np.argmin(distances))
+            if distances[best] < 3:
+                entry = (
+                    eligible[best],
+                    value_weight * (2.0 - 0.5 * int(distances[best])),
+                )
+        typo_cache[text] = entry
+        return entry
+
+    def vicinity_entries(col_a: str, context_value: str) -> List[Tuple[str, float]]:
+        key = (col_a, context_value)
+        entries = vicinity_cache.get(key)
+        if entries is None:
+            counts = vicinity.get((col_a, context_value, column))
+            entries = []
+            if counts:
+                total = sum(counts.values()) or 1
+                entries = [
+                    (cand, model_weights["vicinity"] * count / total)
+                    for cand, count in counts.most_common(5)
+                ]
+            vicinity_cache[key] = entries
+        return entries
+
+    for lo in range(0, len(cell_rows), _SCORE_CHUNK):
+        _score_chunk(
+            table, repaired, column, cell_rows[lo : lo + _SCORE_CHUNK],
+            texts[lo : lo + _SCORE_CHUNK], is_cat, categorical, normalized,
+            column_domain, transform_entries, typo_entry, vicinity_entries,
+            domain_entries, numeric_means,
+        )
+
+
+def _score_chunk(
+    table: Table,
+    repaired: Table,
+    column: str,
+    chunk_rows: List[int],
+    chunk_texts: List[Optional[str]],
+    is_cat: bool,
+    categorical: Sequence[str],
+    normalized: Dict[str, List[Optional[str]]],
+    column_domain: Optional[Counter],
+    transform_entries,
+    typo_entry,
+    vicinity_entries,
+    domain_entries: List[Tuple[str, float]],
+    numeric_means: Dict[str, float],
+) -> None:
+    """One batched replay of the scalar ``candidates_for`` + argmax loop.
+
+    Candidate contributions are emitted segment by segment in the exact
+    order the scalar scorer added them to each cell's ``scores`` dict.
+    ``np.add.at`` (unbuffered, in index order) then reproduces every
+    per-slot float accumulation sequence, and the minimum stream
+    position per slot reproduces dict key insertion order, so the
+    argmax-with-first-max-tie-break matches ``max(proposals,
+    key=proposals.get)`` bit for bit.
+    """
+    n_cells = len(chunk_rows)
+    cand_ids: Dict[str, int] = {}
+    cand_list: List[str] = []
+    seg_cells: List[np.ndarray] = []
+    seg_cands: List[np.ndarray] = []
+    seg_weights: List[np.ndarray] = []
+
+    def intern_candidate(value: str) -> int:
+        uid = cand_ids.get(value)
+        if uid is None:
+            uid = cand_ids[value] = len(cand_list)
+            cand_list.append(value)
+        return uid
+
+    def emit(members: np.ndarray, entries: List[Tuple[str, float]]) -> None:
+        if not len(members) or not entries:
+            return
+        ids = np.fromiter(
+            (intern_candidate(v) for v, _ in entries),
+            np.int64, count=len(entries),
+        )
+        weights = np.fromiter(
+            (w for _, w in entries), np.float64, count=len(entries)
+        )
+        seg_cells.append(np.repeat(members, len(entries)))
+        seg_cands.append(np.tile(ids, len(members)))
+        seg_weights.append(np.tile(weights, len(members)))
+
+    text_uids, text_distinct = intern_values(chunk_texts)
+    # Segment 1 -- value model: learned transformations.
+    for uid, text in enumerate(text_distinct):
+        emit(np.flatnonzero(text_uids == uid), transform_entries(text))
+    if is_cat:
+        # Segment 2 -- character-level value model (typo scan).
+        for uid, text in enumerate(text_distinct):
+            if column_domain.get(text, 0) <= 1:
+                entry = typo_entry(text)
+                if entry is not None:
+                    emit(np.flatnonzero(text_uids == uid), [entry])
+        # Segment 3 -- vicinity model, per context column in order.
+        for col_a in categorical:
+            if col_a == column:
+                continue
+            context_column = normalized[col_a]
+            context_uids, context_distinct = intern_values(
+                [context_column[i] for i in chunk_rows]
+            )
+            for uid, context_value in enumerate(context_distinct):
+                emit(
+                    np.flatnonzero(context_uids == uid),
+                    vicinity_entries(col_a, context_value),
+                )
+        # Segment 4 -- domain model: same top-5 for every cell.
+        emit(np.arange(n_cells, dtype=np.int64), domain_entries)
+
+    if cand_list:
+        n_cands = len(cand_list)
+        cells = np.concatenate(seg_cells)
+        cands = np.concatenate(seg_cands)
+        weights = np.concatenate(seg_weights)
+        slots = cells * n_cands + cands
+        scores = np.zeros(n_cells * n_cands)
+        np.add.at(scores, slots, weights)
+        first_touch = np.full(n_cells * n_cands, _NEVER, dtype=np.int64)
+        np.minimum.at(
+            first_touch, slots, np.arange(len(slots), dtype=np.int64)
+        )
+        score_matrix = scores.reshape(n_cells, n_cands)
+        rank_matrix = first_touch.reshape(n_cells, n_cands)
+        touched = rank_matrix < _NEVER
+        has_text = np.fromiter(
+            (t is not None for t in chunk_texts), bool, count=n_cells
+        )
+        own_ids = np.fromiter(
+            (
+                cand_ids.get(t, -1) if t is not None else -1
+                for t in chunk_texts
+            ),
+            np.int64, count=n_cells,
+        )
+        index = np.arange(n_cells)
+        owned = own_ids >= 0
+        # ``proposals.pop(text, 0.0)``: read the cell's own score, then
+        # remove it from the candidate pool.
+        current_scores = np.zeros(n_cells)
+        current_scores[owned] = score_matrix[index[owned], own_ids[owned]]
+        touched[index[owned], own_ids[owned]] = False
+        masked = np.where(touched, score_matrix, -np.inf)
+        best_score = masked.max(axis=1)
+        has_proposals = touched.any(axis=1)
+        tie_rank = np.where(
+            touched & (masked == best_score[:, None]), rank_matrix, _NEVER
+        )
+        best_id = np.argmin(tie_rank, axis=1)
+        # Leave well-supported current values alone: changing them would
+        # turn a detection false positive into a wrong repair.
+        accept = has_proposals & (~has_text | (best_score > current_scores))
+        for k in np.flatnonzero(accept).tolist():
+            repaired.set_cell(chunk_rows[k], column, cand_list[int(best_id[k])])
+    else:
+        has_proposals = np.zeros(n_cells, dtype=bool)
+    unproposed = np.flatnonzero(~has_proposals)
+    if len(unproposed) and table.schema.kind_of(column) == "numerical":
+        if column not in numeric_means:
+            values = table.as_float(column)
+            finite = values[~np.isnan(values)]
+            numeric_means[column] = (
+                float(finite.mean()) if len(finite) else 0.0
+            )
+        for k in unproposed.tolist():
+            repaired.set_cell(chunk_rows[k], column, numeric_means[column])
+
+
 class BaranRepair(RepairMethod):
     """BARAN error correction with oracle-labeled tuples.
 
@@ -120,6 +535,8 @@ class BaranRepair(RepairMethod):
         self.revision_corpus = list(revision_corpus or [])
 
     def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        if use_reference_kernels():
+            return reference_baran_repair(self, context, detections)
         if context.clean is None:
             raise RuntimeError("BARAN needs labeled tuples (oracle/clean data)")
         table = context.dirty
@@ -145,30 +562,11 @@ class BaranRepair(RepairMethod):
 
         # Vicinity statistics: (context_column, context_value, target_column)
         # -> Counter of target values, computed once over the dirty table.
-        vicinity: Dict[Tuple[str, str, str], Counter] = defaultdict(Counter)
         categorical = table.schema.categorical_names
-        normalized = {
-            c: [
-                None if is_missing(v) else str(v).strip()
-                for v in table.column(c)
-            ]
-            for c in categorical
-        }
-        for i in range(table.n_rows):
-            for col_a in categorical:
-                a = normalized[col_a][i]
-                if a is None:
-                    continue
-                for col_b in categorical:
-                    if col_b == col_a:
-                        continue
-                    b = normalized[col_b][i]
-                    if b is not None:
-                        vicinity[(col_a, a, col_b)][b] += 1
-        domain = {
-            c: Counter(v for v in normalized[c] if v is not None)
-            for c in categorical
-        }
+        with kernel_stage("baran.context"):
+            normalized, vicinity, domain = _build_context_models(
+                table, categorical
+            )
 
         def candidates_for(row: int, column: str) -> Dict[str, float]:
             """Candidate scores, *including* the current value's own score.
@@ -176,7 +574,9 @@ class BaranRepair(RepairMethod):
             Scoring the current value with the same vicinity/domain models
             lets the corrector leave well-supported values alone -- the
             guard that keeps detection false positives from becoming wrong
-            repairs.
+            repairs.  Only the (label-budget-bounded) training loop calls
+            this; the correction pass replays the same accumulation
+            batched in :func:`_score_pending_cells`.
             """
             scores: Dict[str, float] = defaultdict(float)
             value = table.get_cell(row, column)
@@ -255,26 +655,10 @@ class BaranRepair(RepairMethod):
             repaired.set_cell(row, column, correction)
 
         # --- correct the remaining detections ----------------------------
-        numeric_means: Dict[str, float] = {}
-        for row, column in detected:
-            if (row, column) in labeled_cells:
-                continue
-            value = table.get_cell(row, column)
-            text = None if is_missing(value) else str(value).strip()
-            proposals = candidates_for(row, column)
-            current_score = proposals.pop(text, 0.0) if text is not None else 0.0
-            if proposals:
-                best = max(proposals, key=proposals.get)
-                # Leave well-supported current values alone: changing them
-                # would turn a detection false positive into a wrong repair.
-                if text is None or proposals[best] > current_score:
-                    repaired.set_cell(row, column, best)
-            elif table.schema.kind_of(column) == "numerical":
-                if column not in numeric_means:
-                    values = table.as_float(column)
-                    finite = values[~np.isnan(values)]
-                    numeric_means[column] = (
-                        float(finite.mean()) if len(finite) else 0.0
-                    )
-                repaired.set_cell(row, column, numeric_means[column])
+        pending = [c for c in detected if c not in labeled_cells]
+        with kernel_stage("baran.score"):
+            _score_pending_cells(
+                table, repaired, pending, transformations, model_weights,
+                categorical, normalized, vicinity, domain,
+            )
         return repaired

@@ -9,12 +9,136 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.context import CleaningContext
+from repro.dataset.columnar import (
+    first_occurrence_order,
+    intern_values,
+    normalized_column,
+)
 from repro.dataset.encoding import LabelEncoder, TableEncoder
 from repro.dataset.table import Cell, Table, is_missing
 from repro.detectors.openrefine import cluster_column, fingerprint
+from repro.kernels import kernel_stage, use_reference_kernels
 from repro.ml.linear import LogisticRegression
+from repro.repair._reference import reference_holoclean_repair
 from repro.repair.base import GENERIC, RepairMethod, blank_detected_cells
 from repro.repair.simple import MeanModeImputeRepair
+
+
+def _strip_or_none(value: object) -> Optional[str]:
+    return None if is_missing(value) else str(value).strip()
+
+
+class _SignalModel:
+    """Interned categorical signals for HoloClean's factor features.
+
+    Replaces the scalar per-row co-occurrence build (an O(rows x
+    columns^2) Python loop of Counter updates) with one interning pass
+    per column plus one vectorized pair count per column pair.  The
+    value priors are rebuilt as insertion-ordered Counters so
+    ``most_common`` tie-breaking (stable by key insertion) matches the
+    scalar build exactly; co-occurrence counts are kept as sorted code
+    arrays for ``searchsorted`` lookups.
+    """
+
+    def __init__(self, blanked: Table, categorical: List[str]) -> None:
+        self.categorical = list(categorical)
+        self.normalized: Dict[str, List[Optional[str]]] = {
+            c: normalized_column(blanked.column(c), _strip_or_none)
+            for c in self.categorical
+        }
+        self.uids: Dict[str, np.ndarray] = {}
+        self.distinct: Dict[str, List[str]] = {}
+        self.ids: Dict[str, Dict[str, int]] = {}
+        for c in self.categorical:
+            self.uids[c], self.distinct[c] = intern_values(self.normalized[c])
+            self.ids[c] = {v: k for k, v in enumerate(self.distinct[c])}
+        self.priors: Dict[str, Counter] = {}
+        for c in self.categorical:
+            present = self.uids[c][self.uids[c] >= 0]
+            values, counts, _, _ = first_occurrence_order(present)
+            counter: Counter = Counter()
+            names = self.distinct[c]
+            for uid, count in zip(values.tolist(), counts.tolist()):
+                counter[names[uid]] = count
+            self.priors[c] = counter
+        self._joint: Dict[Tuple[str, str], Tuple[np.ndarray, np.ndarray, int]] = {}
+
+    def _joint_counts(
+        self, column: str, col_b: str
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Sorted ``(column value, col_b value)`` codes with counts."""
+        key = (column, col_b)
+        cached = self._joint.get(key)
+        if cached is None:
+            cu, bu = self.uids[column], self.uids[col_b]
+            both = (cu >= 0) & (bu >= 0)
+            width = max(len(self.distinct[col_b]), 1)
+            codes, counts = np.unique(
+                cu[both] * width + bu[both], return_counts=True
+            )
+            cached = self._joint[key] = (codes, counts, width)
+        return cached
+
+    def features(
+        self,
+        column: str,
+        rows: List[int],
+        candidates: List[str],
+        fd_votes: Dict[Cell, Counter],
+    ) -> np.ndarray:
+        """Signal features for assigning ``candidates[t]`` to ``rows[t]``.
+
+        Row ``t`` equals the scalar ``candidate_features`` vector
+        ``[prior, fd_vote, context_loglik, 1.0]`` bit for bit: the
+        context log-likelihood accumulates per context column in the
+        same order, and absent contexts contribute ``log(0 + 1) == 0.0``
+        exactly as the scalar's skip does.
+        """
+        m = len(rows)
+        prior_counts = np.fromiter(
+            (self.priors[column][cand] for cand in candidates),
+            np.int64, count=m,
+        )
+        prior = np.log(prior_counts + 1.0)
+        fd_vote = np.zeros(m)
+        for t, cell_row in enumerate(rows):
+            counter = fd_votes.get((cell_row, column))
+            if counter:
+                fd_vote[t] = float(counter[candidates[t]])
+        cand_uid = np.fromiter(
+            (self.ids[column].get(cand, -1) for cand in candidates),
+            np.int64, count=m,
+        )
+        row_arr = np.asarray(rows, dtype=np.int64)
+        context_loglik = np.zeros(m)
+        contexts = np.zeros(m, dtype=np.int64)
+        for col_b in self.categorical:
+            if col_b == column:
+                continue
+            bu = self.uids[col_b][row_arr]
+            codes, counts, width = self._joint_counts(column, col_b)
+            joint = np.zeros(m, dtype=np.int64)
+            present = (cand_uid >= 0) & (bu >= 0)
+            if len(codes) and present.any():
+                queries = cand_uid[present] * width + bu[present]
+                pos = np.clip(
+                    np.searchsorted(codes, queries), 0, len(codes) - 1
+                )
+                joint[present] = np.where(
+                    codes[pos] == queries, counts[pos], 0
+                )
+            context_loglik += np.log(joint + 1.0)
+            contexts += bu >= 0
+        context_loglik = np.where(
+            contexts > 0, context_loglik / np.maximum(contexts, 1),
+            context_loglik,
+        )
+        features = np.empty((m, 4))
+        features[:, 0] = prior
+        features[:, 1] = fd_vote
+        features[:, 2] = context_loglik
+        features[:, 3] = 1.0
+        return features
 
 
 class HoloCleanRepair(RepairMethod):
@@ -34,6 +158,12 @@ class HoloCleanRepair(RepairMethod):
     fits the weights.  With too little evidence the scorer falls back to
     calibrated fixed weights.  Numeric cells fall back to the column mean
     (HoloClean's domain pruning makes continuous attributes statistical).
+
+    Candidate features are built in one vectorized pass per column (see
+    :class:`_SignalModel`); only the final length-4 score dot products
+    stay per-candidate, because a batched matmul rounds differently than
+    the scalar ``weights @ features`` and the outputs must stay
+    bit-identical to the frozen reference pipeline.
     """
 
     name = "HoloClean"
@@ -58,6 +188,8 @@ class HoloCleanRepair(RepairMethod):
         self.learned_weights_: Optional[np.ndarray] = None
 
     def _repair(self, context: CleaningContext, detections: Set[Cell]) -> Table:
+        if use_reference_kernels():
+            return reference_holoclean_repair(self, context, detections)
         table = context.dirty
         blanked = blank_detected_cells(table, detections)
         repaired = blanked.copy()
@@ -66,63 +198,18 @@ class HoloCleanRepair(RepairMethod):
         for fd in context.fds:
             for cell, value in fd.majority_repairs(table).items():
                 fd_votes[cell][str(value).strip()] += 3  # strong signal
-        normalized: Dict[str, List[Optional[str]]] = {}
-        for column in table.schema.categorical_names:
-            normalized[column] = [
-                None if is_missing(v) else str(v).strip()
-                for v in blanked.column(column)
-            ]
-        priors = {
-            column: Counter(v for v in normalized[column] if v is not None)
-            for column in normalized
-        }
-        # Co-occurrence counts between categorical columns (on kept cells).
-        cooccurrence: Dict[Tuple[str, str], Counter] = defaultdict(Counter)
-        categorical = list(normalized)
-        for i in range(table.n_rows):
-            for col_a in categorical:
-                a = normalized[col_a][i]
-                if a is None:
-                    continue
-                for col_b in categorical:
-                    if col_b == col_a:
-                        continue
-                    b = normalized[col_b][i]
-                    if b is not None:
-                        cooccurrence[(col_a, col_b)][(a, b)] += 1
-
-        def candidate_features(
-            row: int, column: str, candidate: str
-        ) -> np.ndarray:
-            """Signal features for assigning *candidate* to one cell."""
-            prior = np.log(priors[column][candidate] + 1.0)
-            fd_vote = float(
-                fd_votes.get((row, column), Counter())[candidate]
+        with kernel_stage("holoclean.context"):
+            signals = _SignalModel(
+                blanked, list(table.schema.categorical_names)
             )
-            context_loglik = 0.0
-            contexts = 0
-            for col_b in categorical:
-                if col_b == column:
-                    continue
-                b = normalized[col_b][row]
-                if b is None:
-                    continue
-                joint = cooccurrence[(column, col_b)][(candidate, b)]
-                context_loglik += np.log(joint + 1.0)
-                contexts += 1
-            if contexts:
-                context_loglik /= contexts
-            return np.array([prior, fd_vote, context_loglik, 1.0])
 
-        weights = self._learn_weights(
-            context, detections, categorical, normalized, priors,
-            candidate_features,
-        )
+        weights = self._learn_weights(context, detections, signals, fd_votes)
         self.learned_weights_ = weights
 
         numeric_means: Dict[str, float] = {}
-        for row, column in sorted(detections):
-            if column not in table.schema or not (0 <= row < table.n_rows):
+        flagged_by_column: Dict[str, List[int]] = {}
+        for cell_row, column in sorted(detections):
+            if column not in table.schema or not (0 <= cell_row < table.n_rows):
                 continue
             if table.schema.kind_of(column) == "numerical":
                 if column not in numeric_means:
@@ -131,47 +218,77 @@ class HoloCleanRepair(RepairMethod):
                     numeric_means[column] = (
                         float(finite.mean()) if len(finite) else 0.0
                     )
-                repaired.set_cell(row, column, numeric_means[column])
+                repaired.set_cell(cell_row, column, numeric_means[column])
                 continue
-            candidates = [
-                v for v, _ in priors[column].most_common(self.max_candidates)
-            ]
-            for vote_value in fd_votes.get((row, column), ()):
+            flagged_by_column.setdefault(column, []).append(cell_row)
+        with kernel_stage("holoclean.score"):
+            for column, cell_rows in flagged_by_column.items():
+                self._score_column(
+                    repaired, column, cell_rows, signals, fd_votes, weights
+                )
+        return repaired
+
+    def _score_column(
+        self,
+        repaired: Table,
+        column: str,
+        cell_rows: List[int],
+        signals: _SignalModel,
+        fd_votes: Dict[Cell, Counter],
+        weights: np.ndarray,
+    ) -> None:
+        """Score every flagged cell of one column in a single feature batch."""
+        base = [
+            v for v, _ in signals.priors[column].most_common(self.max_candidates)
+        ]
+        candidate_lists: List[List[str]] = []
+        pair_rows: List[int] = []
+        pair_candidates: List[str] = []
+        offsets = [0]
+        for cell_row in cell_rows:
+            candidates = list(base)
+            for vote_value in fd_votes.get((cell_row, column), ()):
                 if vote_value not in candidates:
                     candidates.append(vote_value)
-            if not candidates:
+            candidate_lists.append(candidates)
+            pair_rows.extend([cell_row] * len(candidates))
+            pair_candidates.extend(candidates)
+            offsets.append(len(pair_candidates))
+        if not pair_candidates:
+            return
+        features = signals.features(column, pair_rows, pair_candidates, fd_votes)
+        # Length-4 dots, one per candidate: a batched ``features @
+        # weights`` is *not* bitwise-equal to the scalar ``weights @ f``.
+        scores = np.fromiter(
+            (float(weights @ features[t]) for t in range(len(features))),
+            np.float64, count=len(features),
+        )
+        for k, cell_row in enumerate(cell_rows):
+            lo, hi = offsets[k], offsets[k + 1]
+            if lo == hi:
                 continue
-            scores = [
-                float(weights @ candidate_features(row, column, candidate))
-                for candidate in candidates
-            ]
-            repaired.set_cell(
-                row, column, candidates[int(np.argmax(scores))]
-            )
-        return repaired
+            choice = candidate_lists[k][int(np.argmax(scores[lo:hi]))]
+            repaired.set_cell(cell_row, column, choice)
 
     def _learn_weights(
         self,
         context: CleaningContext,
         detections: Set[Cell],
-        categorical: List[str],
-        normalized: Dict[str, List[Optional[str]]],
-        priors: Dict[str, Counter],
-        candidate_features,
+        signals: _SignalModel,
+        fd_votes: Dict[Cell, Counter],
     ) -> np.ndarray:
         """Fit factor weights from unflagged cells (weak supervision)."""
-        if not self.learn_weights or not categorical:
+        if not self.learn_weights or not signals.categorical:
             return self._FALLBACK_WEIGHTS
         rng = context.rng(83)
         detected = set(detections)
-        examples: List[np.ndarray] = []
-        labels: List[int] = []
+        normalized, priors = signals.normalized, signals.priors
         pool: List[Tuple[int, str]] = [
-            (row, column)
-            for column in categorical
-            for row in range(context.dirty.n_rows)
-            if (row, column) not in detected
-            and normalized[column][row] is not None
+            (pool_row, column)
+            for column in signals.categorical
+            for pool_row in range(context.dirty.n_rows)
+            if (pool_row, column) not in detected
+            and normalized[column][pool_row] is not None
             and len(priors[column]) >= 2
         ]
         if len(pool) > self.max_training_cells:
@@ -179,18 +296,43 @@ class HoloCleanRepair(RepairMethod):
                 len(pool), size=self.max_training_cells, replace=False
             )
             pool = [pool[int(p)] for p in picks]
-        for row, column in pool:
-            observed = normalized[column][row]
-            examples.append(candidate_features(row, column, observed))
-            labels.append(1)
-            alternatives = [v for v in priors[column] if v != observed]
+        # Negatives are drawn cell by cell so the rng consumes the same
+        # sequence as the scalar loop; alternatives lists iterate the
+        # insertion-ordered priors exactly as ``[v for v in priors[c]]``.
+        alternatives_cache: Dict[Tuple[str, str], List[str]] = {}
+        entries: List[Tuple[int, str, str, str]] = []
+        for pool_row, column in pool:
+            observed = normalized[column][pool_row]
+            cache_key = (column, observed)
+            alternatives = alternatives_cache.get(cache_key)
+            if alternatives is None:
+                alternatives = alternatives_cache[cache_key] = [
+                    v for v in priors[column] if v != observed
+                ]
             negative = alternatives[int(rng.integers(len(alternatives)))]
-            examples.append(candidate_features(row, column, negative))
-            labels.append(0)
-        if len(examples) < 20:
+            entries.append((pool_row, column, observed, negative))
+        if 2 * len(entries) < 20:
             return self._FALLBACK_WEIGHTS
-        features = np.vstack(examples)
-        targets = np.array(labels)
+        # Feature rows interleave positive/negative per pool cell, same
+        # as the scalar ``np.vstack(examples)``; construction is batched
+        # per column and scattered back into pool order.
+        features = np.empty((2 * len(entries), 4))
+        by_column: Dict[str, List[int]] = {}
+        for idx, entry in enumerate(entries):
+            by_column.setdefault(entry[1], []).append(idx)
+        for column, idxs in by_column.items():
+            batch_rows: List[int] = []
+            batch_cands: List[str] = []
+            slots: List[int] = []
+            for idx in idxs:
+                pool_row, _, observed, negative = entries[idx]
+                batch_rows += [pool_row, pool_row]
+                batch_cands += [observed, negative]
+                slots += [2 * idx, 2 * idx + 1]
+            features[slots] = signals.features(
+                column, batch_rows, batch_cands, fd_votes
+            )
+        targets = np.array([1, 0] * len(entries))
         # Hold out a slice of the pseudo-examples to decide whether the
         # learned weights actually beat the calibrated fallback.
         n_holdout = max(4, len(features) // 4)

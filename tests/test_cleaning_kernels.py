@@ -1,0 +1,557 @@
+"""Property suite: vectorized cleaning kernels == frozen scalar references.
+
+The cleaning-stage hot paths (dBoost histogram scoring, duplicate
+blocking + pair features, KATARA alignment, FD/DC checking, Baran and
+HoloClean candidate scoring) were rewritten on numpy with a hard
+contract: **bit-identical outputs** to the scalar implementations
+frozen in the ``_reference`` modules.  Hypothesis drives that contract
+with adversarial tables -- mixed types, NaN/None holes, unicode,
+empty columns -- and the comparisons are strict: byte equality for
+masks and feature matrices, set equality for violation sets, and
+type-plus-bit-pattern equality for repaired cells (``values_equal``'s
+tolerance would hide drift).
+
+Also covered here:
+
+- blocked == unblocked detection through the public suite runner;
+- checkpoint stores byte-identical across kernel choice (reference vs
+  vectorized), worker count, and block size;
+- duplicate canonical-row selection stable under permutations of the
+  block/group discovery order.
+"""
+
+import json
+import math
+import random
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.benchmark.runner import run_detection_suite, run_repair_suite
+from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.constraints._reference import (
+    reference_binary_violations,
+    reference_fd_majority_repairs,
+    reference_fd_violations,
+    reference_unary_violations,
+)
+from repro.context import CleaningContext
+from repro.datagen import generate
+from repro.dataset import CATEGORICAL, NUMERICAL, Schema, Table
+from repro.detectors import (
+    DBoostDetector,
+    KeyCollisionDetector,
+    KnowledgeBase,
+    MVDetector,
+    NadeefDetector,
+    ZeroERDetector,
+)
+from repro.detectors._reference import (
+    reference_build_blocks,
+    reference_enumerate_block_pairs,
+    reference_histogram_outliers,
+    reference_pair_feature_matrix,
+)
+from repro.detectors.dboost import _histogram_outliers
+from repro.detectors.duplicates import (
+    _duplicate_cells,
+    _enumerate_block_pairs,
+    build_blocks,
+    column_standard_deviations,
+    pair_feature_matrix,
+)
+from repro.detectors.katara import katara_violations
+from repro.kernels import reference_kernels
+from repro.parallel import ProcessPoolExecutor
+from repro.repair import BaranRepair, HoloCleanRepair
+from repro.resilience import SuiteCheckpoint
+
+# ----------------------------------------------------------------------
+# Strategies: adversarial small tables
+# ----------------------------------------------------------------------
+#: Unicode text with whitespace, case variants, digits and separators --
+#: everything the normalizers have to chew through.
+unicode_text = st.text(alphabet="abAB019éü日 ,._-", min_size=0, max_size=8)
+
+numeric_cell = st.one_of(
+    st.none(),
+    st.sampled_from(
+        [float("nan"), float("inf"), float("-inf"), -0.0, 0.0]
+    ),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+categorical_cell = st.one_of(st.none(), unicode_text)
+
+
+@st.composite
+def small_tables(draw, min_rows=1, max_rows=16, min_categorical=0):
+    n_rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    n_numeric = draw(st.integers(min_value=0, max_value=2))
+    n_categorical = draw(
+        st.integers(min_value=min_categorical, max_value=3)
+    )
+    assume(n_numeric + n_categorical >= 1)
+    pairs = [(f"n{i}", NUMERICAL) for i in range(n_numeric)] + [
+        (f"c{i}", CATEGORICAL) for i in range(n_categorical)
+    ]
+    schema = Schema.from_pairs(pairs)
+    columns = {}
+    for name, kind in pairs:
+        strategy = numeric_cell if kind == NUMERICAL else categorical_cell
+        if draw(st.booleans()) and draw(st.integers(0, 4)) == 0:
+            # Occasionally a fully-empty column.
+            columns[name] = [None] * n_rows
+        else:
+            columns[name] = draw(
+                st.lists(strategy, min_size=n_rows, max_size=n_rows)
+            )
+    return Table(schema, columns)
+
+
+@st.composite
+def detection_sets(draw, table, max_size=8):
+    """Detected cells, including out-of-range rows and ghost columns."""
+    columns = list(table.column_names) + ["ghost"]
+    return draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=-1, max_value=table.n_rows),
+                st.sampled_from(columns),
+            ),
+            max_size=max_size,
+        )
+    )
+
+
+def _strict_cell_diff(got: Table, want: Table):
+    """Cells differing by type or bit pattern (NaN == NaN allowed)."""
+    diff = []
+    for name in got.schema.names:
+        for i in range(got.n_rows):
+            a, b = got.get_cell(i, name), want.get_cell(i, name)
+            if type(a) is not type(b):
+                diff.append(((i, name), a, b))
+                continue
+            if isinstance(a, float):
+                same = (a != a and b != b) or (
+                    np.float64(a).tobytes() == np.float64(b).tobytes()
+                )
+            else:
+                same = a == b
+            if not same:
+                diff.append(((i, name), a, b))
+    return diff
+
+
+# ----------------------------------------------------------------------
+# dBoost: histogram scoring
+# ----------------------------------------------------------------------
+class TestHistogramKernel:
+    @given(
+        st.lists(numeric_cell, min_size=0, max_size=40),
+        st.floats(min_value=0.01, max_value=0.5),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, values, threshold, n_bins):
+        # The kernel's production input is ``Table.as_float`` output,
+        # where ``coerce_float`` maps non-finite payloads to NaN.
+        array = np.array(
+            [
+                np.nan if v is None or not math.isfinite(float(v)) else float(v)
+                for v in values
+            ],
+            dtype=float,
+        )
+        got = _histogram_outliers(array, threshold, n_bins)
+        want = reference_histogram_outliers(array, threshold, n_bins)
+        assert got.dtype == want.dtype == np.bool_
+        assert np.array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Duplicates: blocking, pair enumeration, pair features
+# ----------------------------------------------------------------------
+class TestDuplicateKernels:
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_same_key_multisets(self, table):
+        got = build_blocks(table)
+        want = reference_build_blocks(table)
+        assert {k: sorted(v) for k, v in got.items()} == {
+            k: sorted(v) for k, v in want.items()
+        }
+
+    @given(small_tables(), st.sampled_from([1, 2, 5, 100_000]))
+    @settings(max_examples=40, deadline=None)
+    def test_pair_enumeration_matches_reference(self, table, max_pairs):
+        blocks = reference_build_blocks(table)
+        got = _enumerate_block_pairs(dict(blocks), max_pairs, 60)
+        want = reference_enumerate_block_pairs(dict(blocks), max_pairs, 60)
+        assert got == want
+
+    @given(small_tables(min_rows=2))
+    @settings(max_examples=30, deadline=None)
+    def test_pair_feature_matrix_byte_identical(self, table):
+        # Feature the blocking candidates when there are any, otherwise
+        # every row pair: the featurizer itself is blocking-agnostic.
+        pairs = reference_enumerate_block_pairs(
+            reference_build_blocks(table), 500, 60
+        ) or [
+            (i, j)
+            for i in range(table.n_rows)
+            for j in range(i + 1, table.n_rows)
+        ]
+        stds = column_standard_deviations(table)
+        got = pair_feature_matrix(table, pairs, stds)
+        want = reference_pair_feature_matrix(table, pairs, stds)
+        assert got.shape == want.shape
+        assert got.dtype == want.dtype
+        assert got.tobytes() == want.tobytes()
+
+    @given(small_tables(min_rows=2), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_rows_stable_under_discovery_order(self, table, rnd):
+        """Satellite regression: the canonical (unflagged) row of a
+        duplicate group must not depend on the order blocking happened
+        to discover the group's members."""
+        n = table.n_rows
+        groups = [
+            list(range(0, n, 2)) or [0],
+            list(range(1, n, 2)) or [0],
+        ]
+        groups = [g for g in groups if len(g) > 1]
+        assume(groups)
+        baseline = _duplicate_cells(table, groups)
+        shuffled = [list(g) for g in groups]
+        for g in shuffled:
+            rnd.shuffle(g)
+        rnd.shuffle(shuffled)
+        assert _duplicate_cells(table, shuffled) == baseline
+
+    @given(small_tables(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_pair_enumeration_stable_under_block_insertion_order(
+        self, table, rnd
+    ):
+        blocks = reference_build_blocks(table)
+        baseline = _enumerate_block_pairs(dict(blocks), 100_000, 60)
+        keys = list(blocks)
+        rnd.shuffle(keys)
+        permuted = {k: blocks[k] for k in keys}
+        assert _enumerate_block_pairs(permuted, 100_000, 60) == baseline
+
+
+# ----------------------------------------------------------------------
+# KATARA: alignment and violations
+# ----------------------------------------------------------------------
+class TestKataraKernels:
+    @given(small_tables(min_categorical=1), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_and_violations_match_reference(self, table, salt):
+        cats = [
+            c
+            for c in table.column_names
+            if table.schema.kind_of(c) == CATEGORICAL
+        ]
+        kb = KnowledgeBase()
+        alignment = {}
+        for idx, column in enumerate(cats):
+            values = sorted(
+                {
+                    v
+                    for v in (
+                        KnowledgeBase.normalize(x)
+                        for x in table.column(column)
+                    )
+                    if v is not None
+                }
+            )
+            domain = {
+                v for i, v in enumerate(values) if (i + salt) % 2 == 0
+            } or {"fallback"}
+            kb.add_domain(f"concept{idx}", domain)
+            alignment[column] = f"concept{idx}"
+        if len(cats) >= 2:
+            observed = [
+                (
+                    KnowledgeBase.normalize(table.get_cell(i, cats[0])),
+                    KnowledgeBase.normalize(table.get_cell(i, cats[1])),
+                )
+                for i in range(table.n_rows)
+            ]
+            pairs = {
+                (a, b)
+                for i, (a, b) in enumerate(observed)
+                if a is not None and b is not None and (i + salt) % 2
+            }
+            kb.add_relation("concept0", "concept1", pairs)
+        for column in cats:
+            got_concept = kb.align_column(table, column, 0.3)
+            with reference_kernels():
+                want_concept = kb.align_column(table, column, 0.3)
+            assert got_concept == want_concept
+        got = katara_violations(kb, table, alignment)
+        with reference_kernels():
+            want = katara_violations(kb, table, alignment)
+        assert got == want
+
+
+# ----------------------------------------------------------------------
+# Constraints: FD and DC checking
+# ----------------------------------------------------------------------
+class TestConstraintKernels:
+    @given(small_tables(min_categorical=2))
+    @settings(max_examples=40, deadline=None)
+    def test_fd_violations_and_repairs_match_reference(self, table):
+        fd = FunctionalDependency(("c0",), "c1")
+        assert fd.violations(table) == reference_fd_violations(fd, table)
+        assert fd.majority_repairs(table) == reference_fd_majority_repairs(
+            fd, table
+        )
+
+    @given(small_tables(min_categorical=1), st.sampled_from([6, 2_000_000]))
+    @settings(max_examples=40, deadline=None)
+    def test_dc_violations_match_reference(self, table, max_pairs):
+        has_numeric = "n0" in table.schema
+        constraints = []
+        if has_numeric:
+            constraints.append(
+                DenialConstraint([Predicate("n0", ">", constant=0.0)])
+            )
+            constraints.append(
+                DenialConstraint(
+                    [
+                        Predicate("c0", "==", right_attr="c0"),
+                        Predicate("n0", ">", right_attr="n0"),
+                    ],
+                    binary=True,
+                )
+            )
+        constraints.append(
+            DenialConstraint(
+                [Predicate("c0", "==", right_attr="c0")], binary=True
+            )
+        )
+        for dc in constraints:
+            got = dc.violations(table, max_pairs=max_pairs)
+            if dc.binary:
+                want = reference_binary_violations(dc, table, max_pairs)
+            else:
+                want = reference_unary_violations(dc, table)
+            assert got == want, str(dc)
+
+
+# ----------------------------------------------------------------------
+# Repairs: Baran and HoloClean candidate scoring
+# ----------------------------------------------------------------------
+@st.composite
+def repair_cases(draw):
+    clean = draw(small_tables(min_rows=4, max_rows=14, min_categorical=1))
+    dirty = clean.copy()
+    for _ in range(draw(st.integers(0, 5))):
+        row = draw(st.integers(0, clean.n_rows - 1))
+        column = draw(st.sampled_from(list(clean.column_names)))
+        if clean.schema.kind_of(column) == NUMERICAL:
+            dirty.set_cell(row, column, draw(numeric_cell))
+        else:
+            dirty.set_cell(row, column, draw(categorical_cell))
+    detections = draw(detection_sets(dirty))
+    return clean, dirty, detections
+
+
+class TestRepairKernels:
+    @given(repair_cases(), st.sampled_from([1, 4]))
+    @settings(max_examples=12, deadline=None)
+    def test_baran_byte_identical_to_reference(self, case, budget):
+        clean, dirty, detections = case
+        got = BaranRepair(label_budget=budget)._repair(
+            CleaningContext(dirty=dirty, clean=clean, seed=7),
+            set(detections),
+        )
+        with reference_kernels():
+            want = BaranRepair(label_budget=budget)._repair(
+                CleaningContext(dirty=dirty, clean=clean, seed=7),
+                set(detections),
+            )
+        assert _strict_cell_diff(got, want) == []
+
+    @given(repair_cases(), st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_holoclean_byte_identical_to_reference(self, case, learn):
+        clean, dirty, detections = case
+        cats = [
+            c
+            for c in dirty.column_names
+            if dirty.schema.kind_of(c) == CATEGORICAL
+        ]
+        fds = (
+            [FunctionalDependency((cats[0],), cats[1])]
+            if len(cats) >= 2
+            else []
+        )
+        vectorized = HoloCleanRepair(learn_weights=learn)
+        got = vectorized._repair(
+            CleaningContext(dirty=dirty, fds=fds, seed=3), set(detections)
+        )
+        reference = HoloCleanRepair(learn_weights=learn)
+        with reference_kernels():
+            want = reference._repair(
+                CleaningContext(dirty=dirty, fds=fds, seed=3),
+                set(detections),
+            )
+        assert _strict_cell_diff(got, want) == []
+        if vectorized.learned_weights_ is None:
+            assert reference.learned_weights_ is None
+        else:
+            assert np.array_equal(
+                np.asarray(vectorized.learned_weights_),
+                np.asarray(reference.learned_weights_),
+            )
+
+
+# ----------------------------------------------------------------------
+# End to end: checkpoint stores byte-identical across kernel choice,
+# worker count, and block size
+# ----------------------------------------------------------------------
+class _StepClock:
+    def __init__(self, tick: float = 2.0 ** -10):
+        self.ticks = 0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.ticks += 1
+        return self.ticks * self.tick
+
+
+NO_SLEEP = lambda seconds: None  # noqa: E731
+
+
+def _dataset():
+    return generate("SmartFactory", n_rows=120, seed=3)
+
+
+def _detectors():
+    return [
+        MVDetector(),
+        DBoostDetector(),
+        KeyCollisionDetector(),
+        NadeefDetector(),
+        ZeroERDetector(max_pairs=4_000),
+    ]
+
+
+def _store_canonical(store_path, drop_runtime=False) -> bytes:
+    with SuiteCheckpoint.open(store_path, "run", resume=True) as ckpt:
+        units = sorted(ckpt.completed_units())
+        payload = {unit: ckpt.get(unit) for unit in units}
+    if drop_runtime:
+        # For blocked-vs-unblocked comparisons: a blocked run also
+        # checkpoints its per-block sub-units (``...@rows<lo>-<hi>``),
+        # and times each block separately, so the deterministic clock is
+        # read a different number of times than a whole-table run.  The
+        # final per-detector units must still match in everything but
+        # the honest runtime total.
+        payload = {
+            unit: value
+            for unit, value in payload.items()
+            if "@rows" not in unit
+        }
+        for unit in payload.values():
+            if isinstance(unit, dict):
+                unit.pop("runtime_seconds", None)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def _detection_store(
+    store_path, *, reference=False, executor=None, block_rows=None,
+    drop_runtime=False,
+) -> bytes:
+    dataset = _dataset()
+    with SuiteCheckpoint.open(store_path, "run", resume=False) as ckpt:
+        kwargs = dict(
+            checkpoint=ckpt,
+            clock=_StepClock(),
+            sleep=NO_SLEEP,
+            executor=executor,
+            block_rows=block_rows,
+        )
+        if reference:
+            with reference_kernels():
+                run_detection_suite(dataset, _detectors(), **kwargs)
+        else:
+            run_detection_suite(dataset, _detectors(), **kwargs)
+    return _store_canonical(store_path, drop_runtime=drop_runtime)
+
+
+class TestCheckpointByteIdentity:
+    def test_detection_stores_identical_across_kernels_and_workers(
+        self, tmp_path
+    ):
+        reference = _detection_store(
+            str(tmp_path / "ref.sqlite"), reference=True
+        )
+        vectorized = _detection_store(str(tmp_path / "vec.sqlite"))
+        assert vectorized == reference
+        pooled = _detection_store(
+            str(tmp_path / "pool.sqlite"), executor=ProcessPoolExecutor(2)
+        )
+        assert pooled == reference
+
+    def test_blocked_stores_identical_across_kernels(self, tmp_path):
+        # Same block size, reference vs vectorized kernels: every byte
+        # of the store (including per-block runtime accounting) agrees.
+        blocked_ref = _detection_store(
+            str(tmp_path / "bref.sqlite"), reference=True, block_rows=37
+        )
+        blocked_vec = _detection_store(
+            str(tmp_path / "bvec.sqlite"), block_rows=37
+        )
+        assert blocked_vec == blocked_ref
+
+    def test_blocked_equals_unblocked_up_to_runtime(self, tmp_path):
+        whole = _detection_store(
+            str(tmp_path / "whole.sqlite"), drop_runtime=True
+        )
+        blocked = _detection_store(
+            str(tmp_path / "blk.sqlite"), block_rows=37, drop_runtime=True
+        )
+        assert blocked == whole
+
+    def test_repair_stores_identical_across_kernels_and_workers(
+        self, tmp_path
+    ):
+        dataset = _dataset()
+        detections = {
+            "MV": MVDetector()._detect(dataset.context(seed=0))
+        }
+
+        def repair_store(store_path, *, reference=False, executor=None):
+            with SuiteCheckpoint.open(store_path, "run", resume=False) as c:
+                kwargs = dict(
+                    checkpoint=c,
+                    clock=_StepClock(),
+                    sleep=NO_SLEEP,
+                    executor=executor,
+                )
+                methods = [
+                    BaranRepair(label_budget=5),
+                    HoloCleanRepair(),
+                ]
+                if reference:
+                    with reference_kernels():
+                        run_repair_suite(
+                            dataset, detections, methods, **kwargs
+                        )
+                else:
+                    run_repair_suite(dataset, detections, methods, **kwargs)
+            return _store_canonical(store_path)
+
+        reference = repair_store(str(tmp_path / "ref.sqlite"), reference=True)
+        vectorized = repair_store(str(tmp_path / "vec.sqlite"))
+        assert vectorized == reference
+        pooled = repair_store(
+            str(tmp_path / "pool.sqlite"), executor=ProcessPoolExecutor(2)
+        )
+        assert pooled == reference

@@ -100,13 +100,29 @@ def test_clock_lint_cli_exit_codes(tmp_path, capsys):
     assert check_clocks.main(["prog", str(tmp_path / "nope")]) == 2
 
 
-def test_no_scalar_hot_loops_in_ml_kernels():
+def test_no_scalar_hot_loops_in_kernels():
     violations = check_hot_loops.check_tree(REPO_ROOT / "src")
     assert violations == [], "\n".join(violations)
 
 
+def test_hot_loop_scope_covers_cleaning_stages():
+    assert set(check_hot_loops.SCOPE) == {
+        "repro/ml",
+        "repro/detectors",
+        "repro/constraints",
+        "repro/repair",
+    }
+
+
 def _ml_file(tmp_path, name, text):
     path = tmp_path / "repro" / "ml" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def _scoped_file(tmp_path, relative, text):
+    path = tmp_path / relative
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text)
     return path
@@ -148,17 +164,62 @@ def test_hot_loop_lint_flags_per_row_loops(tmp_path):
     assert "bad_predict.py:5" in violations[1]
 
 
+def test_hot_loop_lint_flags_cleaning_stage_dirs(tmp_path):
+    # The cleaning-stage kernels are now in scope alongside repro/ml.
+    loop = "def f(features):\n    for row in features:\n        pass\n"
+    _scoped_file(tmp_path, "repro/detectors/loopy.py", loop)
+    _scoped_file(tmp_path, "repro/constraints/loopy.py", loop)
+    _scoped_file(tmp_path, "repro/repair/loopy.py", loop)
+    violations = check_hot_loops.check_tree(tmp_path)
+    assert len(violations) == 3, "\n".join(violations)
+    assert any("detectors" in v for v in violations)
+    assert any("constraints" in v for v in violations)
+    assert any("repair" in v for v in violations)
+
+
+def test_hot_loop_lint_flags_pair_enumeration_outside_blocking(tmp_path):
+    _scoped_file(
+        tmp_path, "repro/detectors/pairs.py",
+        "def score_all(members):\n"
+        "    out = []\n"
+        "    for a in members:\n"
+        "        for b in members:\n"
+        "            out.append((a, b))\n"
+        "    return out\n"
+        "def _enumerate_block_pairs(members):\n"
+        "    for a in members:\n"
+        "        for b in members:\n"
+        "            yield a, b\n"
+        "def per_column(categorical):\n"
+        "    for col_a in categorical:\n"
+        "        for col_b in categorical:\n"
+        "            pass\n",
+    )
+    violations = check_hot_loops.check_tree(tmp_path)
+    # Only the unblocked all-pairs loop is flagged: blocking functions
+    # cap the square, and column x column nesting is schema-bounded.
+    assert len(violations) == 1, "\n".join(violations)
+    assert "pairs.py:4" in violations[0]
+    assert "blocking" in violations[0]
+
+
 def test_hot_loop_lint_honours_allowlist_and_scope(tmp_path):
-    _ml_file(
-        tmp_path, "_reference.py",
-        "def predict(features):\n"
-        "    for row in features:\n"
+    loop = "def predict(features):\n    for row in features:\n        pass\n"
+    # Frozen scalar references stay scalar by design, in every scoped dir.
+    _ml_file(tmp_path, "_reference.py", loop)
+    _scoped_file(tmp_path, "repro/detectors/_reference.py", loop)
+    _scoped_file(tmp_path, "repro/constraints/_reference.py", loop)
+    _scoped_file(tmp_path, "repro/repair/_reference.py", loop)
+    # Outside the scoped kernel trees the same pattern is not the
+    # lint's business.
+    _scoped_file(tmp_path, "repro/service/loopy.py", loop)
+    # Sparse iteration over detected cells is not a per-row table scan.
+    _scoped_file(
+        tmp_path, "repro/repair/sparse.py",
+        "def apply(detections):\n"
+        "    for row, column in detections:\n"
         "        pass\n",
     )
-    # Outside repro/ml the same pattern is not the lint's business.
-    other = tmp_path / "repro" / "repair" / "loopy.py"
-    other.parent.mkdir(parents=True)
-    other.write_text("def f(features):\n    for row in features:\n        pass\n")
     assert check_hot_loops.check_tree(tmp_path) == []
 
 
