@@ -1,0 +1,180 @@
+"""Data-plane dispatch overhead: shared segments vs per-worker pickles.
+
+Before the data plane, ``ProcessPoolExecutor`` shipped the stage's
+shared context -- dataset tables and all -- as one pickle **per
+worker**: a ``spawn`` pool at N workers serialized, piped and
+deserialized the whole dataset N times before executing a single unit.
+The data plane packs each table once into shared-memory segments and
+ships only a small shell, so per-worker bytes collapse and dispatch
+start-up stops scaling with table size.
+
+Two measurements on a detection suite over a large SmartFactory table,
+``spawn`` start method (the start method that cannot inherit memory, so
+every byte shipped is paid for real):
+
+- **bytes**: per-worker shared-context pickle with and without table
+  sharing (bar: >= 10x reduction);
+- **wall-clock**: end-to-end suite dispatch at 4 workers, data plane vs
+  legacy whole-pickle (bar: >= 1.3x), with the 8-worker point recorded
+  alongside.
+
+Both modes must produce byte-identical payloads -- the speedup is free.
+"""
+
+import json
+import os
+import time
+
+from conftest import bench_dataset, emit
+
+from repro.benchmark import run_detection_suite
+from repro.dataplane import SegmentManager, pack_shared
+from repro.detectors import MVDetector, SDDetector
+from repro.observability import write_bench_snapshot
+from repro.parallel import ProcessPoolExecutor
+from repro.reporting import render_table
+
+#: Machine-readable perf snapshot, committed at the repo root so the
+#: numbers are diffable PR over PR.
+BENCH_SNAPSHOT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_dataplane.json"
+)
+
+#: Large enough that shipping the table dominates dispatch; the paper's
+#: Table-4 datasets run this order of magnitude and beyond.
+ROWS = 60_000
+WORKERS = 4
+EXTRA_WORKERS = 8
+ROUNDS = 2
+
+MIN_BYTES_REDUCTION = 10.0
+MIN_SPEEDUP = 1.3
+
+
+def _dataset():
+    return bench_dataset("SmartFactory", n_rows=ROWS, seed=3)
+
+
+def _detectors():
+    return [MVDetector(), SDDetector(2.5), SDDetector(3.0), SDDetector(3.5)]
+
+
+def _suite_seconds(share_tables: bool, workers: int) -> tuple:
+    executor = ProcessPoolExecutor(
+        workers, start_method="spawn", share_tables=share_tables
+    )
+    started = time.perf_counter()
+    runs = run_detection_suite(_dataset(), _detectors(), executor=executor)
+    return time.perf_counter() - started, runs
+
+
+def _payloads(runs) -> str:
+    stripped = []
+    for run in runs:
+        payload = run.to_payload()
+        payload["runtime_seconds"] = None  # wall clock differs by design
+        stripped.append(payload)
+    return json.dumps(stripped, sort_keys=True)
+
+
+def test_dataplane_cuts_spawn_dispatch_overhead():
+    dataset = _dataset()
+
+    # Per-worker context bytes: the legacy shell carries the tables,
+    # the data-plane shell carries segment references.
+    with SegmentManager() as manager:
+        legacy_bytes = pack_shared(
+            dataset, manager, share_tables=False
+        ).shipped_bytes
+    with SegmentManager() as manager:
+        shipment = pack_shared(dataset, manager, share_tables=True)
+        plane_bytes = shipment.shipped_bytes
+        shared_bytes = shipment.shared_bytes
+    bytes_reduction = legacy_bytes / max(1, plane_bytes)
+
+    # End-to-end wall clock, best of ROUNDS (pool start-up included --
+    # that is exactly the overhead under test).
+    legacy_seconds, legacy_runs = min(
+        (_suite_seconds(False, WORKERS) for _ in range(ROUNDS)),
+        key=lambda pair: pair[0],
+    )
+    plane_seconds, plane_runs = min(
+        (_suite_seconds(True, WORKERS) for _ in range(ROUNDS)),
+        key=lambda pair: pair[0],
+    )
+    assert _payloads(plane_runs) == _payloads(legacy_runs)
+    speedup = legacy_seconds / plane_seconds
+
+    legacy_8, _ = _suite_seconds(False, EXTRA_WORKERS)
+    plane_8, _ = _suite_seconds(True, EXTRA_WORKERS)
+
+    emit(
+        "dataplane_speed",
+        render_table(
+            ["configuration", "ctx_bytes/worker", "wall_seconds", "speedup"],
+            [
+                [
+                    f"legacy pickle, {WORKERS}w",
+                    legacy_bytes,
+                    round(legacy_seconds, 2),
+                    1.0,
+                ],
+                [
+                    f"data plane, {WORKERS}w",
+                    plane_bytes,
+                    round(plane_seconds, 2),
+                    round(speedup, 2),
+                ],
+                [
+                    f"legacy pickle, {EXTRA_WORKERS}w",
+                    legacy_bytes,
+                    round(legacy_8, 2),
+                    1.0,
+                ],
+                [
+                    f"data plane, {EXTRA_WORKERS}w",
+                    plane_bytes,
+                    round(plane_8, 2),
+                    round(legacy_8 / plane_8, 2),
+                ],
+            ],
+            title=(
+                f"spawn dispatch, SmartFactory x {ROWS} rows, "
+                f"{len(_detectors())} detectors "
+                f"({shared_bytes / 1e6:.1f} MB shared once in segments)"
+            ),
+        ),
+    )
+    write_bench_snapshot(
+        BENCH_SNAPSHOT,
+        "dataplane_speed",
+        numbers={
+            "legacy_bytes_per_worker": legacy_bytes,
+            "plane_bytes_per_worker": plane_bytes,
+            "bytes_reduction": round(bytes_reduction, 2),
+            "shared_segment_bytes": shared_bytes,
+            "legacy_seconds_4w": round(legacy_seconds, 3),
+            "plane_seconds_4w": round(plane_seconds, 3),
+            "speedup_4w": round(speedup, 3),
+            "legacy_seconds_8w": round(legacy_8, 3),
+            "plane_seconds_8w": round(plane_8, 3),
+            "speedup_8w": round(legacy_8 / plane_8, 3),
+        },
+        context={
+            "dataset": "SmartFactory",
+            "rows": ROWS,
+            "n_units": len(_detectors()),
+            "start_method": "spawn",
+            "workers": [WORKERS, EXTRA_WORKERS],
+            "rounds": ROUNDS,
+        },
+    )
+    assert bytes_reduction >= MIN_BYTES_REDUCTION, (
+        f"expected >= {MIN_BYTES_REDUCTION}x per-worker byte reduction, "
+        f"got {bytes_reduction:.1f}x ({legacy_bytes} -> {plane_bytes})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x spawn dispatch speedup at {WORKERS} "
+        f"workers, got {speedup:.2f}x (legacy {legacy_seconds:.2f}s, "
+        f"data plane {plane_seconds:.2f}s)"
+    )

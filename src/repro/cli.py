@@ -27,6 +27,13 @@ Resilience flags (available on every stage command):
 - ``--retries N``: attempts for transient failures (default 1 = none).
 - ``--workers N``: shard the stage's unit grid across N worker
   processes; output is byte-identical to the serial run for any N.
+- ``--start-method {fork,spawn,forkserver}``: multiprocessing start
+  method for the worker pool.  The shared-memory data plane ships the
+  stage context as named segments plus a small pickled shell, so even
+  ``spawn`` (which cannot inherit memory) dispatches without copying
+  tables per worker; results are byte-identical for every method.
+- ``--chunk-size N``: units handed to a worker per dispatch (default:
+  adaptive, scaled from grid size and worker count).
 - ``--block-rows N`` (``detect`` only): stream block-capable detectors
   over N-row zero-copy blocks instead of materializing whole-table
   intermediates; cells and scores are byte-identical to the unblocked
@@ -179,6 +186,18 @@ def _build_parser() -> argparse.ArgumentParser:
                  "results are identical for any N)",
         )
         stage.add_argument(
+            "--start-method", default=None,
+            choices=("fork", "spawn", "forkserver"),
+            help="multiprocessing start method for --workers > 1 "
+                 "(default: platform default; results are byte-identical "
+                 "either way)",
+        )
+        stage.add_argument(
+            "--chunk-size", type=_positive_int, default=None, metavar="N",
+            help="units dispatched to a worker at a time (default: "
+                 "adaptive, derived from grid size and worker count)",
+        )
+        stage.add_argument(
             "--cache-dir", default=None, metavar="PATH",
             help="content-addressed artifact cache directory; encoded "
                  "matrices and detector features are memoized there "
@@ -218,6 +237,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=_positive_int, default=2, metavar="N",
         help="worker processes executing leased jobs (default 2)",
+    )
+    serve.add_argument(
+        "--job-workers", type=_positive_int, default=1, metavar="N",
+        help="nested process pool size each job executes with "
+             "(default 1 = serial; N > 1 shards a job's unit grid over "
+             "the shared-memory data plane, results unchanged)",
     )
     serve.add_argument(
         "--store", default=None, metavar="PATH",
@@ -319,7 +344,11 @@ def _guard_kwargs(args: argparse.Namespace) -> dict:
         "retry": retry,
         "breaker": CircuitBreaker(threshold=3),
         "checkpoint": _open_checkpoint(args),
-        "executor": make_executor(args.workers),
+        "executor": make_executor(
+            args.workers,
+            start_method=args.start_method,
+            chunk_size=args.chunk_size,
+        ),
     }
 
 
@@ -664,6 +693,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         events_path=args.events,
         host=args.host,
         port=args.port,
+        job_workers=args.job_workers,
     )
     try:
         service.start()

@@ -1,0 +1,42 @@
+"""Zero-copy shared-memory data plane for cross-process execution.
+
+Tables cross process boundaries as named ``multiprocessing``
+shared-memory segments instead of pickles: the columnar codec
+(:mod:`repro.dataplane.codec`) packs each
+:class:`~repro.dataset.table.Table` into flat typed buffers with exact
+bit fidelity, the segment lifecycle (:mod:`repro.dataplane.segments`)
+guarantees driver-owned create/unlink with cleanup on every exit path,
+and the shipment layer (:mod:`repro.dataplane.ship`) swaps tables for
+segment references inside the pickled stage context.  See DESIGN.md's
+"Data plane" section for the layout and the determinism argument.
+"""
+
+from repro.dataplane.codec import EncodedTable, decode_table, encode_table
+from repro.dataplane.segments import (
+    SEGMENT_PREFIX,
+    SegmentManager,
+    attach_buffer,
+    live_segments,
+)
+from repro.dataplane.ship import (
+    SharedShipment,
+    TableHandle,
+    attach_shipment,
+    attach_table,
+    pack_shared,
+)
+
+__all__ = [
+    "EncodedTable",
+    "SEGMENT_PREFIX",
+    "SegmentManager",
+    "SharedShipment",
+    "TableHandle",
+    "attach_buffer",
+    "attach_shipment",
+    "attach_table",
+    "decode_table",
+    "encode_table",
+    "live_segments",
+    "pack_shared",
+]

@@ -1,0 +1,140 @@
+"""Shared-memory segment lifecycle: create, attach, close, unlink.
+
+Ownership is asymmetric by design.  The **driver** creates segments
+through a :class:`SegmentManager` and is the only process that ever
+``unlink``\\ s them -- ``destroy()`` runs in a ``finally`` around pool
+dispatch, so normal teardown, interrupted runs (the chaos suite's
+mid-run kills) and SIGTERM drains all release every name.  **Workers**
+attach read-only by name and never unlink; a SIGKILLed worker therefore
+takes nothing with it -- its mapping dies with the process and the
+driver's ``finally`` still removes the name.
+
+Two CPython specifics this module encodes so callers do not have to:
+
+- Pool workers (fork *and* spawn -- the tracker fd rides the spawn
+  preparation data) share the driver's ``resource_tracker``, and
+  registration is set-idempotent, so a worker's attach needs no
+  register/unregister dance; the driver's ``unlink()`` retires the name
+  exactly once.
+- ``SharedMemory.__del__`` calls ``close()``, which raises
+  ``BufferError`` while numpy views of ``.buf`` are alive.  Attached
+  segments hand their buffer over via :func:`attach_buffer`, which
+  *defuses* the destructor: the mapping stays alive exactly as long as
+  the views do (the memoryview pins the underlying mmap) and is
+  reclaimed by the kernel when the worker exits.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+#: Every segment this plane creates carries this prefix, so tests (and
+#: operators) can audit ``/dev/shm`` for leaks without guessing.
+SEGMENT_PREFIX = "repro-dp-"
+
+_SHM_DIR = "/dev/shm"
+
+
+class SegmentManager:
+    """Owns the create -> unlink lifecycle of one dispatch round.
+
+    Usable as a context manager; either way, callers must reach
+    :meth:`destroy` on every exit path (the engine wraps dispatch in
+    ``try/finally``).  ``destroy`` is idempotent and keeps going past
+    individual close failures: unlinking the name is what prevents a
+    leak, and it works even while mappings are still live elsewhere.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._counter = 0
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Create one uniquely named segment of at least 1 byte."""
+        self._counter += 1
+        for _ in range(16):
+            name = (
+                f"{SEGMENT_PREFIX}{os.getpid()}-{self._counter}-"
+                f"{os.urandom(4).hex()}"
+            )
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, int(nbytes))
+                )
+            except FileExistsError:
+                continue
+            self._segments.append(segment)
+            return segment
+        raise RuntimeError(
+            "could not allocate a unique shared-memory segment name"
+        )
+
+    @property
+    def names(self) -> List[str]:
+        return [segment.name for segment in self._segments]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(segment.size for segment in self._segments)
+
+    def destroy(self) -> None:
+        """Close and unlink every segment this manager created."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                # A view of .buf is still exported somewhere in this
+                # process; the mapping lives until it dies, but the
+                # unlink below still retires the name (no leak).
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SegmentManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy()
+
+
+def attach_buffer(name: str) -> memoryview:
+    """Attach an existing segment and return its buffer (worker side).
+
+    The returned memoryview owns the mapping: the ``SharedMemory``
+    handle is stripped of its buffer so its destructor cannot raise
+    ``BufferError`` under live numpy views, and the mapping is released
+    when the memoryview (and every view built on it) is garbage
+    collected or the process exits.  Attaching never unlinks -- the name
+    belongs to the creating driver.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    buf = segment._buf
+    # Defuse SharedMemory.__del__ -> close(): the memoryview keeps the
+    # mmap alive, and the driver owns the name.
+    segment._buf = None
+    segment._mmap = None
+    return buf
+
+
+def live_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names of data-plane segments currently present on this host.
+
+    Reads ``/dev/shm`` directly (POSIX shared memory appears there on
+    Linux); returns an empty list where that directory does not exist,
+    so leak assertions degrade to vacuous rather than erroring.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    return sorted(
+        entry for entry in os.listdir(_SHM_DIR) if entry.startswith(prefix)
+    )
+
+
+def segment_dir() -> Optional[str]:
+    """The directory segments appear in, or None on non-POSIX hosts."""
+    return _SHM_DIR if os.path.isdir(_SHM_DIR) else None

@@ -364,6 +364,36 @@ class Table:
         return out
 
     # ------------------------------------------------------------------
+    # Shared-memory buffer codec (the data plane's substrate)
+    # ------------------------------------------------------------------
+    def to_buffers(self):
+        """Pack this table into flat typed buffers for shared memory.
+
+        Returns an :class:`~repro.dataplane.codec.EncodedTable` whose
+        ``meta`` describes the layout and whose ``write_into(buf)``
+        places the buffers into any writable buffer (typically a
+        ``multiprocessing.shared_memory`` segment).  The round-trip
+        through :meth:`from_buffers` is cell-for-cell type- and
+        bit-identical, including NaN payloads, ``inf`` and ``-0.0``.
+        """
+        from repro.dataplane.codec import encode_table
+
+        return encode_table(self)
+
+    @classmethod
+    def from_buffers(cls, meta, buf) -> "Table":
+        """Attach packed buffers as a read-only zero-copy table.
+
+        Typed buffer views into ``buf`` are ``writeable=False`` and
+        columns materialize lazily from them; the table is read-only
+        (:meth:`set_cell` raises), because many processes may share the
+        underlying bytes.
+        """
+        from repro.dataplane.codec import decode_table
+
+        return decode_table(meta, buf)
+
+    # ------------------------------------------------------------------
     # Comparison
     # ------------------------------------------------------------------
     def diff_cells(self, other: "Table") -> Set[Cell]:

@@ -119,7 +119,14 @@ class _ReferenceTreeBuilder:
             pos = int(np.argmax(decrease))
             if decrease[pos] > 1e-12:
                 split_at = valid[pos]
-                threshold = 0.5 * (values[split_at - 1] + values[split_at])
+                low, high = values[split_at - 1], values[split_at]
+                threshold = 0.5 * (low + high)
+                # Same degenerate-midpoint guard as the vectorized
+                # builder (rounding to ``high`` / overflow to inf would
+                # recurse forever on an unchanged node); applied to both
+                # sides identically so trees stay bit-identical.
+                if not (low <= threshold < high):
+                    threshold = low
                 if best is None or decrease[pos] > best[2]:
                     best = (int(feature), float(threshold), float(decrease[pos]))
         return best

@@ -190,9 +190,15 @@ class _TreeBuilder:
         winner = int(at_feature[flat])
         split_at = int(at_position[flat]) + 1
         winner_values = values[winner]
-        threshold = 0.5 * (
-            winner_values[split_at - 1] + winner_values[split_at]
-        )
+        low, high = winner_values[split_at - 1], winner_values[split_at]
+        threshold = 0.5 * (low + high)
+        # The midpoint can round up to ``high`` for adjacent subnormals
+        # or overflow to +/-inf for huge magnitudes; either way ``<=``
+        # routing would send every row to one child and the builder
+        # would recurse on an unchanged node forever.  ``low`` itself is
+        # always an exact separator.
+        if not (low <= threshold < high):
+            threshold = low
         return int(candidates[winner]), float(threshold), best_decrease
 
     def build(self, features: np.ndarray, targets: np.ndarray) -> _Node:

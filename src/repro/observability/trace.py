@@ -35,8 +35,11 @@ ATTEMPT = "attempt"
 #: One cleaning-kernel invocation (detector/constraint/repair hot path);
 #: nests under whatever suite/stage/unit span is currently open.
 KERNEL = "kernel"
+#: Data-plane plumbing: packing a stage context into shared-memory
+#: segments (driver side) and attaching it (worker side).
+DATAPLANE = "dataplane"
 
-CATEGORIES = (SUITE, STAGE, UNIT, ATTEMPT, KERNEL)
+CATEGORIES = (SUITE, STAGE, UNIT, ATTEMPT, KERNEL, DATAPLANE)
 
 
 @dataclass

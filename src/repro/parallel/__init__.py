@@ -28,6 +28,8 @@ from repro.parallel.engine import (
     ProcessPoolExecutor,
     SerialExecutor,
     ShuffledExecutor,
+    WorkerCrashError,
+    adaptive_chunk_size,
     block_spans,
     block_unit_key,
     execute_plan,
@@ -44,6 +46,8 @@ __all__ = [
     "ShuffledExecutor",
     "StageAdapter",
     "UnitSpec",
+    "WorkerCrashError",
+    "adaptive_chunk_size",
     "block_spans",
     "block_unit_key",
     "execute_plan",

@@ -20,6 +20,18 @@ Three executors:
   result queue and the parent -- the single writer -- drains it,
   finalizing units in canonical order and batching checkpoint commits.
 
+The pool dispatches through the shared-memory data plane
+(:mod:`repro.dataplane`): the stage's ``shared`` context is packed once
+into named segments plus a small pickled shell (tables are *not*
+pickled per worker), workers attach the segments read-only, and results
+come back as canonical-JSON payload frames -- byte-for-byte the text
+the checkpoint layer would store -- batched by an adaptive
+``chunk_size``.  Segment lifetime is owned by the driver: a
+``finally`` around dispatch closes and unlinks every segment on normal
+teardown, interrupts, and worker crashes alike (a SIGKILLed worker is
+detected mid-run and surfaces as :class:`WorkerCrashError`; resume from
+the checkpoint store re-runs only what was lost).
+
 Determinism notes for ``ProcessPoolExecutor``: unit *results* are
 deterministic because every unit re-derives its randomness from explicit
 seeds; wall-clock runtimes inside payloads are only reproducible when an
@@ -27,27 +39,44 @@ injectable clock (e.g. the chaos suite's step clock) is threaded through
 the suite, exactly as in serial runs.  The plan's ``shared`` context and
 every ``clock`` / ``sleep`` callable must be picklable; the default
 ``fork`` start method additionally preserves the parent's string-hash
-seed so set iteration order inside tools matches the parent process.
+seed so set iteration order inside tools matches the parent process
+(suite payloads canonicalize their collections, so ``spawn`` runs are
+byte-identical too -- tier-1 asserts it across both start methods).
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+import signal
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cache.store import current_cache, install_cache
+from repro.dataplane.segments import SegmentManager
+from repro.dataplane.ship import SharedShipment, attach_shipment, pack_shared
 from repro.observability.telemetry import (
     Telemetry,
     current_telemetry,
     install_telemetry,
 )
-from repro.observability.trace import Tracer
+from repro.observability.trace import DATAPLANE, Tracer
 from repro.parallel.plan import ExecutionPlan, UnitSpec
 
 
 def null_sleep(seconds: float) -> None:
     """A picklable no-op sleep for deterministic (and parallel) tests."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (SIGKILL, OOM, ...) with results outstanding.
+
+    ``multiprocessing.Pool`` silently replaces dead workers but never
+    re-runs the tasks they held, so the dispatch round would hang; the
+    driver detects the replacement, aborts the round, and flushes the
+    checkpoint store -- resuming the run re-executes only the lost
+    units.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -58,11 +87,17 @@ _WORKER_STATE: Dict[str, Any] = {}
 
 def _init_worker(
     adapter: Any,
-    shared: Any,
+    shipment: SharedShipment,
     telemetry: bool = False,
     cache_spec: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Pool initializer: install the stage context once per worker.
+    """Pool initializer: attach the stage context once per worker.
+
+    The shared context arrives as a :class:`SharedShipment` -- a small
+    pickled shell plus segment names -- and is rebuilt here by attaching
+    every named segment read-only (zero-copy buffer views; see
+    :mod:`repro.dataplane.ship`).  Workers never unlink: segment names
+    belong to the driver.
 
     With ``telemetry`` on, the worker gets its own ledger-less
     :class:`Telemetry` (spans + metrics only): instrumented code inside
@@ -71,36 +106,85 @@ def _init_worker(
     can merge it deterministically.  The ledger and the checkpoint store
     remain single-writer, driver-only surfaces.
 
+    SIGTERM is reset to the default action: ``fork`` children inherit
+    whatever handler the dispatching process installed (the service
+    worker's graceful-drain handler swallows SIGTERM), and
+    ``Pool.terminate()`` relies on SIGTERM actually terminating the
+    children -- it holds the task-queue lock while joining them, so a
+    child that shrugs the signal off deadlocks the teardown.
+
     With ``cache_spec`` set, the driver's artifact cache is rebuilt in
     the worker and installed process-wide.  The cache's atomic
     same-content write discipline makes this safe without coordination:
     workers may race on the same key but never publish a torn or
     divergent entry (see :mod:`repro.cache.store`).
     """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     _WORKER_STATE["adapter"] = adapter
-    _WORKER_STATE["shared"] = shared
+    worker_telemetry: Optional[Telemetry] = None
     if telemetry:
         worker_telemetry = Telemetry(
             tracer=Tracer(worker=f"worker-{os.getpid()}")
         )
         _WORKER_STATE["telemetry"] = worker_telemetry
         install_telemetry(worker_telemetry)
+    if worker_telemetry is not None:
+        with worker_telemetry.span(
+            "dataplane:attach", DATAPLANE, segments=len(shipment.handles)
+        ):
+            shared = attach_shipment(shipment)
+        worker_telemetry.count(
+            "dataplane_segments_attached", len(shipment.handles)
+        )
+    else:
+        shared = attach_shipment(shipment)
+    _WORKER_STATE["shared"] = shared
     if cache_spec is not None:
         from repro.cache.store import ArtifactCache
 
         install_cache(ArtifactCache.from_spec(cache_spec))
 
 
+def _encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One unit payload as a canonical-JSON frame.
+
+    Key order is canonical (``sort_keys``) and the text round-trips
+    through the same JSON value space the checkpoint store uses, so the
+    driver's ``from_payload(json.loads(frame))`` sees exactly what a
+    checkpoint resume would -- the store's bytes cannot depend on the
+    transport.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
 def _run_unit_in_worker(
     spec: UnitSpec,
-) -> Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]]:
-    """Execute one unit in a worker; ship its canonical payload back,
-    plus the telemetry recorded while executing it (or None)."""
+) -> Tuple[int, bytes, Optional[Dict[str, Any]]]:
+    """Execute one unit in a worker; ship its canonical payload frame
+    back, plus the telemetry recorded while executing it (``None`` when
+    nothing was recorded, so idle spans cost no per-unit IPC)."""
     adapter = _WORKER_STATE["adapter"]
     run = adapter.execute(_WORKER_STATE["shared"], spec)
     telemetry = _WORKER_STATE.get("telemetry")
     transport = telemetry.drain_transport() if telemetry is not None else None
-    return spec.index, adapter.to_payload(run), transport
+    return spec.index, _encode_frame(adapter.to_payload(run)), transport
+
+
+def _run_chunk_in_worker(
+    specs: List[UnitSpec],
+) -> List[Tuple[int, bytes, Optional[Dict[str, Any]]]]:
+    """Execute one dispatch chunk; frames come back batched per chunk.
+
+    The chunking lives here, not in ``imap_unordered``'s ``chunksize``,
+    because with ``chunksize > 1`` the stdlib returns a flattening
+    *generator* over the iterator -- losing the ``next(timeout=)`` the
+    driver's crash polling depends on.  Each unit keeps its own
+    telemetry drain (``None`` when empty) so span adoption stays
+    per-unit deterministic; only the IPC round trips are batched.
+    """
+    return [_run_unit_in_worker(spec) for spec in specs]
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +241,21 @@ class ShuffledExecutor:
             yield spec.index, plan.adapter.execute(plan.shared, spec)
 
 
+def adaptive_chunk_size(n_units: int, n_workers: int) -> int:
+    """Auto chunk size: ~4 chunks per worker, clamped to [1, 32].
+
+    Small grids keep chunk 1 (every worker busy immediately, results
+    stream for prompt merging); large blocked grids batch dozens of
+    sub-units per IPC round trip so the result queue stops being the
+    bottleneck.  The cap bounds both tail latency and the work lost
+    when a worker crashes mid-chunk.
+    """
+    chunk, extra = divmod(n_units, n_workers * 4)
+    if extra:
+        chunk += 1
+    return max(1, min(chunk, 32))
+
+
 class ProcessPoolExecutor:
     """Shard pending units across ``workers`` OS processes.
 
@@ -164,6 +263,16 @@ class ProcessPoolExecutor:
     never wait behind slow ones; the driver re-establishes canonical
     order at merge time.  The pool is torn down if the consumer stops
     iterating early (e.g. the run is interrupted), terminating workers.
+
+    Dispatch goes through the shared-memory data plane: ``plan.shared``
+    is packed once (tables into segments, the rest into a small shell)
+    and every worker attaches the same bytes, for ``fork`` and ``spawn``
+    start methods alike.  ``chunk_size=None`` picks
+    :func:`adaptive_chunk_size`; ``share_tables=False`` keeps tables
+    inline in the pickled shell (the legacy behavior the speed benchmark
+    measures against).  The driver polls the result stream
+    (``poll_seconds``) so a worker killed mid-unit raises
+    :class:`WorkerCrashError` instead of hanging the run.
     """
 
     name = "process-pool"
@@ -172,15 +281,19 @@ class ProcessPoolExecutor:
         self,
         workers: int,
         start_method: Optional[str] = None,
-        chunk_size: int = 1,
+        chunk_size: Optional[int] = None,
+        share_tables: bool = True,
+        poll_seconds: float = 0.1,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.workers = workers
         self.start_method = start_method
         self.chunk_size = chunk_size
+        self.share_tables = share_tables
+        self.poll_seconds = poll_seconds
 
     def _context(self):
         if self.start_method is not None:
@@ -189,6 +302,24 @@ class ProcessPoolExecutor:
         return multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
         )
+
+    @staticmethod
+    def _check_workers(pool, initial_pids: Set[Optional[int]]) -> None:
+        """Raise when any pool worker died since dispatch began.
+
+        ``Pool`` replaces dead workers without re-queuing their tasks,
+        so a changed pid set (or a not-yet-reaped corpse) means results
+        we are waiting for will never arrive.
+        """
+        workers = list(pool._pool)
+        if {process.pid for process in workers} != initial_pids or any(
+            not process.is_alive() for process in workers
+        ):
+            raise WorkerCrashError(
+                "a pool worker died mid-dispatch; its pending units were "
+                "lost (checkpointed units are safe -- resume to re-run "
+                "the rest)"
+            )
 
     def run(
         self,
@@ -200,29 +331,102 @@ class ProcessPoolExecutor:
         if not dispatched:
             return
         n_workers = min(self.workers, len(dispatched))
+        chunk = self.chunk_size or adaptive_chunk_size(
+            len(dispatched), n_workers
+        )
         context = self._context()
-        telemetry_on = current_telemetry() is not None
+        start_method = getattr(context, "_name", self.start_method)
+        telemetry = current_telemetry()
         cache = current_cache()
         cache_spec = cache.spec() if cache is not None else None
-        with context.Pool(
-            processes=n_workers,
-            initializer=_init_worker,
-            initargs=(plan.adapter, plan.shared, telemetry_on, cache_spec),
-        ) as pool:
-            results = pool.imap_unordered(
-                _run_unit_in_worker, dispatched, chunksize=self.chunk_size
-            )
-            for index, payload, transport in results:
-                yield index, plan.adapter.from_payload(payload), transport
+        manager = SegmentManager()
+        shipped_bytes = 0
+        frame_bytes = 0
+        try:
+            if telemetry is not None:
+                with telemetry.span(
+                    "dataplane:ship",
+                    DATAPLANE,
+                    workers=n_workers,
+                    start_method=start_method,
+                ):
+                    shipment = pack_shared(
+                        plan.shared, manager, self.share_tables
+                    )
+            else:
+                shipment = pack_shared(plan.shared, manager, self.share_tables)
+            # The shell is pickled once per worker; segments are shared.
+            shipped_bytes = shipment.shipped_bytes * n_workers
+            if telemetry is not None:
+                telemetry.count("dataplane_bytes_shipped", shipped_bytes)
+                telemetry.count(
+                    "dataplane_bytes_shared", shipment.shared_bytes
+                )
+            chunks = [
+                dispatched[start:start + chunk]
+                for start in range(0, len(dispatched), chunk)
+            ]
+            with context.Pool(
+                processes=n_workers,
+                initializer=_init_worker,
+                initargs=(plan.adapter, shipment, telemetry is not None,
+                          cache_spec),
+            ) as pool:
+                results = pool.imap_unordered(
+                    _run_chunk_in_worker, chunks, chunksize=1
+                )
+                initial_pids = {process.pid for process in pool._pool}
+                remaining = len(chunks)
+                while remaining:
+                    try:
+                        batch = results.next(timeout=self.poll_seconds)
+                    except multiprocessing.TimeoutError:
+                        self._check_workers(pool, initial_pids)
+                        continue
+                    remaining -= 1
+                    for index, frame, transport in batch:
+                        frame_bytes += len(frame)
+                        yield (
+                            index,
+                            plan.adapter.from_payload(json.loads(frame)),
+                            transport,
+                        )
+        finally:
+            segments = len(manager.names)
+            shared_bytes = manager.total_bytes
+            manager.destroy()
+            if telemetry is not None:
+                telemetry.count("dataplane_bytes_shipped", frame_bytes)
+                telemetry.event(
+                    "dataplane_summary",
+                    stage=plan.adapter.stage,
+                    workers=n_workers,
+                    start_method=start_method,
+                    chunk_size=chunk,
+                    segments=segments,
+                    bytes_shared=shared_bytes,
+                    bytes_shipped=shipped_bytes + frame_bytes,
+                )
 
 
-def make_executor(workers: Optional[int]):
-    """Executor for a worker count: None/1 -> serial (None), N -> pool."""
+def make_executor(
+    workers: Optional[int],
+    start_method: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+):
+    """Executor for a worker count: None/1 -> serial (None), N -> pool.
+
+    ``start_method`` and ``chunk_size`` pass straight through to
+    :class:`ProcessPoolExecutor` (``None`` = platform default and
+    adaptive chunking respectively).
+    """
     if workers is None or workers == 1:
         return None
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    return ProcessPoolExecutor(workers)
+    return ProcessPoolExecutor(
+        workers, start_method=start_method, chunk_size=chunk_size
+    )
 
 
 # ----------------------------------------------------------------------

@@ -46,9 +46,11 @@ class BenchService:
         host: str = "127.0.0.1",
         port: int = 0,
         poll_seconds: float = 0.1,
+        job_workers: int = 1,
     ) -> None:
         self.queue_path = str(queue_path)
         self.n_workers = n_workers
+        self.job_workers = job_workers
         self.policy = policy or SchedulerPolicy()
         self.execute_ref = execute_ref
         self.store_path = store_path
@@ -87,6 +89,7 @@ class BenchService:
             store_path=self.store_path,
             events_path=self.events_path,
             poll_seconds=self.poll_seconds,
+            job_workers=self.job_workers,
         )
         self.pool.start()
         started = False

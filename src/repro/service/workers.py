@@ -72,12 +72,18 @@ class ServiceWorker:
         store_path: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
         heartbeat_interval: Optional[float] = None,
+        job_workers: int = 1,
+        start_method: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         self.queue = queue
         self.worker_id = worker_id
         self.execute = execute or resolve_execute(DEFAULT_EXECUTE_REF)
         self.store_path = store_path
         self.telemetry = telemetry
+        self.job_workers = job_workers
+        self.start_method = start_method
+        self.chunk_size = chunk_size
         lease = queue.policy.lease_seconds
         self.heartbeat_interval = (
             heartbeat_interval if heartbeat_interval is not None
@@ -179,11 +185,22 @@ class ServiceWorker:
             )
 
     def _execute(self, job: LeasedJob) -> Dict[str, Any]:
-        return self.execute(
-            job.spec.to_payload(),
-            store_path=self.store_path,
-            telemetry=self.telemetry,
-        )
+        kwargs: Dict[str, Any] = {
+            "store_path": self.store_path,
+            "telemetry": self.telemetry,
+        }
+        if self.job_workers > 1:
+            # Shard the job's own unit grid across a nested process
+            # pool (shared-memory data plane).  Passed only when
+            # configured so test doubles keep their narrower signature.
+            from repro.parallel import make_executor
+
+            kwargs["executor"] = make_executor(
+                self.job_workers,
+                start_method=self.start_method,
+                chunk_size=self.chunk_size,
+            )
+        return self.execute(job.spec.to_payload(), **kwargs)
 
     def run_forever(
         self,
@@ -226,6 +243,9 @@ def worker_main(
     store_path: Optional[str] = None,
     events_path: Optional[str] = None,
     poll_seconds: float = 0.1,
+    job_workers: int = 1,
+    start_method: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> None:
     """Entry point of one worker process.
 
@@ -253,6 +273,9 @@ def worker_main(
         execute=resolve_execute(execute_ref),
         store_path=store_path,
         telemetry=telemetry,
+        job_workers=job_workers,
+        start_method=start_method,
+        chunk_size=chunk_size,
     )
     try:
         worker.run_forever(stop, poll_seconds=poll_seconds)
@@ -284,9 +307,14 @@ class WorkerPool:
         events_path: Optional[str] = None,
         poll_seconds: float = 0.1,
         name_prefix: str = "worker",
+        job_workers: int = 1,
+        start_method: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if job_workers < 1:
+            raise ValueError("job_workers must be >= 1")
         self.queue_path = str(queue_path)
         self.n_workers = n_workers
         self.policy = policy or SchedulerPolicy()
@@ -295,6 +323,9 @@ class WorkerPool:
         self.events_path = events_path
         self.poll_seconds = poll_seconds
         self.name_prefix = name_prefix
+        self.job_workers = job_workers
+        self.start_method = start_method
+        self.chunk_size = chunk_size
         self._processes: List[multiprocessing.process.BaseProcess] = []
 
     def start(self) -> None:
@@ -314,9 +345,15 @@ class WorkerPool:
                     "store_path": self.store_path,
                     "events_path": self.events_path,
                     "poll_seconds": self.poll_seconds,
+                    "job_workers": self.job_workers,
+                    "start_method": self.start_method,
+                    "chunk_size": self.chunk_size,
                 },
                 name=worker_id,
-                daemon=True,
+                # Daemonic processes may not have children: a worker
+                # that shards jobs across its own pool must be a
+                # regular process (stop()/join() still reap it).
+                daemon=self.job_workers <= 1,
             )
             process.start()
             self._processes.append(process)

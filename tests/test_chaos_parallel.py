@@ -10,6 +10,8 @@ pool-management failure, not a suite interrupt.
 """
 
 import json
+import os
+import signal
 
 import pytest
 
@@ -20,7 +22,8 @@ from repro.benchmark import (
 )
 from repro.datagen import generate
 from repro.detectors import MVDetector, SDDetector
-from repro.parallel import ProcessPoolExecutor, null_sleep
+from repro.dataplane import live_segments
+from repro.parallel import ProcessPoolExecutor, WorkerCrashError, null_sleep
 from repro.repair import GroundTruthRepair, MeanModeImputeRepair
 from repro.repository import CheckpointStore
 from repro.resilience import (
@@ -205,3 +208,95 @@ class TestKilledParallelRunResumes:
         with SuiteCheckpoint.open(path, "run", resume=True) as ckpt:
             resumed = _chaos_detection(None, checkpoint=ckpt)
         assert _canonical(resumed) == reference
+
+
+# ----------------------------------------------------------------------
+# Worker death (SIGKILL mid-unit) and data-plane hygiene
+# ----------------------------------------------------------------------
+class KamikazeDetector(MVDetector):
+    """SIGKILLs its own process the first time it runs outside the
+    driver -- a real worker death mid-unit, not a raised exception.
+
+    One-shot via a flag file, and guarded by the driver pid so the
+    serial reference (and the resumed run) execute it as a plain
+    ``MVDetector`` with the same unit key and payload bytes.
+    """
+
+    def __init__(self, driver_pid: int, flag_path: str) -> None:
+        super().__init__()
+        self.driver_pid = driver_pid
+        self.flag_path = flag_path
+
+    def _detect(self, context):
+        if os.getpid() != self.driver_pid and not os.path.exists(
+            self.flag_path
+        ):
+            with open(self.flag_path, "w") as flag:
+                flag.write(str(os.getpid()))
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super()._detect(context)
+
+
+def _kill_grid(tmp_path, executor, checkpoint=None):
+    flag = str(tmp_path / "kamikaze.flag")
+    return run_detection_suite(
+        _dataset(),
+        [KamikazeDetector(os.getpid(), flag), SDDetector(3.0)],
+        clock=StepClock(),
+        sleep=null_sleep,
+        checkpoint=checkpoint,
+        executor=executor,
+    )
+
+
+class TestWorkerDeathMidUnit:
+    def test_sigkill_raises_worker_crash_and_leaks_nothing(self, tmp_path):
+        before = set(live_segments())
+        with pytest.raises(WorkerCrashError):
+            _kill_grid(tmp_path, ProcessPoolExecutor(2, poll_seconds=0.05))
+        assert (tmp_path / "kamikaze.flag").exists(), (
+            "the kamikaze unit must actually have run in a worker"
+        )
+        assert not (set(live_segments()) - before), (
+            "a worker SIGKILL must not leak data-plane segments"
+        )
+
+    def test_killed_run_resumes_to_serial_reference(self, tmp_path):
+        # Serial reference: same grid, flag pre-set so nothing dies.
+        reference_dir = tmp_path / "reference"
+        reference_dir.mkdir()
+        (reference_dir / "kamikaze.flag").write_text("disarmed")
+        reference = _canonical(_kill_grid(reference_dir, None))
+
+        path = str(tmp_path / "killed.sqlite")
+        store = CheckpointStore(path)
+        try:
+            killed = SuiteCheckpoint(store, "run")
+            with pytest.raises(WorkerCrashError):
+                _kill_grid(
+                    tmp_path,
+                    ProcessPoolExecutor(2, poll_seconds=0.05),
+                    checkpoint=killed,
+                )
+        finally:
+            store.close()
+
+        # Resume under the pool: the flag file disarms the kamikaze,
+        # cached units load, lost units re-execute -- same bytes.
+        with SuiteCheckpoint.open(path, "run", resume=True) as ckpt:
+            resumed = _kill_grid(
+                tmp_path, ProcessPoolExecutor(2), checkpoint=ckpt
+            )
+        assert _canonical(resumed) == reference
+
+    def test_pool_teardown_after_interrupt_leaks_nothing(self, tmp_path):
+        before = set(live_segments())
+        path = str(tmp_path / "interrupted.sqlite")
+        store = CheckpointStore(path)
+        killing = KillingCheckpoint(store, "run", kill_after=1)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                _chaos_detection(ProcessPoolExecutor(2), checkpoint=killing)
+        finally:
+            store.close()
+        assert not (set(live_segments()) - before)

@@ -10,6 +10,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 import check_block_paths  # noqa: E402
 import check_clocks  # noqa: E402
+import check_dataplane  # noqa: E402
 import check_exceptions  # noqa: E402
 import check_hot_loops  # noqa: E402
 import check_service_endpoints  # noqa: E402
@@ -412,3 +413,132 @@ def test_block_path_lint_cli_exit_codes(tmp_path, capsys):
     (tmp_path / "repro/dataset/encoding.py").write_text("")
     assert check_block_paths.main(["prog", str(tmp_path)]) == 0
     assert check_block_paths.main(["prog", str(tmp_path / "nope")]) == 2
+
+
+# ----------------------------------------------------------------------
+# Data-plane lint (tools/check_dataplane.py)
+# ----------------------------------------------------------------------
+_SEGMENTS_OK = (
+    "from multiprocessing import shared_memory\n"
+    "def create(nbytes):\n"
+    "    return shared_memory.SharedMemory(create=True, size=nbytes)\n"
+    "def destroy(segment):\n"
+    "    segment.close()\n"
+    "    segment.unlink()\n"
+)
+
+_ENGINE_OK = (
+    "def run(pool, shipment, specs):\n"
+    "    pool.apply(init, initargs=(shipment,))\n"
+    "    return pool.imap_unordered(work, specs, chunksize=1)\n"
+)
+
+
+def _dataplane_tree(tmp_path, engine_src=_ENGINE_OK, segments_src=_SEGMENTS_OK):
+    engine = tmp_path / "repro" / "parallel" / "engine.py"
+    engine.parent.mkdir(parents=True, exist_ok=True)
+    engine.write_text(engine_src)
+    segments = tmp_path / "repro" / "dataplane" / "segments.py"
+    segments.parent.mkdir(parents=True, exist_ok=True)
+    segments.write_text(segments_src)
+    return tmp_path
+
+
+def test_dataplane_tree_is_clean():
+    violations = check_dataplane.check_tree(REPO_ROOT / "src")
+    assert violations == [], "\n".join(violations)
+
+
+def test_dataplane_lint_accepts_conforming_tree(tmp_path):
+    _dataplane_tree(tmp_path)
+    assert check_dataplane.check_tree(tmp_path) == []
+
+
+def test_dataplane_lint_flags_create_outside_lifecycle(tmp_path):
+    _dataplane_tree(tmp_path)
+    stray = tmp_path / "repro" / "stray.py"
+    stray.write_text(
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "segment = SharedMemory(create=True, size=64)\n"
+    )
+    violations = check_dataplane.check_tree(tmp_path)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "stray.py:2" in violations[0]
+    assert "no unlink owner" in violations[0]
+
+
+def test_dataplane_lint_requires_unlink_in_lifecycle(tmp_path):
+    _dataplane_tree(
+        tmp_path,
+        segments_src=(
+            "from multiprocessing import shared_memory\n"
+            "def create(nbytes):\n"
+            "    return shared_memory.SharedMemory(create=True,"
+            " size=nbytes)\n"
+        ),
+    )
+    violations = check_dataplane.check_tree(tmp_path)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "never calls unlink()" in violations[0]
+
+
+def test_dataplane_lint_ignores_attach_only_use(tmp_path):
+    _dataplane_tree(tmp_path)
+    reader = tmp_path / "repro" / "reader.py"
+    reader.write_text(
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "segment = SharedMemory(name='x')\n"
+        "other = SharedMemory(name='y', create=False)\n"
+    )
+    assert check_dataplane.check_tree(tmp_path) == []
+
+
+def test_dataplane_lint_flags_shared_in_initargs(tmp_path):
+    _dataplane_tree(
+        tmp_path,
+        engine_src=(
+            "def run(pool, plan, specs):\n"
+            "    pool.apply(init, initargs=(plan.adapter, plan.shared))\n"
+            "    return pool.imap_unordered(work, specs, chunksize=1)\n"
+        ),
+    )
+    violations = check_dataplane.check_tree(tmp_path)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "initargs references the shared context" in violations[0]
+
+
+def test_dataplane_lint_flags_shared_in_dispatch_iterable(tmp_path):
+    _dataplane_tree(
+        tmp_path,
+        engine_src=(
+            "def run(pool, shared, specs):\n"
+            "    units = [(shared, spec) for spec in specs]\n"
+            "    return pool.imap_unordered(work, units)\n"
+        ),
+    )
+    violations = check_dataplane.check_tree(tmp_path)
+    assert len(violations) == 1, "\n".join(violations)
+    assert "iterable references the shared context" in violations[0]
+
+
+def test_dataplane_lint_flags_missing_dispatch_module(tmp_path):
+    segments = tmp_path / "repro" / "dataplane" / "segments.py"
+    segments.parent.mkdir(parents=True)
+    segments.write_text(_SEGMENTS_OK)
+    violations = check_dataplane.check_tree(tmp_path)
+    assert len(violations) == 1
+    assert "dispatch module missing" in violations[0]
+
+
+def test_dataplane_lint_cli_exit_codes(tmp_path, capsys):
+    _dataplane_tree(tmp_path)
+    assert check_dataplane.main(["prog", str(tmp_path)]) == 0
+    stray = tmp_path / "repro" / "stray.py"
+    stray.write_text(
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "segment = SharedMemory(create=True, size=64)\n"
+    )
+    assert check_dataplane.main(["prog", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "stray.py:2" in out
+    assert check_dataplane.main(["prog", str(tmp_path / "nope")]) == 2
